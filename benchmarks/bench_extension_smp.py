@@ -1,0 +1,35 @@
+"""Extension bench: SMP hosts break the paper's uniprocessor formula.
+
+The paper's future work points at shared-memory multiprocessors.  On an
+``ncpu``-way simulated host, the 1999 formula ``1/(L+1)`` systematically
+underestimates what a single-threaded process can get, and the error grows
+with the CPU count; the SMP-aware variant ``min(1, ncpu/(L+1))`` stays
+accurate.
+"""
+
+from benchmarks.conftest import run_once
+from repro.experiments.smp import smp_study
+
+
+def test_smp_extension(benchmark, seed):
+    def sweep():
+        return [smp_study(ncpu, seed=seed) for ncpu in (1, 2, 4)]
+
+    results = run_once(benchmark, sweep)
+    print()
+    print(f"{'ncpu':>5s} {'plain 1/(L+1)':>14s} {'SMP-aware':>10s} {'truth':>7s} {'n':>4s}")
+    for r in results:
+        print(
+            f"{r.ncpu:5d} {100 * r.plain_mae:13.1f}% {100 * r.aware_mae:9.1f}% "
+            f"{100 * r.mean_truth:6.1f}% {r.n:4d}"
+        )
+
+    by_ncpu = {r.ncpu: r for r in results}
+    # Uniprocessor: both formulas coincide.
+    assert abs(by_ncpu[1].plain_mae - by_ncpu[1].aware_mae) < 1e-9
+    # SMP: the aware formula is clearly better, and the plain formula's
+    # error grows with the CPU count.
+    for ncpu in (2, 4):
+        assert by_ncpu[ncpu].aware_mae < by_ncpu[ncpu].plain_mae
+    assert by_ncpu[4].plain_mae > by_ncpu[2].plain_mae * 0.9
+    assert by_ncpu[4].plain_mae > by_ncpu[1].plain_mae

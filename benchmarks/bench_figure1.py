@@ -1,0 +1,22 @@
+"""Regenerate paper Figure 1: raw 24 h availability traces, thing1/thing2."""
+
+import numpy as np
+
+from benchmarks.conftest import run_once
+from repro.experiments.figures import figure1
+
+
+def test_figure1(benchmark, seed):
+    figure = run_once(benchmark, figure1, seed=seed)
+    print()
+    print(figure.render(width=70, height=10))
+
+    for host, data in figure.panels.items():
+        t = data["time_hours"]
+        v = data["availability_percent"]
+        assert t[-1] > 23.0  # spans the day
+        assert 0.0 <= v.min() and v.max() <= 100.0
+        # The traces wander (paper: "the systems experienced load").
+        assert v.std() > 3.0, host
+        # thing-class machines reach high availability at least sometimes.
+        assert v.max() > 80.0, host

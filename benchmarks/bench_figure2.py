@@ -1,0 +1,29 @@
+"""Regenerate paper Figure 2: first 360 autocorrelations, thing1/thing2.
+
+Asserts the long-range dependence the paper reads off this plot: the ACF
+decays slowly and stays far above the white-noise band for hundreds of
+lags ("events occurring even hours apart are correlated").
+"""
+
+import numpy as np
+
+from benchmarks.conftest import run_once
+from repro.analysis.acf import acf_confidence_band
+from repro.experiments.figures import figure2
+
+
+def test_figure2(benchmark, seed):
+    figure = run_once(benchmark, figure2, seed=seed)
+    print()
+    print(figure.render(width=70, height=10))
+    print("notes:", figure.notes)
+
+    for host, data in figure.panels.items():
+        rho = data["autocorrelation"]
+        assert rho[0] == 1.0
+        band = acf_confidence_band(8000)
+        # Slow decay: lags out to 10 minutes (60 lags) stay well above the
+        # white-noise band on average ...
+        assert rho[1:61].mean() > 5 * band, host
+        # ... and the tail out to one hour retains positive correlation.
+        assert rho[1:361].mean() > band, host

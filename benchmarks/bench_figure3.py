@@ -1,0 +1,33 @@
+"""Regenerate paper Figure 3: one-week pox plots with Hurst regression.
+
+The paper estimates H = 0.70 for both thing1 and thing2 by fitting the
+pox-plot scatter; we assert the reproduced slopes land in the paper's
+self-similar band (0.5, 1.0), near its 0.69-0.85 host range.
+"""
+
+import numpy as np
+
+from benchmarks.conftest import run_once
+from repro.experiments.figures import figure3
+from repro.report.ascii import scatter_plot
+
+
+def test_figure3(benchmark, seed):
+    figure = run_once(benchmark, figure3, seed=seed)
+    print()
+    for host, data in figure.panels.items():
+        print(f"-- {host} pox plot (H = {figure.notes[f'{host}_hurst']}) --")
+        print(
+            scatter_plot(
+                data["log10_d"],
+                data["log10_rs"],
+                overlay=(data["fit_x"], data["fit_y"]),
+            )
+        )
+
+    for host in ("thing1", "thing2"):
+        hurst = figure.notes[f"{host}_hurst"]
+        assert 0.55 < hurst < 1.0, (host, hurst)
+        data = figure.panels[host]
+        # Scatter spans several dyadic decades of segment length.
+        assert data["log10_d"].max() - data["log10_d"].min() > 1.5

@@ -1,0 +1,36 @@
+"""Regenerate paper Table 1: mean absolute measurement errors (24 h).
+
+Asserts the paper's qualitative signatures:
+
+* conundrum: load average and vmstat fail badly (priority-blind), the
+  hybrid is accurate;
+* kongo: the hybrid fails badly (probe too short for the long-running
+  job), the cheap methods are fine;
+* all methods on the ordinary hosts land in a usable (< ~20 %) band.
+"""
+
+import re
+
+from benchmarks.conftest import run_once
+from repro.experiments.tables import table1
+
+
+def _pct(table, host, column):
+    return float(re.search(r"[\d.]+", str(table.cell(host, column))).group())
+
+
+def test_table1(benchmark, seed):
+    table = run_once(benchmark, table1, seed=seed)
+    print()
+    print(table.render(with_paper=True))
+
+    assert _pct(table, "conundrum", "Load Average") > 25.0
+    assert _pct(table, "conundrum", "vmstat") > 25.0
+    assert _pct(table, "conundrum", "NWS Hybrid") < 10.0
+
+    assert _pct(table, "kongo", "NWS Hybrid") > 20.0
+    assert _pct(table, "kongo", "Load Average") < 15.0
+
+    for host in ("thing1", "thing2", "beowulf", "gremlin"):
+        for column in ("Load Average", "vmstat", "NWS Hybrid"):
+            assert _pct(table, host, column) < 22.0, (host, column)

@@ -1,0 +1,30 @@
+"""Regenerate paper Table 2: true forecasting errors vs measurement errors.
+
+The table's point: the NWS one-step-ahead forecast is about as accurate as
+the measurement itself -- "the process of predicting what the next
+measurement will be is not introducing much error."
+"""
+
+import re
+
+from benchmarks.conftest import run_once
+from repro.experiments.tables import table2
+
+_CELL = re.compile(r"([\d.]+)% \(([\d.]+)%\)")
+
+
+def test_table2(benchmark, seed):
+    table = run_once(benchmark, table2, seed=seed)
+    print()
+    print(table.render(with_paper=True))
+
+    for row in table.rows:
+        for cell in row[1:]:
+            match = _CELL.match(cell)
+            assert match, cell
+            forecast_err = float(match.group(1))
+            measurement_err = float(match.group(2))
+            # Forecasting adds little on top of measurement error.
+            assert abs(forecast_err - measurement_err) < max(
+                3.0, 0.35 * measurement_err
+            ), (row[0], cell)

@@ -1,0 +1,29 @@
+"""Regenerate paper Table 4: Hurst estimates and aggregation variances.
+
+Asserts self-similarity (H in (0.5, 1.0) for every host) and the paper's
+variance observation: 5-minute averaging lowers variance, but much more
+slowly than the 1/m an i.i.d. series would give.
+"""
+
+from benchmarks.conftest import run_once
+from repro.experiments.tables import table4
+
+
+def test_table4(benchmark, seed):
+    table = run_once(benchmark, table4, seed=seed)
+    print()
+    print(table.render(with_paper=True))
+
+    for row in table.rows:
+        host = row[0]
+        hurst = float(row[1])
+        assert 0.5 < hurst < 1.0, (host, hurst)
+        for orig_idx in (2, 4, 6):
+            orig, agg = float(row[orig_idx]), float(row[orig_idx + 1])
+            assert agg <= orig + 5e-3, (host, orig_idx)
+
+    # Self-similar decay: much slower than 1/30 on the dynamic hosts.
+    for row in table.rows:
+        if row[0] in ("thing1", "thing2", "beowulf", "gremlin"):
+            orig, agg = float(row[2]), float(row[3])
+            assert agg > orig / 30.0, row[0]

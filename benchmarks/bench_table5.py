@@ -1,0 +1,35 @@
+"""Regenerate paper Table 5: prediction errors of 5-minute aggregates.
+
+Aggregated (one-block-ahead) prediction is typically less accurate than
+the 10-second one-step-ahead case, with a few starred exceptions -- the
+paper's "smoothing may be more effective for certain time frames".
+"""
+
+import re
+
+from benchmarks.conftest import run_once
+from repro.experiments.tables import table5
+
+_CELL = re.compile(r"(\*?)([\d.]+)% \(([\d.]+)%\)")
+
+
+def test_table5(benchmark, seed):
+    table = run_once(benchmark, table5, seed=seed)
+    print()
+    print(table.render(with_paper=True))
+
+    starred = 0
+    total = 0
+    for row in table.rows:
+        for cell in row[1:]:
+            match = _CELL.match(cell)
+            assert match, cell
+            total += 1
+            if match.group(1) == "*":
+                starred += 1
+            agg_err = float(match.group(2))
+            # Aggregated prediction stays in a scheduler-usable band.
+            assert agg_err < 15.0, (row[0], cell)
+    # Some cells improve under aggregation, but not the majority (paper:
+    # 7 of 18 starred).
+    assert 0 < starred < total

@@ -1,0 +1,69 @@
+#!/usr/bin/env python
+"""Forecaster bake-off: every NWS battery member vs the adaptive mixture.
+
+Scores all ~21 individual forecasters and the dynamic mixture on three
+series with very different characters:
+
+* thing2's load-average trace (bursty interactive machine),
+* kongo's trace (nearly constant -- a long-running job),
+* synthetic fractional Gaussian noise with H = 0.8 (pure LRD).
+
+The point (Wolski '98, validated here): no single forecaster wins
+everywhere, but the mixture is always within a whisker of whatever does.
+
+Run:  python examples/forecast_bakeoff.py
+"""
+
+import numpy as np
+
+from repro.analysis import fgn
+from repro.core import (
+    AdaptiveForecaster,
+    default_battery,
+    forecast_series,
+    one_step_prediction_errors,
+)
+from repro.experiments.testbed import TestbedConfig, run_host
+
+
+def score(values: np.ndarray) -> dict[str, float]:
+    out = {}
+    for member in default_battery():
+        f = forecast_series(values, member)
+        out[member.name] = one_step_prediction_errors(f[1:], values[1:]).mae_percent
+    f = forecast_series(values, AdaptiveForecaster())
+    out[">>> nws_adaptive"] = one_step_prediction_errors(
+        f[1:], values[1:]
+    ).mae_percent
+    return out
+
+
+def main() -> None:
+    config = TestbedConfig(duration=6 * 3600.0, seed=7)
+    print("Simulating 6 hours of thing2 and kongo ...")
+    series = {
+        "thing2 (bursty)": run_host("thing2", config).values("load_average"),
+        "kongo (static)": run_host("kongo", config).values("load_average"),
+        "fGn H=0.8 (synthetic)": np.clip(
+            0.6 + 0.1 * fgn(2000, 0.8, rng=1), 0.0, 1.0
+        ),
+    }
+
+    for name, values in series.items():
+        scores = score(values)
+        ranked = sorted(scores.items(), key=lambda kv: kv[1])
+        mixture_rank = [k for k, _ in ranked].index(">>> nws_adaptive") + 1
+        print(f"\n== {name}: {len(values)} samples, "
+              f"mixture ranked {mixture_rank}/{len(ranked)} ==")
+        for label, mae in ranked[:6]:
+            print(f"  {label:24s} {mae:6.2f}%")
+        worst_label, worst = ranked[-1]
+        print(f"  ... worst: {worst_label:13s} {worst:6.2f}%")
+
+    print("\nNo fixed method wins on all three series; the adaptive mixture")
+    print("never strays far from the per-series winner -- which is the whole")
+    print("argument for dynamic forecaster selection in the NWS.")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,81 @@
+#!/usr/bin/env python
+"""Grid scheduling with availability forecasts (the paper's motivation).
+
+The paper frames CPU availability prediction as the input to dynamic
+application schedulers on the computational grid.  This example schedules
+a bag of independent CPU-bound tasks (think: the gene-sequence library
+comparison of the paper's reference [24]) over a four-host pool containing
+both of the pathological machines:
+
+* equal-split: the naive launcher (same number of tasks everywhere);
+* random placement;
+* NWS-predictive: greedy placement on forecast expansion factors;
+* self-scheduling work queue: hosts pull chunks as they finish.
+
+Run:  python examples/grid_scheduler.py
+"""
+
+import numpy as np
+
+from repro.schedapp import (
+    EqualSplitMapper,
+    GridTask,
+    PredictiveMapper,
+    RandomMapper,
+    SimGrid,
+    self_schedule,
+)
+
+HOSTS = ["thing1", "thing2", "conundrum", "kongo"]
+N_TASKS = 24
+SEED = 11
+
+
+def fresh_grid() -> SimGrid:
+    grid = SimGrid(HOSTS, seed=SEED)
+    grid.advance(3600.0)  # one hour of sensing before any scheduling
+    return grid
+
+
+def main() -> None:
+    rng = np.random.default_rng(3)
+    tasks = [GridTask(i, float(w))
+             for i, w in enumerate(rng.uniform(20, 120, N_TASKS))]
+    total_work = sum(t.work for t in tasks)
+    print(f"{N_TASKS} independent tasks, {total_work:.0f} CPU-seconds total, "
+          f"over {HOSTS}\n")
+
+    grid = fresh_grid()
+    print("forecast availability per host after 1 h of NWS sensing:")
+    for name, value in grid.forecasts().items():
+        print(f"  {name:14s} {100 * value:5.1f}%  "
+              f"(expansion factor {1 / max(value, 1e-6):.2f}x)")
+
+    print(f"\n{'strategy':16s} {'makespan':>10s}")
+    results = {}
+    for mapper in (EqualSplitMapper(), RandomMapper(), PredictiveMapper()):
+        grid = fresh_grid()
+        assignment = mapper.assign(tasks, grid.forecasts(),
+                                   rng=np.random.default_rng(SEED))
+        run = grid.execute(assignment)
+        results[mapper.name] = run.makespan
+        print(f"{mapper.name:16s} {run.makespan:9.1f}s")
+
+    grid = fresh_grid()
+    wq = self_schedule(grid, tasks)
+    results["workqueue"] = wq.makespan
+    print(f"{'workqueue':16s} {wq.makespan:9.1f}s   chunks pulled: "
+          f"{wq.chunks_per_host}")
+
+    base = results["equal_split"]
+    best = min(results, key=results.get)
+    print(f"\nbest strategy: {best} "
+          f"({100 * (base / results[best] - 1):.0f}% faster than equal-split)")
+    print("\nNote how kongo (long-running job) and conundrum (nice-19")
+    print("soaker) distort the static forecasts, and how self-scheduling")
+    print("hedges against exactly that -- the practice of the paper's own")
+    print("scheduling work [24].")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,60 @@
+#!/usr/bin/env python
+"""Live NWS sensing of *this* machine via /proc (Linux only).
+
+Runs the paper's three measurement methods against the real local kernel:
+Equation 1 over /proc/loadavg, Equation 2 over differenced /proc/stat
+counters, and the probe-arbitrated hybrid with a real spinning probe
+(os.times over wall time).  The collected trace is then fed to the NWS
+forecasting mixture, exactly as the simulated traces are.
+
+Run:  python examples/live_monitor.py [seconds_between_samples] [count]
+"""
+
+import sys
+
+import numpy as np
+
+from repro.core import forecast_series, one_step_prediction_errors
+
+
+def main() -> None:
+    try:
+        from repro.live import LiveMonitor, spin_probe
+    except RuntimeError as exc:
+        print(f"live sensing unavailable on this platform: {exc}")
+        return
+
+    interval = float(sys.argv[1]) if len(sys.argv) > 1 else 1.0
+    count = int(sys.argv[2]) if len(sys.argv) > 2 else 20
+
+    print(f"probe: a {0.5}s full-priority spin obtained "
+          f"{100 * spin_probe(0.5):.0f}% of a CPU right now")
+    print(f"\nsampling {count} readings every {interval:g}s "
+          f"(probe every {max(3 * interval, 3.0):g}s) ...\n")
+
+    monitor = LiveMonitor(
+        measure_period=interval,
+        probe_period=max(3 * interval, 3.0),
+        probe_duration=min(0.5, interval / 2),
+    )
+    traces = monitor.run(count)
+
+    la, vm, hy = (traces[m] for m in ("load_average", "vmstat", "nws_hybrid"))
+    print(f"{'t (s)':>7s} {'loadavg':>8s} {'vmstat':>8s} {'hybrid':>8s}")
+    for i in range(len(la)):
+        print(f"{la.times[i]:7.1f} {100 * la.values[i]:7.1f}% "
+              f"{100 * vm.values[i]:7.1f}% {100 * hy.values[i]:7.1f}%")
+
+    print(f"\nhybrid currently trusts: {monitor._trusted} "
+          f"(bias {monitor._bias:+.3f})")
+
+    if count >= 10:
+        values = hy.values
+        forecasts = forecast_series(values)
+        err = one_step_prediction_errors(forecasts[1:], values[1:])
+        print(f"NWS one-step-ahead prediction error on this machine: "
+              f"{err.mae_percent:.2f}%")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,69 @@
+#!/usr/bin/env python
+"""Quickstart: measure, forecast, and evaluate CPU availability.
+
+Builds one of the paper's testbed hosts (thing1, an interactive research
+workstation), attaches the full NWS measurement suite (load-average,
+vmstat and hybrid sensors at 10 s, probe at 60 s, a 10 s ground-truth test
+process every 10 minutes), simulates four hours of departmental load, and
+then reports the three errors the paper distinguishes:
+
+* measurement error (sensor vs test process)      -- Table 1,
+* one-step-ahead prediction error (forecast vs next measurement) -- Table 3,
+* true forecasting error (forecast vs test process) -- Table 2.
+
+Run:  python examples/quickstart.py
+"""
+
+import numpy as np
+
+from repro.core import forecast_series, one_step_prediction_errors
+from repro.sensors import MeasurementSuite
+from repro.workload import build_host
+
+HOURS = 4
+
+
+def main() -> None:
+    print(f"Simulating {HOURS} hours of 'thing1' under NWS monitoring ...")
+    host = build_host("thing1", seed=42)
+    suite = MeasurementSuite().attach(host)
+    host.run_until(HOURS * 3600.0)
+
+    observations = suite.test_observations
+    truth = np.array([o.observed for o in observations])
+    print(f"\n{len(observations)} ground-truth test-process runs")
+    print(f"mean availability a 10s full-priority process obtained: "
+          f"{100 * truth.mean():.1f}%")
+
+    print(f"\n{'method':14s} {'measurement':>12s} {'prediction':>11s} "
+          f"{'true forecast':>14s}")
+    for method in ("load_average", "vmstat", "nws_hybrid"):
+        times, values = suite.series(method)
+        pre = np.array([o.premeasurements[method] for o in observations])
+        measurement_err = 100 * np.abs(pre - truth).mean()
+
+        forecasts = forecast_series(values)
+        prediction_err = one_step_prediction_errors(
+            forecasts[1:], values[1:]
+        ).mae_percent
+
+        aligned, matched_truth = [], []
+        for obs in observations:
+            i = int(np.searchsorted(times, obs.start_time, side="right")) - 1
+            if 0 <= i and i + 1 < forecasts.size and not np.isnan(forecasts[i + 1]):
+                aligned.append(forecasts[i + 1])
+                matched_truth.append(obs.observed)
+        true_forecast_err = 100 * np.abs(
+            np.array(aligned) - np.array(matched_truth)
+        ).mean()
+
+        print(f"{method:14s} {measurement_err:11.1f}% {prediction_err:10.1f}% "
+              f"{true_forecast_err:13.1f}%")
+
+    print("\nThe paper's observation holds: almost all of the error a")
+    print("scheduler would see comes from *measuring* availability, not")
+    print("from predicting the next measurement.")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,12 @@
+"""Legacy setup shim.
+
+This environment has no network access and no ``wheel`` package, so PEP 660
+editable installs (which must build a wheel) fail.  Keeping a ``setup.py``
+lets ``pip install -e . --no-build-isolation --no-use-pep517`` (and plain
+``python setup.py develop``) work offline.  All metadata lives in
+``pyproject.toml``; setuptools reads it automatically.
+"""
+
+from setuptools import setup
+
+setup()

@@ -1,0 +1,74 @@
+"""Statistical analysis of CPU availability time series.
+
+This subpackage provides the machinery behind Section 3.1 of the paper:
+
+* :mod:`repro.analysis.acf` -- sample autocorrelation functions (Figure 2).
+* :mod:`repro.analysis.rs` -- rescaled-adjusted-range (R/S) statistics and
+  pox plots (Figure 3).
+* :mod:`repro.analysis.hurst` -- Hurst parameter estimators (Table 4,
+  column 2): R/S pox regression, aggregated-variance, and periodogram.
+* :mod:`repro.analysis.aggregate` -- non-overlapping series aggregation and
+  the variance-time law used in Section 3.2 (Table 4).
+* :mod:`repro.analysis.fgn` -- exact fractional Gaussian noise synthesis
+  (Davies-Harte), used to validate the estimators and to drive synthetic
+  workloads.
+* :mod:`repro.analysis.stats` -- summary statistics and smoothing helpers
+  shared across the library.
+
+All functions are NumPy-vectorized and accept any 1-D array-like of floats.
+"""
+
+from repro.analysis.acf import acf, acf_confidence_band, integrated_acf_time
+from repro.analysis.dfa import dfa_fluctuations, hurst_dfa
+from repro.analysis.aggregate import (
+    aggregate_series,
+    aggregated_variances,
+    variance_time_slope,
+)
+from repro.analysis.fgn import fbm, fgn, fgn_autocovariance
+from repro.analysis.hurst import (
+    HurstEstimate,
+    hurst_aggregated_variance,
+    hurst_periodogram,
+    hurst_rs,
+)
+from repro.analysis.residuals import (
+    ResidualComparison,
+    bootstrap_mae_difference,
+    compare_residuals,
+)
+from repro.analysis.rs import PoxPlotData, pox_plot_data, rs_statistic
+from repro.analysis.stats import (
+    SeriesSummary,
+    exponential_smooth,
+    running_mean,
+    summarize,
+)
+
+__all__ = [
+    "HurstEstimate",
+    "PoxPlotData",
+    "ResidualComparison",
+    "SeriesSummary",
+    "acf",
+    "acf_confidence_band",
+    "aggregate_series",
+    "aggregated_variances",
+    "bootstrap_mae_difference",
+    "compare_residuals",
+    "dfa_fluctuations",
+    "exponential_smooth",
+    "fbm",
+    "fgn",
+    "fgn_autocovariance",
+    "hurst_aggregated_variance",
+    "hurst_dfa",
+    "hurst_periodogram",
+    "hurst_rs",
+    "integrated_acf_time",
+    "pox_plot_data",
+    "rs_statistic",
+    "running_mean",
+    "summarize",
+    "variance_time_slope",
+]

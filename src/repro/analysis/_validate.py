@@ -1,0 +1,47 @@
+"""Input validation helpers shared by the analysis modules."""
+
+from __future__ import annotations
+
+import numpy as np
+
+
+def as_series(x, *, min_length: int = 1, name: str = "series") -> np.ndarray:
+    """Coerce ``x`` to a 1-D float64 array and validate it.
+
+    Parameters
+    ----------
+    x:
+        Any 1-D array-like of real numbers.
+    min_length:
+        Minimum number of samples required.
+    name:
+        Name used in error messages.
+
+    Returns
+    -------
+    numpy.ndarray
+        A contiguous float64 view or copy of ``x``.
+
+    Raises
+    ------
+    ValueError
+        If ``x`` is not 1-D, is too short, or contains NaN/inf.
+    """
+    arr = np.asarray(x, dtype=np.float64)
+    if arr.ndim != 1:
+        raise ValueError(f"{name} must be 1-D, got shape {arr.shape}")
+    if arr.size < min_length:
+        raise ValueError(
+            f"{name} needs at least {min_length} samples, got {arr.size}"
+        )
+    if not np.all(np.isfinite(arr)):
+        raise ValueError(f"{name} contains non-finite values")
+    return np.ascontiguousarray(arr)
+
+
+def positive_int(value: int, *, name: str) -> int:
+    """Validate that ``value`` is a positive integer and return it."""
+    ivalue = int(value)
+    if ivalue != value or ivalue <= 0:
+        raise ValueError(f"{name} must be a positive integer, got {value!r}")
+    return ivalue

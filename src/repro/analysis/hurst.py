@@ -1,0 +1,163 @@
+"""Hurst parameter estimators (paper Table 4, column 2; Figure 3).
+
+Three classical estimators are provided:
+
+* :func:`hurst_rs` -- the paper's method: slope of the pox-plot regression
+  through per-length mean log R/S values.
+* :func:`hurst_aggregated_variance` -- slope of the variance-time plot,
+  ``H = 1 + beta/2``.
+* :func:`hurst_periodogram` -- a Geweke-Porter-Hudak-style log-periodogram
+  regression near the origin, ``H = (1 - slope) / 2`` where ``slope`` relates
+  ``log I(f)`` to ``log f``.
+
+No single estimator is authoritative (the paper itself only claims
+``0.5 < H < 1.0`` by inspection); agreement across estimators is the
+evidence.  Each returns a :class:`HurstEstimate` carrying the method name
+and diagnostics so experiment code can report provenance.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.analysis._validate import as_series, positive_int
+from repro.analysis.aggregate import variance_time_slope
+from repro.analysis.rs import pox_plot_data
+
+__all__ = [
+    "HurstEstimate",
+    "hurst_rs",
+    "hurst_aggregated_variance",
+    "hurst_periodogram",
+]
+
+
+@dataclass(frozen=True)
+class HurstEstimate:
+    """A Hurst parameter estimate with provenance.
+
+    Attributes
+    ----------
+    value:
+        The point estimate.
+    method:
+        One of ``"rs"``, ``"aggregated_variance"``, ``"periodogram"``.
+    n:
+        Number of samples the estimate was computed from.
+    detail:
+        Method-specific diagnostics (e.g. regression slope or the pox data).
+    """
+
+    value: float
+    method: str
+    n: int
+    detail: dict
+
+    @property
+    def is_long_range_dependent(self) -> bool:
+        """True when the estimate indicates LRD (H > 0.5)."""
+        return self.value > 0.5
+
+    @property
+    def is_self_similar_range(self) -> bool:
+        """True when H lies strictly in (0.5, 1.0), the paper's criterion."""
+        return 0.5 < self.value < 1.0
+
+
+def hurst_rs(
+    x,
+    *,
+    min_segment: int = 8,
+    max_segments_per_length: int | None = None,
+) -> HurstEstimate:
+    """R/S pox-plot Hurst estimate (the paper's Table 4 method).
+
+    Parameters
+    ----------
+    x:
+        1-D series, at least ``4 * min_segment`` samples.
+    min_segment, max_segments_per_length:
+        Passed through to :func:`repro.analysis.rs.pox_plot_data`.
+
+    Returns
+    -------
+    HurstEstimate
+        ``detail["pox"]`` holds the full :class:`~repro.analysis.rs.PoxPlotData`.
+    """
+    arr = as_series(x, min_length=4 * min_segment, name="x")
+    pox = pox_plot_data(
+        arr, min_segment=min_segment, max_segments_per_length=max_segments_per_length
+    )
+    return HurstEstimate(
+        value=pox.hurst,
+        method="rs",
+        n=arr.size,
+        detail={"pox": pox, "intercept": pox.intercept},
+    )
+
+
+def hurst_aggregated_variance(x, levels=None) -> HurstEstimate:
+    """Variance-time Hurst estimate ``H = 1 + beta/2``.
+
+    Parameters
+    ----------
+    x:
+        1-D series, at least 64 samples.
+    levels:
+        Aggregation levels; defaults as in
+        :func:`repro.analysis.aggregate.variance_time_slope`.
+    """
+    arr = as_series(x, min_length=64, name="x")
+    slope, hurst = variance_time_slope(arr, levels)
+    return HurstEstimate(
+        value=hurst,
+        method="aggregated_variance",
+        n=arr.size,
+        detail={"slope": slope},
+    )
+
+
+def hurst_periodogram(x, *, fraction: float = 0.1) -> HurstEstimate:
+    """Log-periodogram (GPH-style) Hurst estimate.
+
+    Fits ``log I(f_j) = c - (2H - 1) log f_j`` over the lowest ``fraction``
+    of Fourier frequencies, where ``I`` is the raw periodogram.  For a
+    long-memory process the spectral density behaves like ``f**(1-2H)`` near
+    the origin.
+
+    Parameters
+    ----------
+    x:
+        1-D series, at least 128 samples.
+    fraction:
+        Fraction of the lowest nonzero frequencies to regress over
+        (default 0.1; must leave >= 4 points).
+    """
+    arr = as_series(x, min_length=128, name="x")
+    if not 0.0 < fraction <= 0.5:
+        raise ValueError(f"fraction must be in (0, 0.5], got {fraction}")
+    n = arr.size
+    centered = arr - arr.mean()
+    spectrum = np.abs(np.fft.rfft(centered)) ** 2 / n
+    freqs = np.fft.rfftfreq(n)
+    # Exclude the zero frequency and the Nyquist bin.
+    lo = 1
+    hi = max(lo + 4, int(np.floor((spectrum.size - 1) * fraction)))
+    hi = min(hi, spectrum.size - 1)
+    if hi - lo < 4:
+        raise ValueError("not enough low-frequency bins for the regression")
+    band_f = freqs[lo:hi]
+    band_i = spectrum[lo:hi]
+    mask = band_i > 0.0
+    if mask.sum() < 4:
+        raise ValueError("periodogram is degenerate over the regression band")
+    slope = float(np.polyfit(np.log10(band_f[mask]), np.log10(band_i[mask]), 1)[0])
+    hurst = (1.0 - slope) / 2.0
+    return HurstEstimate(
+        value=hurst,
+        method="periodogram",
+        n=n,
+        detail={"slope": slope, "bins": int(mask.sum())},
+    )

@@ -1,0 +1,107 @@
+"""Summary statistics and smoothing primitives shared across the library.
+
+These are small, heavily reused building blocks: the exponential smoother is
+the same recurrence the simulated kernel uses for Unix load average, and the
+running mean backs several NWS forecasters.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.analysis._validate import as_series
+
+__all__ = ["SeriesSummary", "summarize", "exponential_smooth", "running_mean"]
+
+
+@dataclass(frozen=True)
+class SeriesSummary:
+    """Five-number-plus summary of a series.
+
+    Attributes mirror what the paper reports about its traces: mean,
+    variance (population, ddof=0, to match Table 4), min/max, median, and
+    the count.
+    """
+
+    n: int
+    mean: float
+    variance: float
+    std: float
+    minimum: float
+    maximum: float
+    median: float
+
+    def __str__(self) -> str:  # pragma: no cover - cosmetic
+        return (
+            f"n={self.n} mean={self.mean:.4f} var={self.variance:.6f} "
+            f"min={self.minimum:.4f} med={self.median:.4f} max={self.maximum:.4f}"
+        )
+
+
+def summarize(x) -> SeriesSummary:
+    """Compute a :class:`SeriesSummary` for ``x``.
+
+    Parameters
+    ----------
+    x:
+        1-D series with at least one sample.
+    """
+    arr = as_series(x, min_length=1, name="x")
+    return SeriesSummary(
+        n=arr.size,
+        mean=float(arr.mean()),
+        variance=float(arr.var()),
+        std=float(arr.std()),
+        minimum=float(arr.min()),
+        maximum=float(arr.max()),
+        median=float(np.median(arr)),
+    )
+
+
+def exponential_smooth(x, alpha: float, *, initial: float | None = None) -> np.ndarray:
+    """First-order exponential smoothing ``s_t = alpha*x_t + (1-alpha)*s_{t-1}``.
+
+    This is the recurrence behind the Unix one-minute load average (with
+    ``alpha = 1 - exp(-interval/60)``) and the NWS exponential-smoothing
+    forecasters.
+
+    Parameters
+    ----------
+    x:
+        1-D series.
+    alpha:
+        Smoothing gain in (0, 1].
+    initial:
+        Seed value ``s_0``; defaults to ``x[0]``.
+
+    Returns
+    -------
+    numpy.ndarray
+        The smoothed series, same length as ``x``.
+    """
+    arr = as_series(x, min_length=1, name="x")
+    if not 0.0 < alpha <= 1.0:
+        raise ValueError(f"alpha must be in (0, 1], got {alpha}")
+    out = np.empty_like(arr)
+    state = arr[0] if initial is None else float(initial)
+    # scipy.signal.lfilter would vectorize this, but an explicit loop keeps
+    # the recurrence obvious and this helper is never on a hot path.
+    beta = 1.0 - alpha
+    for i, value in enumerate(arr):
+        state = alpha * value + beta * state
+        out[i] = state
+    return out
+
+
+def running_mean(x) -> np.ndarray:
+    """Cumulative (running) mean of ``x``: ``out[t] = mean(x[:t+1])``.
+
+    Parameters
+    ----------
+    x:
+        1-D series.
+    """
+    arr = as_series(x, min_length=1, name="x")
+    return np.cumsum(arr) / np.arange(1, arr.size + 1)

@@ -1,0 +1,224 @@
+"""Command-line interface: regenerate paper artifacts from a shell.
+
+Commands
+--------
+``nws-repro tables [--table N] [--seed S] [--hours H] [--with-paper]``
+    Print reproduced Tables 1-6 (all by default).
+``nws-repro figures [--figure N] [--seed S] [--out DIR]``
+    ASCII-render reproduced Figures 1-4 and optionally export their data
+    as CSV.
+``nws-repro live [--interval SEC] [--count N]``
+    Run the live /proc sensors on this machine and print readings.
+``nws-repro sched-demo [--tasks N] [--seed S]``
+    Run the grid-scheduling demonstration (mapper comparison).
+``nws-repro report OUT_DIR [--seed S] [--hours H] [--figure3-days D]``
+    Write every table (CSV + text, with the paper's values) and every
+    figure (CSV panels + ASCII render) plus a REPORT.txt summary.
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+
+__all__ = ["main", "build_parser"]
+
+
+def build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="nws-repro",
+        description=(
+            "Reproduction of 'Predicting the CPU Availability of "
+            "Time-shared Unix Systems on the Computational Grid' "
+            "(Wolski, Spring & Hayes, HPDC 1999)"
+        ),
+    )
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    p_tables = sub.add_parser("tables", help="regenerate paper tables")
+    p_tables.add_argument("--table", type=int, choices=range(1, 7), default=None)
+    p_tables.add_argument("--seed", type=int, default=7)
+    p_tables.add_argument("--hours", type=float, default=24.0)
+    p_tables.add_argument(
+        "--with-paper", action="store_true", help="also print the paper's values"
+    )
+
+    p_figures = sub.add_parser("figures", help="regenerate paper figures")
+    p_figures.add_argument("--figure", type=int, choices=range(1, 5), default=None)
+    p_figures.add_argument("--seed", type=int, default=7)
+    p_figures.add_argument("--out", type=str, default=None, help="CSV output dir")
+
+    p_live = sub.add_parser("live", help="live /proc sensing on this machine")
+    p_live.add_argument("--interval", type=float, default=2.0)
+    p_live.add_argument("--count", type=int, default=10)
+
+    p_sched = sub.add_parser("sched-demo", help="grid scheduling demonstration")
+    p_sched.add_argument("--tasks", type=int, default=24)
+    p_sched.add_argument("--seed", type=int, default=11)
+
+    p_report = sub.add_parser(
+        "report", help="write every table and figure into a directory"
+    )
+    p_report.add_argument("out", type=str, help="output directory")
+    p_report.add_argument("--seed", type=int, default=7)
+    p_report.add_argument("--hours", type=float, default=24.0)
+    p_report.add_argument(
+        "--figure3-days", type=float, default=7.0, help="Figure 3 trace length"
+    )
+
+    return parser
+
+
+def _cmd_tables(args) -> int:
+    from repro.experiments import table1, table2, table3, table4, table5, table6
+
+    generators = {1: table1, 2: table2, 3: table3, 4: table4, 5: table5, 6: table6}
+    wanted = [args.table] if args.table else sorted(generators)
+    duration = args.hours * 3600.0
+    for n in wanted:
+        table = generators[n](seed=args.seed, duration=duration)
+        print(table.render(with_paper=args.with_paper))
+        print()
+    return 0
+
+
+def _cmd_figures(args) -> int:
+    from repro.experiments import figure1, figure2, figure3, figure4
+    from repro.report.export import export_figure_csv
+
+    generators = {1: figure1, 2: figure2, 3: figure3, 4: figure4}
+    wanted = [args.figure] if args.figure else sorted(generators)
+    for n in wanted:
+        figure = generators[n](seed=args.seed)
+        print(figure.render())
+        print()
+        if args.out:
+            paths = export_figure_csv(figure, args.out)
+            for path in paths:
+                print(f"wrote {path}")
+    return 0
+
+
+def _cmd_live(args) -> int:
+    try:
+        from repro.live import LiveMonitor
+        monitor = LiveMonitor(
+            measure_period=args.interval,
+            probe_period=max(args.interval * 3, 3.0),
+            probe_duration=min(0.5, args.interval / 2),
+        )
+    except RuntimeError as exc:
+        print(f"live sensing unavailable: {exc}", file=sys.stderr)
+        return 1
+    print(f"sampling {args.count} readings every {args.interval:g}s ...")
+    traces = monitor.run(args.count)
+    la, vm, hy = (traces[m] for m in ("load_average", "vmstat", "nws_hybrid"))
+    print(f"{'t (s)':>8s} {'loadavg':>8s} {'vmstat':>8s} {'hybrid':>8s}")
+    for i in range(len(la)):
+        print(
+            f"{la.times[i]:8.1f} {la.values[i]:8.2f} "
+            f"{vm.values[i]:8.2f} {hy.values[i]:8.2f}"
+        )
+    return 0
+
+
+def _cmd_sched_demo(args) -> int:
+    import numpy as np
+
+    from repro.schedapp import (
+        EqualSplitMapper,
+        GridTask,
+        PredictiveMapper,
+        RandomMapper,
+        SimGrid,
+        self_schedule,
+    )
+
+    rng = np.random.default_rng(args.seed)
+    tasks = [
+        GridTask(i, float(w)) for i, w in enumerate(rng.uniform(20, 120, args.tasks))
+    ]
+    hosts = ["thing1", "thing2", "conundrum", "kongo"]
+    print(f"{args.tasks} tasks over {hosts} (makespans in simulated seconds)")
+    for mapper in (RandomMapper(), EqualSplitMapper(), PredictiveMapper()):
+        grid = SimGrid(hosts, seed=args.seed)
+        grid.advance(3600.0)
+        assignment = mapper.assign(
+            tasks, grid.forecasts(), rng=np.random.default_rng(args.seed)
+        )
+        result = grid.execute(assignment)
+        print(f"  {mapper.name:15s} {result.makespan:8.1f}")
+    grid = SimGrid(hosts, seed=args.seed)
+    grid.advance(3600.0)
+    wq = self_schedule(grid, tasks)
+    print(f"  {'workqueue':15s} {wq.makespan:8.1f}   chunks={wq.chunks_per_host}")
+    return 0
+
+
+def _cmd_report(args) -> int:
+    from pathlib import Path
+
+    from repro.experiments import (
+        figure1,
+        figure2,
+        figure3,
+        figure4,
+        table1,
+        table2,
+        table3,
+        table4,
+        table5,
+        table6,
+    )
+    from repro.report.export import export_figure_csv, export_table_csv
+
+    out = Path(args.out)
+    out.mkdir(parents=True, exist_ok=True)
+    duration = args.hours * 3600.0
+
+    summary_lines = []
+    for n, fn in enumerate(
+        (table1, table2, table3, table4, table5, table6), start=1
+    ):
+        table = fn(seed=args.seed, duration=duration)
+        export_table_csv(table, out / f"table{n}.csv")
+        text = table.render(with_paper=True)
+        (out / f"table{n}.txt").write_text(text + "\n")
+        summary_lines.append(text)
+        print(f"wrote table{n}.csv / table{n}.txt")
+
+    figure_args = {
+        1: dict(seed=args.seed, duration=duration),
+        2: dict(seed=args.seed, duration=duration),
+        3: dict(seed=args.seed, duration=args.figure3_days * 86400.0),
+        4: dict(seed=args.seed, duration=duration),
+    }
+    for n, fn in ((1, figure1), (2, figure2), (3, figure3), (4, figure4)):
+        figure = fn(**figure_args[n])
+        for path in export_figure_csv(figure, out):
+            print(f"wrote {path.name}")
+        (out / f"figure{n}.txt").write_text(figure.render() + "\n")
+        summary_lines.append(f"{figure.figure_id}: {figure.title}")
+        if figure.notes:
+            summary_lines.append(f"  notes: {figure.notes}")
+
+    (out / "REPORT.txt").write_text("\n\n".join(summary_lines) + "\n")
+    print(f"wrote REPORT.txt -- all artifacts in {out}/")
+    return 0
+
+
+def main(argv: list[str] | None = None) -> int:
+    """CLI entry point; returns the process exit code."""
+    args = build_parser().parse_args(argv)
+    handlers = {
+        "tables": _cmd_tables,
+        "figures": _cmd_figures,
+        "live": _cmd_live,
+        "sched-demo": _cmd_sched_demo,
+        "report": _cmd_report,
+    }
+    return handlers[args.command](args)
+
+
+if __name__ == "__main__":  # pragma: no cover
+    raise SystemExit(main())

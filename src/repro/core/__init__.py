@@ -1,0 +1,86 @@
+"""The NWS forecasting subsystem (the paper's primary contribution vehicle).
+
+The Network Weather Service treats each measurement history as a time
+series and runs a *battery* of cheap one-step-ahead forecasters over it,
+dynamically reporting the prediction of whichever forecaster has been most
+accurate over the recent past (Section 3 of the paper; Wolski '98).  This
+subpackage reimplements that design:
+
+* :mod:`repro.core.windows` -- O(1)/O(log w) sliding-window accumulators.
+* :mod:`repro.core.forecasters` -- the individual forecasting methods
+  (last value, running mean, sliding mean/median/trimmed mean, adaptive
+  windows, exponential smoothing family, stochastic-gradient tracker).
+* :mod:`repro.core.mixture` -- the adaptive "best recent forecaster"
+  mixture, plus a static bank for head-to-head comparisons.
+* :mod:`repro.core.errors` -- the error metrics of paper Equations 3-5.
+* :mod:`repro.core.predictor` -- a high-level facade tying sensing,
+  aggregation and forecasting together.
+"""
+
+from repro.core.errors import (
+    ErrorSummary,
+    mean_absolute_error,
+    mean_squared_error,
+    measurement_errors,
+    one_step_prediction_errors,
+    root_mean_squared_error,
+    true_forecasting_errors,
+)
+from repro.core.extra_forecasters import (
+    AR1Forecaster,
+    MedianOfMeans,
+    TimeOfDayForecaster,
+    TrendForecaster,
+    extended_battery,
+)
+from repro.core.forecasters import (
+    AdaptiveWindowMean,
+    AdaptiveWindowMedian,
+    ExponentialSmoothing,
+    Forecaster,
+    GradientTracker,
+    LastValue,
+    MedianWindow,
+    RunningMean,
+    SlidingMean,
+    SlidingMedian,
+    TrimmedMeanWindow,
+    default_battery,
+)
+from repro.core.horizon import HorizonError, future_averages, horizon_error_profile
+from repro.core.mixture import AdaptiveForecaster, ForecasterBank, forecast_series
+from repro.core.predictor import NWSPredictor
+
+__all__ = [
+    "AR1Forecaster",
+    "AdaptiveForecaster",
+    "AdaptiveWindowMean",
+    "AdaptiveWindowMedian",
+    "ErrorSummary",
+    "ExponentialSmoothing",
+    "Forecaster",
+    "ForecasterBank",
+    "GradientTracker",
+    "HorizonError",
+    "MedianOfMeans",
+    "LastValue",
+    "MedianWindow",
+    "NWSPredictor",
+    "TimeOfDayForecaster",
+    "TrendForecaster",
+    "RunningMean",
+    "SlidingMean",
+    "SlidingMedian",
+    "TrimmedMeanWindow",
+    "default_battery",
+    "extended_battery",
+    "future_averages",
+    "horizon_error_profile",
+    "forecast_series",
+    "mean_absolute_error",
+    "mean_squared_error",
+    "measurement_errors",
+    "one_step_prediction_errors",
+    "root_mean_squared_error",
+    "true_forecasting_errors",
+]

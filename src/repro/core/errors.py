@@ -1,0 +1,143 @@
+"""Error metrics from the paper (Equations 3-5) and summary containers.
+
+Three distinct errors appear in the paper and must not be conflated:
+
+* **Measurement error** (Eq. 3, Table 1): |measurement(t) - test process
+  observation(t)| -- how well a sensor reading taken just before a test
+  process ran matches what the test process actually obtained.
+* **True forecasting error** (Eq. 4, Tables 2 and 6): |forecast(t-1, for t)
+  - test process observation(t)| -- the error a scheduler would actually
+  experience.
+* **One-step-ahead prediction error** (Eq. 5, Tables 3 and 5):
+  |forecast(t-1, for t) - measurement(t)| -- how predictable the series
+  itself is, independent of sensor accuracy.
+
+All functions take availability values as fractions in [0, 1]; the tables
+multiply by 100 for display only.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+__all__ = [
+    "ErrorSummary",
+    "mean_absolute_error",
+    "mean_squared_error",
+    "root_mean_squared_error",
+    "measurement_errors",
+    "true_forecasting_errors",
+    "one_step_prediction_errors",
+]
+
+
+def _pair(a, b, name_a: str, name_b: str) -> tuple[np.ndarray, np.ndarray]:
+    arr_a = np.asarray(a, dtype=np.float64)
+    arr_b = np.asarray(b, dtype=np.float64)
+    if arr_a.shape != arr_b.shape:
+        raise ValueError(
+            f"{name_a} and {name_b} must have equal shapes, "
+            f"got {arr_a.shape} vs {arr_b.shape}"
+        )
+    if arr_a.ndim != 1:
+        raise ValueError(f"{name_a} must be 1-D")
+    if arr_a.size == 0:
+        raise ValueError(f"{name_a} is empty")
+    return arr_a, arr_b
+
+
+def mean_absolute_error(predicted, actual) -> float:
+    """Mean of ``|predicted - actual|``."""
+    p, a = _pair(predicted, actual, "predicted", "actual")
+    return float(np.abs(p - a).mean())
+
+
+def mean_squared_error(predicted, actual) -> float:
+    """Mean of ``(predicted - actual)**2``."""
+    p, a = _pair(predicted, actual, "predicted", "actual")
+    return float(((p - a) ** 2).mean())
+
+
+def root_mean_squared_error(predicted, actual) -> float:
+    """Square root of :func:`mean_squared_error`."""
+    return float(np.sqrt(mean_squared_error(predicted, actual)))
+
+
+@dataclass(frozen=True)
+class ErrorSummary:
+    """Aggregate error report for one (host, method) cell of a paper table.
+
+    Attributes
+    ----------
+    mae:
+        Mean absolute error (what the paper's tables print, as a percent).
+    rmse:
+        Root mean squared error.
+    n:
+        Number of (prediction, truth) pairs.
+    """
+
+    mae: float
+    rmse: float
+    n: int
+
+    @property
+    def mae_percent(self) -> float:
+        """MAE scaled to percentage points, as printed in the paper."""
+        return 100.0 * self.mae
+
+    def __str__(self) -> str:  # pragma: no cover - cosmetic
+        return f"{self.mae_percent:.1f}% (n={self.n})"
+
+
+def _summary(predicted: np.ndarray, actual: np.ndarray) -> ErrorSummary:
+    return ErrorSummary(
+        mae=mean_absolute_error(predicted, actual),
+        rmse=root_mean_squared_error(predicted, actual),
+        n=int(np.asarray(predicted).size),
+    )
+
+
+def measurement_errors(measurements, observations) -> ErrorSummary:
+    """Paper Equation 3: sensor reading vs. test-process observation.
+
+    Parameters
+    ----------
+    measurements:
+        Sensor availability readings taken immediately *before* each test
+        process execution (fractions in [0, 1]).
+    observations:
+        The availability each test process actually observed.
+    """
+    m, o = _pair(measurements, observations, "measurements", "observations")
+    return _summary(m, o)
+
+
+def true_forecasting_errors(forecasts, observations) -> ErrorSummary:
+    """Paper Equation 4: forecast for frame t vs. test-process observation.
+
+    Parameters
+    ----------
+    forecasts:
+        One-step-ahead forecasts generated at ``t-1`` for frame ``t``.
+    observations:
+        Test-process observations in frame ``t``.
+    """
+    f, o = _pair(forecasts, observations, "forecasts", "observations")
+    return _summary(f, o)
+
+
+def one_step_prediction_errors(forecasts, measurements) -> ErrorSummary:
+    """Paper Equation 5: forecast for frame t vs. the measurement at t.
+
+    Parameters
+    ----------
+    forecasts:
+        One-step-ahead forecasts generated at ``t-1`` for frame ``t``.
+    measurements:
+        The measurements actually gathered at ``t``.
+    """
+    f, m = _pair(forecasts, measurements, "forecasts", "measurements")
+    return _summary(f, m)

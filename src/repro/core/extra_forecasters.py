@@ -1,0 +1,251 @@
+"""Extended forecasters beyond the original NWS battery.
+
+The NWS grew richer predictor sets over the years; these are the cheap,
+streaming additions most relevant to CPU availability:
+
+* :class:`AR1Forecaster` -- recursive least-squares fit of
+  ``x_t = c + phi * x_{t-1}``; optimal for the AR(1)-like short-range
+  component of availability traces.
+* :class:`TrendForecaster` -- double exponential smoothing (Holt): level +
+  trend, useful when the machine is ramping up or draining.
+* :class:`MedianOfMeans` -- robust location estimate: mean of each of k
+  sub-windows, median of those; resists both outliers and regime noise.
+* :class:`TimeOfDayForecaster` -- a seasonal lookup: predicts the running
+  mean of measurements taken in the same time-of-day bin on previous days
+  (captures the diurnal cycle the workload generator produces).
+
+All follow the :class:`repro.core.forecasters.Forecaster` protocol and can
+be mixed into the adaptive battery:
+
+    AdaptiveForecaster(default_battery() + extended_battery())
+"""
+
+from __future__ import annotations
+
+from repro.core.forecasters import Forecaster
+from repro.core.windows import RingMean
+
+__all__ = [
+    "AR1Forecaster",
+    "TrendForecaster",
+    "MedianOfMeans",
+    "TimeOfDayForecaster",
+    "extended_battery",
+]
+
+
+class AR1Forecaster(Forecaster):
+    """Recursive least-squares AR(1): ``x_t = c + phi * x_{t-1} + e``.
+
+    Maintains exponentially-discounted sufficient statistics so the fit
+    tracks slow drift; O(1) per update.
+
+    Parameters
+    ----------
+    discount:
+        Forgetting factor in (0, 1]; 1.0 keeps all history equally.
+    """
+
+    def __init__(self, discount: float = 0.999):
+        if not 0.0 < discount <= 1.0:
+            raise ValueError(f"discount must be in (0, 1], got {discount}")
+        self._lam = float(discount)
+        self.name = f"ar1_{discount:g}"
+        self.reset()
+
+    def reset(self) -> None:
+        self._prev: float | None = None
+        # Discounted sums for the regression of y on (1, x).
+        self._n = 0.0
+        self._sx = 0.0
+        self._sy = 0.0
+        self._sxx = 0.0
+        self._sxy = 0.0
+
+    def update(self, value: float) -> None:
+        value = float(value)
+        if self._prev is not None:
+            lam = self._lam
+            self._n = lam * self._n + 1.0
+            self._sx = lam * self._sx + self._prev
+            self._sy = lam * self._sy + value
+            self._sxx = lam * self._sxx + self._prev * self._prev
+            self._sxy = lam * self._sxy + self._prev * value
+        self._prev = value
+
+    def _coefficients(self) -> tuple[float, float]:
+        denom = self._n * self._sxx - self._sx * self._sx
+        if self._n < 2.0 or abs(denom) < 1e-12:
+            return 0.0, 1.0  # degenerate: fall back to last-value
+        phi = (self._n * self._sxy - self._sx * self._sy) / denom
+        c = (self._sy - phi * self._sx) / self._n
+        # Keep the recursion stable.
+        phi = min(max(phi, -1.0), 1.0)
+        return c, phi
+
+    def forecast(self) -> float:
+        if self._prev is None:
+            raise ValueError("no measurements yet")
+        c, phi = self._coefficients()
+        return c + phi * self._prev
+
+
+class TrendForecaster(Forecaster):
+    """Holt double exponential smoothing (level + trend).
+
+    Parameters
+    ----------
+    level_gain / trend_gain:
+        Smoothing gains in (0, 1].
+    """
+
+    def __init__(self, level_gain: float = 0.3, trend_gain: float = 0.1):
+        for gain, label in ((level_gain, "level_gain"), (trend_gain, "trend_gain")):
+            if not 0.0 < gain <= 1.0:
+                raise ValueError(f"{label} must be in (0, 1], got {gain}")
+        self._alpha = float(level_gain)
+        self._beta = float(trend_gain)
+        self.name = f"holt_{level_gain:g}_{trend_gain:g}"
+        self.reset()
+
+    def reset(self) -> None:
+        self._level: float | None = None
+        self._trend = 0.0
+
+    def update(self, value: float) -> None:
+        value = float(value)
+        if self._level is None:
+            self._level = value
+            self._trend = 0.0
+            return
+        previous = self._level
+        self._level = self._alpha * value + (1.0 - self._alpha) * (
+            self._level + self._trend
+        )
+        self._trend = self._beta * (self._level - previous) + (
+            1.0 - self._beta
+        ) * self._trend
+
+    def forecast(self) -> float:
+        if self._level is None:
+            raise ValueError("no measurements yet")
+        return self._level + self._trend
+
+
+class MedianOfMeans(Forecaster):
+    """Median of ``groups`` sub-window means over the last samples.
+
+    Parameters
+    ----------
+    group_size:
+        Samples per sub-window.
+    groups:
+        Number of sub-windows (odd keeps the median a real sample).
+    """
+
+    def __init__(self, group_size: int = 5, groups: int = 5):
+        if group_size < 1 or groups < 1:
+            raise ValueError("group_size and groups must be >= 1")
+        self._size = int(group_size)
+        self._groups = int(groups)
+        self.name = f"median_of_means_{group_size}x{groups}"
+        self.reset()
+
+    def reset(self) -> None:
+        self._window: list[float] = []
+
+    def update(self, value: float) -> None:
+        self._window.append(float(value))
+        cap = self._size * self._groups
+        if len(self._window) > cap:
+            del self._window[: len(self._window) - cap]
+
+    def forecast(self) -> float:
+        if not self._window:
+            raise ValueError("no measurements yet")
+        means = []
+        data = self._window
+        for start in range(0, len(data), self._size):
+            chunk = data[start : start + self._size]
+            means.append(sum(chunk) / len(chunk))
+        means.sort()
+        mid = len(means) // 2
+        if len(means) % 2:
+            return means[mid]
+        return 0.5 * (means[mid - 1] + means[mid])
+
+
+class TimeOfDayForecaster(Forecaster):
+    """Seasonal predictor: running mean per time-of-day bin.
+
+    Measurements arrive at a fixed cadence; the forecaster tracks which
+    bin of the (period-long) day the *next* measurement falls into and
+    predicts that bin's historical running mean.  Until a bin has history
+    it falls back to the overall running mean.
+
+    Parameters
+    ----------
+    measure_period:
+        Seconds between measurements (10.0 in every experiment here).
+    day:
+        Season length in seconds (86400 = diurnal).
+    bins:
+        Number of time-of-day bins (default 24 -- hourly).
+    """
+
+    def __init__(
+        self,
+        measure_period: float = 10.0,
+        *,
+        day: float = 86400.0,
+        bins: int = 24,
+    ):
+        if measure_period <= 0.0 or day <= 0.0:
+            raise ValueError("measure_period and day must be positive")
+        if bins < 1:
+            raise ValueError(f"bins must be >= 1, got {bins}")
+        self._period = float(measure_period)
+        self._day = float(day)
+        self._bins = int(bins)
+        self.name = f"time_of_day_{bins}"
+        self.reset()
+
+    def reset(self) -> None:
+        self._tick = 0
+        self._sums = [0.0] * self._bins
+        self._counts = [0] * self._bins
+        self._total = 0.0
+        self._n = 0
+
+    def _bin_of(self, tick: int) -> int:
+        seconds = (tick * self._period) % self._day
+        return int(seconds / self._day * self._bins) % self._bins
+
+    def update(self, value: float) -> None:
+        value = float(value)
+        b = self._bin_of(self._tick)
+        self._sums[b] += value
+        self._counts[b] += 1
+        self._total += value
+        self._n += 1
+        self._tick += 1
+
+    def forecast(self) -> float:
+        if self._n == 0:
+            raise ValueError("no measurements yet")
+        b = self._bin_of(self._tick)
+        if self._counts[b] > 0:
+            return self._sums[b] / self._counts[b]
+        return self._total / self._n
+
+
+def extended_battery() -> list[Forecaster]:
+    """The extension forecasters, fresh instances."""
+    return [
+        AR1Forecaster(0.999),
+        AR1Forecaster(0.99),
+        TrendForecaster(0.3, 0.1),
+        TrendForecaster(0.5, 0.2),
+        MedianOfMeans(5, 5),
+        TimeOfDayForecaster(10.0),
+    ]

@@ -1,0 +1,210 @@
+"""The NWS adaptive forecaster mixture (dynamic model identification).
+
+Rather than committing to a single model, the NWS runs every forecaster in
+its battery on every series and, at each step, *postdicts*: it scores each
+forecaster by its error over the recent measurements and reports the
+forecast of the current winner.  Wolski '98 showed this dynamic choice is
+as accurate as -- or slightly better than -- the best fixed forecaster in
+the set, without knowing in advance which that is.  This module implements
+that mixture plus a static bank used by the ablation benchmarks.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.core.forecasters import Forecaster, default_battery
+from repro.core.windows import RingMean
+
+__all__ = ["ForecasterBank", "AdaptiveForecaster", "forecast_series"]
+
+
+class ForecasterBank:
+    """Runs a battery of forecasters in lock-step over one series.
+
+    Tracks, for every member, its running mean absolute error over a
+    sliding window of recent one-step-ahead forecasts.  Subclassed /
+    wrapped by :class:`AdaptiveForecaster`; also useful directly for
+    head-to-head forecaster comparisons (see
+    ``benchmarks/bench_ablation_mixture.py``).
+
+    Parameters
+    ----------
+    forecasters:
+        Battery members; defaults to :func:`repro.core.forecasters.
+        default_battery`.
+    error_window:
+        Number of recent errors that define "recently most accurate"
+        (the NWS default horizon is tens of measurements; we use 50).
+    """
+
+    def __init__(
+        self,
+        forecasters: list[Forecaster] | None = None,
+        *,
+        error_window: int = 50,
+    ):
+        self._forecasters = list(forecasters) if forecasters is not None else default_battery()
+        if not self._forecasters:
+            raise ValueError("need at least one forecaster")
+        names = [f.name for f in self._forecasters]
+        if len(set(names)) != len(names):
+            raise ValueError(f"duplicate forecaster names in battery: {names}")
+        self._errors = [RingMean(error_window) for _ in self._forecasters]
+        self._pending: list[float] | None = None
+        self._count = 0
+
+    @property
+    def forecasters(self) -> list[Forecaster]:
+        return list(self._forecasters)
+
+    @property
+    def names(self) -> list[str]:
+        return [f.name for f in self._forecasters]
+
+    @property
+    def n_updates(self) -> int:
+        """Number of measurements absorbed so far."""
+        return self._count
+
+    def update(self, value: float) -> None:
+        """Absorb a measurement: score pending forecasts, then refit.
+
+        The scoring happens *before* the forecasters see the new value, so
+        each error is an honest out-of-sample one-step-ahead error.
+        """
+        value = float(value)
+        if self._pending is not None:
+            for ring, predicted in zip(self._errors, self._pending):
+                ring.push(abs(predicted - value))
+        for forecaster in self._forecasters:
+            forecaster.update(value)
+        self._pending = [f.forecast() for f in self._forecasters]
+        self._count += 1
+
+    def forecasts(self) -> dict[str, float]:
+        """Current one-step-ahead forecast of every battery member."""
+        if self._pending is None:
+            raise ValueError("no measurements yet")
+        return dict(zip(self.names, self._pending))
+
+    def recent_errors(self) -> dict[str, float]:
+        """Recent MAE of every member (NaN until a member has been scored)."""
+        out = {}
+        for forecaster, ring in zip(self._forecasters, self._errors):
+            out[forecaster.name] = ring.mean if len(ring) else float("nan")
+        return out
+
+    def best_name(self) -> str:
+        """Name of the member with the lowest recent MAE.
+
+        Before any member has been scored (fewer than two measurements),
+        returns the first member -- matching the NWS behaviour of defaulting
+        to the head of its battery.
+        """
+        if self._pending is None:
+            raise ValueError("no measurements yet")
+        best = 0
+        best_error = float("inf")
+        for i, ring in enumerate(self._errors):
+            if len(ring) and ring.mean < best_error:
+                best_error = ring.mean
+                best = i
+        return self._forecasters[best].name
+
+
+class AdaptiveForecaster(Forecaster):
+    """The NWS mixture: forecast with the recently-most-accurate member.
+
+    Implements the :class:`~repro.core.forecasters.Forecaster` interface so
+    it can be used anywhere an individual forecaster can -- including inside
+    comparisons against its own members.
+
+    Parameters
+    ----------
+    forecasters, error_window:
+        Passed to :class:`ForecasterBank`.
+    """
+
+    name = "nws_adaptive"
+
+    def __init__(
+        self,
+        forecasters: list[Forecaster] | None = None,
+        *,
+        error_window: int = 50,
+    ):
+        self._bank = ForecasterBank(forecasters, error_window=error_window)
+        self._error_window = error_window
+
+    @property
+    def bank(self) -> ForecasterBank:
+        return self._bank
+
+    def update(self, value: float) -> None:
+        self._bank.update(value)
+
+    def forecast(self) -> float:
+        winner = self._bank.best_name()
+        return self._bank.forecasts()[winner]
+
+    def chosen_name(self) -> str:
+        """Which member the next :meth:`forecast` will come from."""
+        return self._bank.best_name()
+
+    def forecast_with_error(self) -> tuple[float, float]:
+        """Forecast plus an empirical error bar.
+
+        The error bar is the winning member's mean absolute error over the
+        recent scoring window -- the same quantity the NWS ships alongside
+        each prediction so schedulers can weigh forecasts by reliability.
+        Returns ``(forecast, error)``; the error is NaN until the winner
+        has been scored at least once.
+        """
+        winner = self._bank.best_name()
+        return self._bank.forecasts()[winner], self._bank.recent_errors()[winner]
+
+    def reset(self) -> None:
+        for f in self._bank.forecasters:
+            f.reset()
+        self._bank = ForecasterBank(
+            self._bank.forecasters, error_window=self._error_window
+        )
+
+
+def forecast_series(
+    values,
+    forecaster: Forecaster | None = None,
+) -> np.ndarray:
+    """One-step-ahead forecasts over a whole series.
+
+    ``result[t]`` is the forecast for ``values[t]`` made after seeing
+    ``values[:t]``; ``result[0]`` is NaN (nothing to forecast from), so
+    error metrics should be computed over ``result[1:]`` vs ``values[1:]``.
+
+    Parameters
+    ----------
+    values:
+        1-D array-like of measurements.
+    forecaster:
+        Any :class:`Forecaster`; defaults to a fresh
+        :class:`AdaptiveForecaster` with the default battery.
+
+    Returns
+    -------
+    numpy.ndarray
+        Same length as ``values``.
+    """
+    arr = np.asarray(values, dtype=np.float64)
+    if arr.ndim != 1 or arr.size == 0:
+        raise ValueError("values must be a non-empty 1-D array")
+    if not np.all(np.isfinite(arr)):
+        raise ValueError("values contains non-finite entries")
+    model = forecaster if forecaster is not None else AdaptiveForecaster()
+    out = np.empty(arr.size)
+    out[0] = np.nan
+    model.update(arr[0])
+    for t in range(1, arr.size):
+        out[t] = model.forecast()
+        model.update(arr[t])
+    return out

@@ -1,0 +1,43 @@
+"""Experiment harness: regenerates every table and figure of the paper.
+
+* :mod:`repro.experiments.testbed` -- the reproducible six-host testbed and
+  monitored-run machinery (with in-process memoization so the tables share
+  one simulation).
+* :mod:`repro.experiments.tables` -- ``table1()`` .. ``table6()``.
+* :mod:`repro.experiments.figures` -- ``figure1()`` .. ``figure4()``.
+* :mod:`repro.experiments.results` -- result containers with formatting.
+
+Every entry point takes ``seed`` and duration parameters and is
+deterministic given them.
+"""
+
+from repro.experiments.results import FigureResult, TableResult
+from repro.experiments.tables import table1, table2, table3, table4, table5, table6
+from repro.experiments.figures import figure1, figure2, figure3, figure4
+from repro.experiments.testbed import (
+    HostRun,
+    Testbed,
+    TestbedConfig,
+    clear_run_cache,
+    run_host,
+)
+
+__all__ = [
+    "FigureResult",
+    "HostRun",
+    "TableResult",
+    "Testbed",
+    "TestbedConfig",
+    "clear_run_cache",
+    "figure1",
+    "figure2",
+    "figure3",
+    "figure4",
+    "run_host",
+    "table1",
+    "table2",
+    "table3",
+    "table4",
+    "table5",
+    "table6",
+]

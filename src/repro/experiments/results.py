@@ -1,0 +1,122 @@
+"""Result containers for tables and figures, with text rendering."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Any
+
+import numpy as np
+
+__all__ = ["TableResult", "FigureResult"]
+
+
+@dataclass(frozen=True)
+class TableResult:
+    """One reproduced paper table.
+
+    Attributes
+    ----------
+    table_id:
+        ``"table1"`` .. ``"table6"``.
+    title:
+        The paper's caption (abridged).
+    headers:
+        Column names, first column being the host.
+    rows:
+        One list per host; cells are strings (already formatted) or
+        numbers.
+    paper:
+        The paper's published values for the same cells (same shape as
+        ``rows``), for side-by-side comparison in EXPERIMENTS.md.
+    """
+
+    table_id: str
+    title: str
+    headers: list[str]
+    rows: list[list[Any]]
+    paper: list[list[Any]] = field(default_factory=list)
+
+    def cell(self, host: str, column: str) -> Any:
+        """Look up one cell by host name and column header."""
+        try:
+            col = self.headers.index(column)
+        except ValueError:
+            raise KeyError(f"no column {column!r} in {self.headers}") from None
+        for row in self.rows:
+            if row[0] == host:
+                return row[col]
+        raise KeyError(f"no host {host!r} in table {self.table_id}")
+
+    def render(self, *, with_paper: bool = False) -> str:
+        """Format as an aligned monospace table."""
+        out_rows = [self.headers] + [
+            [_fmt(cell) for cell in row] for row in self.rows
+        ]
+        widths = [
+            max(len(str(r[i])) for r in out_rows) for i in range(len(self.headers))
+        ]
+        lines = [f"{self.table_id.upper()}: {self.title}"]
+        lines.append("  ".join(str(h).ljust(w) for h, w in zip(self.headers, widths)))
+        lines.append("  ".join("-" * w for w in widths))
+        for row in out_rows[1:]:
+            lines.append("  ".join(str(c).ljust(w) for c, w in zip(row, widths)))
+        if with_paper and self.paper:
+            lines.append("")
+            lines.append("paper reported:")
+            for row in self.paper:
+                lines.append(
+                    "  ".join(
+                        str(_fmt(c)).ljust(w) for c, w in zip(row, widths)
+                    )
+                )
+        return "\n".join(lines)
+
+    def __str__(self) -> str:  # pragma: no cover - cosmetic
+        return self.render()
+
+
+def _fmt(cell: Any) -> str:
+    if isinstance(cell, float):
+        return f"{cell:.4g}"
+    return str(cell)
+
+
+@dataclass(frozen=True)
+class FigureResult:
+    """One reproduced paper figure: named data series plus metadata.
+
+    Attributes
+    ----------
+    figure_id:
+        ``"figure1"`` .. ``"figure4"``.
+    title:
+        The paper's caption (abridged).
+    panels:
+        ``{panel_name: {series_name: ndarray}}`` -- e.g. Figure 1 has
+        panels ``"thing1"`` and ``"thing2"``, each with ``"time"`` and
+        ``"availability"`` arrays.
+    notes:
+        Extra metadata (e.g. estimated Hurst parameters for Figure 3).
+    """
+
+    figure_id: str
+    title: str
+    panels: dict[str, dict[str, np.ndarray]]
+    notes: dict[str, Any] = field(default_factory=dict)
+
+    def render(self, *, width: int = 72, height: int = 12) -> str:
+        """ASCII-render each panel (line plot of its first two series)."""
+        from repro.report.ascii import line_plot
+
+        lines = [f"{self.figure_id.upper()}: {self.title}"]
+        for panel, data in self.panels.items():
+            keys = list(data)
+            x, y = data[keys[0]], data[keys[1]]
+            lines.append(f"-- {panel} --")
+            lines.append(line_plot(x, y, width=width, height=height))
+        if self.notes:
+            lines.append(f"notes: {self.notes}")
+        return "\n".join(lines)
+
+    def __str__(self) -> str:  # pragma: no cover - cosmetic
+        return self.render()

@@ -1,0 +1,190 @@
+"""The reproducible six-host testbed and monitored-run machinery.
+
+A :class:`TestbedConfig` pins down everything an experiment depends on:
+duration, sensor cadences, test-process configuration, scheduler choice and
+the root seed.  :func:`run_host` executes one host under one config and
+returns a :class:`HostRun` bundling the measurement series and ground-truth
+observations; results are memoized in-process so that the six table
+generators and four figure generators share simulations instead of
+re-running them.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+import numpy as np
+
+from repro.sensors.suite import METHODS, MeasurementSuite, TestObservation
+from repro.sim.scheduler import (
+    DecayUsageScheduler,
+    FairShareScheduler,
+    RoundRobinScheduler,
+    Scheduler,
+)
+from repro.trace.series import TraceSeries
+from repro.workload.profiles import build_host, profile_names
+
+__all__ = [
+    "TestbedConfig",
+    "HostRun",
+    "Testbed",
+    "run_host",
+    "clear_run_cache",
+    "DAY",
+]
+
+#: Seconds in the paper's standard monitoring period.
+DAY = 24 * 3600.0
+
+_SCHEDULERS = {
+    "decay_usage": DecayUsageScheduler,
+    "round_robin": RoundRobinScheduler,
+    "fair_share": FairShareScheduler,
+}
+
+
+@dataclass(frozen=True)
+class TestbedConfig:
+    """Everything a monitored run depends on.
+
+    Attributes mirror the paper's setup: 24 hours of monitoring, sensors
+    every 10 s, hybrid probe once a minute, a 10 s ground-truth test
+    process every 10 minutes (Tables 1-3) or a 5-minute test process every
+    hour (Table 6, set ``test_duration=300, test_period=3600``).
+    """
+
+    __test__ = False  # not a pytest test class
+
+    duration: float = DAY
+    seed: int = 7
+    measure_period: float = 10.0
+    probe_period: float = 60.0
+    test_period: float = 600.0
+    test_duration: float = 10.0
+    warmup: float = 600.0
+    scheduler: str = "decay_usage"
+
+    def __post_init__(self):
+        if self.duration <= self.warmup:
+            raise ValueError("duration must exceed warmup")
+        if self.scheduler not in _SCHEDULERS:
+            raise ValueError(
+                f"unknown scheduler {self.scheduler!r}; "
+                f"choose from {sorted(_SCHEDULERS)}"
+            )
+
+
+@dataclass(frozen=True)
+class HostRun:
+    """Results of monitoring one host for one config.
+
+    Attributes
+    ----------
+    host:
+        Host name.
+    config:
+        The config the run used.
+    series:
+        ``{method: TraceSeries}`` -- post-warmup availability series for
+        each of the three measurement methods.
+    observations:
+        Ground-truth test-process observations (post-warmup).
+    """
+
+    host: str
+    config: TestbedConfig
+    series: dict[str, TraceSeries]
+    observations: list[TestObservation]
+    _frozen: bool = field(default=True, repr=False)
+
+    def premeasurements(self, method: str) -> np.ndarray:
+        """Sensor readings taken immediately before each test process."""
+        return np.asarray([o.premeasurements[method] for o in self.observations])
+
+    def observed(self) -> np.ndarray:
+        """What each test process experienced."""
+        return np.asarray([o.observed for o in self.observations])
+
+    def values(self, method: str) -> np.ndarray:
+        """The availability series of one method (post-warmup)."""
+        return self.series[method].values
+
+
+_RUN_CACHE: dict[tuple[str, TestbedConfig], HostRun] = {}
+
+
+def clear_run_cache() -> None:
+    """Drop all memoized runs (tests use this to force re-simulation)."""
+    _RUN_CACHE.clear()
+
+
+def run_host(name: str, config: TestbedConfig | None = None) -> HostRun:
+    """Monitor one testbed host under ``config`` (memoized).
+
+    Parameters
+    ----------
+    name:
+        A host from :func:`repro.workload.profiles.profile_names`.
+    config:
+        Run configuration; default :class:`TestbedConfig`.
+    """
+    config = config if config is not None else TestbedConfig()
+    key = (name, config)
+    cached = _RUN_CACHE.get(key)
+    if cached is not None:
+        return cached
+
+    # Derive a distinct, stable seed per host so hosts evolve independently.
+    host_index = profile_names().index(name) if name in profile_names() else 97
+    seed_seq = np.random.SeedSequence([config.seed, host_index])
+    scheduler: Scheduler = _SCHEDULERS[config.scheduler]()
+    host = build_host(name, seed=seed_seq, scheduler=scheduler)
+    suite = MeasurementSuite(
+        measure_period=config.measure_period,
+        probe_period=config.probe_period,
+        test_period=config.test_period,
+        test_duration=config.test_duration,
+        warmup=config.warmup,
+    ).attach(host)
+    host.run_until(config.duration)
+
+    series = {}
+    for method in METHODS:
+        times, values = suite.series(method)
+        series[method] = TraceSeries(name, method, times, values)
+    run = HostRun(
+        host=name,
+        config=config,
+        series=series,
+        observations=suite.test_observations,
+    )
+    _RUN_CACHE[key] = run
+    return run
+
+
+class Testbed:
+    """The full six-host testbed under one config.
+
+    Iterating yields :class:`HostRun` objects in the paper's table order.
+    """
+
+    __test__ = False  # not a pytest test class
+
+    def __init__(self, config: TestbedConfig | None = None):
+        self.config = config if config is not None else TestbedConfig()
+
+    @property
+    def host_names(self) -> list[str]:
+        return profile_names()
+
+    def run(self, name: str) -> HostRun:
+        """Run (or fetch) one host."""
+        return run_host(name, self.config)
+
+    def runs(self) -> list[HostRun]:
+        """Run (or fetch) every host, in table order."""
+        return [self.run(name) for name in self.host_names]
+
+    def __iter__(self):
+        return iter(self.runs())

@@ -1,0 +1,32 @@
+"""Live CPU availability sensing on the real (Linux) host.
+
+The paper's sensors read real kernels; this subpackage runs the *same
+formulas* against the machine executing this library, via ``/proc`` (no
+psutil, no privileges -- exactly the paper's constraint):
+
+* :class:`LiveLoadAverageSensor` -- Equation 1 over ``/proc/loadavg``.
+* :class:`LiveVmstatSensor` -- Equation 2 over differenced ``/proc/stat``
+  CPU counters and ``procs_running``.
+* :func:`spin_probe` -- a real spinning probe measuring the CPU share a
+  full-priority process obtains (``os.times`` over wall time), i.e. the
+  paper's probe and test process in one.
+* :class:`LiveMonitor` -- ties the above into a sampling loop that yields
+  :class:`~repro.trace.series.TraceSeries`, ready for the same forecasting
+  and self-similarity analysis as the simulated traces.
+
+Non-Linux platforms raise :class:`RuntimeError` at construction.
+"""
+
+from repro.live.proc import ProcStatReader, read_loadavg, read_proc_stat
+from repro.live.sensors import LiveLoadAverageSensor, LiveVmstatSensor
+from repro.live.probe import LiveMonitor, spin_probe
+
+__all__ = [
+    "LiveLoadAverageSensor",
+    "LiveMonitor",
+    "LiveVmstatSensor",
+    "ProcStatReader",
+    "read_loadavg",
+    "read_proc_stat",
+    "spin_probe",
+]

@@ -1,0 +1,142 @@
+"""Real spinning probe and a live monitoring loop.
+
+:func:`spin_probe` is the paper's probe and test process in one: spin
+CPU-bound for a wall-clock duration and report obtained-CPU over elapsed
+time (``os.times()`` is the ``getrusage()`` of the Python standard
+library).  :class:`LiveMonitor` runs the complete NWS sensing loop against
+the local machine and returns traces compatible with every analysis in
+this package.
+"""
+
+from __future__ import annotations
+
+import os
+import time
+
+import numpy as np
+
+from repro.live.sensors import LiveLoadAverageSensor, LiveVmstatSensor
+from repro.trace.series import TraceSeries
+
+__all__ = ["spin_probe", "LiveMonitor"]
+
+
+def spin_probe(duration: float = 1.5) -> float:
+    """Spin for ``duration`` wall seconds; return the CPU share obtained.
+
+    Parameters
+    ----------
+    duration:
+        Wall-clock seconds to occupy the CPU (the NWS default is 1.5).
+
+    Returns
+    -------
+    float
+        ``cpu_time_used / wall_time_elapsed`` in [0, ~1].  Values slightly
+        above 1.0 (timer granularity) are clamped.
+    """
+    if duration <= 0.0:
+        raise ValueError(f"duration must be positive, got {duration}")
+    t0 = time.monotonic()
+    c0 = os.times()
+    x = 1.0
+    while time.monotonic() - t0 < duration:
+        # Keep the work purely CPU-bound and unoptimizable-away.
+        x = (x * 1.000000119) % 2.0
+    c1 = os.times()
+    wall = time.monotonic() - t0
+    cpu = (c1.user - c0.user) + (c1.system - c0.system)
+    share = cpu / wall if wall > 0 else 0.0
+    return min(share, 1.0)
+
+
+class LiveMonitor:
+    """NWS-style monitoring of the local machine.
+
+    Parameters
+    ----------
+    measure_period:
+        Seconds between sensor readings (paper: 10; use less for demos).
+    probe_period:
+        Seconds between probes, or ``None`` to never probe.
+    probe_duration:
+        Probe spin length.
+
+    Notes
+    -----
+    :meth:`run` blocks for ``count * measure_period`` real seconds -- live
+    sensing runs in real time by nature.  The hybrid logic (choose closest
+    method, apply bias) matches :class:`repro.sensors.hybrid.HybridSensor`.
+    """
+
+    def __init__(
+        self,
+        *,
+        measure_period: float = 2.0,
+        probe_period: float | None = 10.0,
+        probe_duration: float = 0.5,
+    ):
+        if measure_period <= 0.0:
+            raise ValueError(f"measure_period must be positive, got {measure_period}")
+        if probe_period is not None and probe_period < measure_period:
+            raise ValueError("probe_period must be >= measure_period")
+        self.measure_period = float(measure_period)
+        self.probe_period = probe_period
+        self.probe_duration = float(probe_duration)
+        self.loadavg = LiveLoadAverageSensor()
+        self.vmstat = LiveVmstatSensor()
+        self._trusted = "load_average"
+        self._bias = 0.0
+
+    def sample_once(self) -> dict[str, float]:
+        """Take one reading of each method (no sleeping)."""
+        la = self.loadavg.read()
+        vm = self.vmstat.read()
+        chosen = la if self._trusted == "load_average" else vm
+        hybrid = min(1.0, max(0.0, chosen + self._bias))
+        return {"load_average": la, "vmstat": vm, "nws_hybrid": hybrid}
+
+    def probe_once(self) -> float:
+        """Run one probe and re-arbitrate the hybrid."""
+        truth = spin_probe(self.probe_duration)
+        la = self.loadavg.read()
+        vm = self.vmstat.read()
+        if abs(la - truth) <= abs(vm - truth):
+            self._trusted, method_value = "load_average", la
+        else:
+            self._trusted, method_value = "vmstat", vm
+        self._bias = truth - method_value
+        return truth
+
+    def run(self, count: int) -> dict[str, TraceSeries]:
+        """Collect ``count`` samples at the configured cadence.
+
+        Returns one :class:`~repro.trace.series.TraceSeries` per method,
+        hostname-tagged.
+        """
+        if count < 1:
+            raise ValueError(f"count must be >= 1, got {count}")
+        host = os.uname().nodename
+        times: list[float] = []
+        values: dict[str, list[float]] = {
+            "load_average": [],
+            "vmstat": [],
+            "nws_hybrid": [],
+        }
+        start = time.monotonic()
+        next_probe = self.probe_period if self.probe_period is not None else np.inf
+        for i in range(count):
+            now = time.monotonic() - start
+            sample = self.sample_once()
+            times.append(now)
+            for k, v in sample.items():
+                values[k].append(v)
+            if now >= next_probe:
+                self.probe_once()
+                next_probe += self.probe_period  # type: ignore[operator]
+            if i < count - 1:
+                time.sleep(self.measure_period)
+        return {
+            method: TraceSeries(host, method, np.asarray(times), np.asarray(vals))
+            for method, vals in values.items()
+        }

@@ -1,0 +1,124 @@
+"""Raw ``/proc`` readers (Linux only, no privileges required)."""
+
+from __future__ import annotations
+
+import os
+from dataclasses import dataclass
+
+__all__ = ["read_loadavg", "read_proc_stat", "ProcStat", "ProcStatReader"]
+
+
+def _require_proc(path: str) -> None:
+    if not os.path.exists(path):
+        raise RuntimeError(
+            f"{path} not available -- live sensing requires a Linux /proc "
+            "filesystem (use the simulated sensors elsewhere)"
+        )
+
+
+def read_loadavg(path: str = "/proc/loadavg") -> tuple[float, float, float]:
+    """The three Unix load averages (1, 5, 15 minutes).
+
+    Equivalent to what ``uptime`` reports, which is what the NWS load
+    sensor parses.
+    """
+    _require_proc(path)
+    with open(path) as f:
+        fields = f.read().split()
+    return float(fields[0]), float(fields[1]), float(fields[2])
+
+
+@dataclass(frozen=True)
+class ProcStat:
+    """One snapshot of aggregate CPU jiffies plus the runnable count.
+
+    Attributes are cumulative jiffies since boot; ``procs_running``
+    includes the reading process itself (the sensor subtracts one, as
+    vmstat's consumers conventionally do).
+    """
+
+    user: int
+    nice: int
+    system: int
+    idle: int
+    iowait: int
+    irq: int
+    softirq: int
+    procs_running: int
+
+    @property
+    def busy_user(self) -> int:
+        """User-side jiffies (user + nice)."""
+        return self.user + self.nice
+
+    @property
+    def busy_system(self) -> int:
+        """Kernel-side jiffies (system + irq + softirq)."""
+        return self.system + self.irq + self.softirq
+
+    @property
+    def idle_all(self) -> int:
+        """Idle-side jiffies (idle + iowait: both are claimable time)."""
+        return self.idle + self.iowait
+
+    @property
+    def total(self) -> int:
+        return self.busy_user + self.busy_system + self.idle_all
+
+
+def read_proc_stat(path: str = "/proc/stat") -> ProcStat:
+    """Parse the aggregate ``cpu`` line and ``procs_running``."""
+    _require_proc(path)
+    user = nice = system = idle = iowait = irq = softirq = 0
+    procs_running = 1
+    with open(path) as f:
+        for line in f:
+            if line.startswith("cpu "):
+                parts = line.split()
+                values = [int(x) for x in parts[1:9]]
+                # Pad: very old kernels report fewer fields.
+                values += [0] * (8 - len(values))
+                user, nice, system, idle, iowait, irq, softirq = values[:7]
+            elif line.startswith("procs_running"):
+                procs_running = int(line.split()[1])
+    return ProcStat(
+        user=user,
+        nice=nice,
+        system=system,
+        idle=idle,
+        iowait=iowait,
+        irq=irq,
+        softirq=softirq,
+        procs_running=procs_running,
+    )
+
+
+class ProcStatReader:
+    """Differencing reader: per-interval user/sys/idle fractions.
+
+    Call :meth:`delta` repeatedly; each call returns the fractions over
+    the interval since the previous call (the first call primes and
+    returns an idle-ish snapshot).
+    """
+
+    def __init__(self, path: str = "/proc/stat"):
+        self.path = path
+        self._prev = read_proc_stat(path)
+
+    def delta(self) -> tuple[float, float, float, int]:
+        """(user_frac, sys_frac, idle_frac, procs_running) since last call."""
+        current = read_proc_stat(self.path)
+        prev = self._prev
+        self._prev = current
+        d_user = current.busy_user - prev.busy_user
+        d_sys = current.busy_system - prev.busy_system
+        d_idle = current.idle_all - prev.idle_all
+        total = d_user + d_sys + d_idle
+        if total <= 0:
+            return 0.0, 0.0, 1.0, current.procs_running
+        return (
+            d_user / total,
+            d_sys / total,
+            d_idle / total,
+            current.procs_running,
+        )

@@ -1,0 +1,64 @@
+"""Live sensors: the paper's formulas over the real /proc counters."""
+
+from __future__ import annotations
+
+import os
+
+from repro.live.proc import ProcStatReader, read_loadavg
+from repro.sensors.base import clamp_fraction
+
+__all__ = ["LiveLoadAverageSensor", "LiveVmstatSensor"]
+
+
+class LiveLoadAverageSensor:
+    """Equation 1 on the real one-minute load average.
+
+    On an SMP machine a load average of L spread over ``ncpu`` processors
+    leaves a single-threaded newcomer ``min(1, ncpu / (L + 1))``; with
+    ``ncpu_aware=False`` (default) the paper's single-CPU formula
+    ``1 / (L + 1)`` is used verbatim.
+    """
+
+    name = "load_average"
+
+    def __init__(self, *, ncpu_aware: bool = False, path: str = "/proc/loadavg"):
+        self._path = path
+        self._ncpu_aware = bool(ncpu_aware)
+        read_loadavg(path)  # fail fast off-Linux
+
+    def read(self) -> float:
+        """Current availability fraction."""
+        one_minute, _, _ = read_loadavg(self._path)
+        if self._ncpu_aware:
+            ncpu = os.cpu_count() or 1
+            return clamp_fraction(min(1.0, ncpu / (one_minute + 1.0)))
+        return clamp_fraction(1.0 / (one_minute + 1.0))
+
+
+class LiveVmstatSensor:
+    """Equation 2 on differenced ``/proc/stat`` counters.
+
+    ``rq`` is an EWMA over per-read ``procs_running`` minus one (the
+    reading process itself is always running and must not count as
+    competition), floored at zero.
+    """
+
+    name = "vmstat"
+
+    def __init__(self, *, smoothing: float = 0.3, path: str = "/proc/stat"):
+        if not 0.0 < smoothing <= 1.0:
+            raise ValueError(f"smoothing must be in (0, 1], got {smoothing}")
+        self._alpha = float(smoothing)
+        self._reader = ProcStatReader(path)
+        self._rq: float | None = None
+
+    def read(self) -> float:
+        """Availability fraction over the interval since the previous read."""
+        user, sys, idle, procs_running = self._reader.delta()
+        n = max(0, procs_running - 1)
+        if self._rq is None:
+            self._rq = float(n)
+        else:
+            self._rq += self._alpha * (n - self._rq)
+        w = user
+        return clamp_fraction(idle + (user + w * sys) / (self._rq + 1.0))

@@ -1,0 +1,42 @@
+"""The Network Weather Service architecture (paper references [29-31]).
+
+The paper's forecasts are produced by the NWS -- "a distributed, on-line
+performance forecasting system" -- whose architecture (Wolski et al.,
+FGCS '98) has four component kinds:
+
+* **sensors** that take measurements on the monitored resources;
+* a **name server** where components register and are discovered;
+* **memories** that hold bounded measurement histories persistently;
+* **forecasters** that fetch histories from memory and answer prediction
+  queries.
+
+This subpackage reproduces that architecture in-process over the simulated
+testbed: components register with a :class:`~repro.nws.nameserver.
+NameServer`, sensors publish into a :class:`~repro.nws.memory.MemoryStore`
+(bounded, optionally disk-backed), and the :class:`~repro.nws.forecaster.
+ForecasterService` serves cached NWS-mixture predictions.
+:class:`~repro.nws.system.NWSSystem` wires a whole monitored grid together
+and is what `examples/nws_service_demo.py` and the scheduler integration
+use.
+
+Faithfulness notes: real NWS components are separate Unix processes
+speaking TCP; here they are objects with the same registration/lookup/
+publish/query protocol, so the control flow (who knows what, when data
+moves) matches while staying testable and deterministic.
+"""
+
+from repro.nws.forecaster import ForecastReport, ForecasterService
+from repro.nws.memory import MemoryStore
+from repro.nws.nameserver import NameServer, Registration
+from repro.nws.sensorhost import SensorHost
+from repro.nws.system import NWSSystem
+
+__all__ = [
+    "ForecastReport",
+    "ForecasterService",
+    "MemoryStore",
+    "NWSSystem",
+    "NameServer",
+    "Registration",
+    "SensorHost",
+]

@@ -1,0 +1,118 @@
+"""NWS forecaster service: prediction queries over memory-held histories.
+
+A forecaster fetches a series' history from a memory, runs the adaptive
+mixture over it, and answers queries with the prediction, an empirical
+error bar (the winning method's recent MAE -- exactly what the real NWS
+attaches to every forecast), and the name of the method that produced it.
+Forecast state is cached per series and advanced incrementally, so
+repeated queries cost only the new measurements.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.core.mixture import AdaptiveForecaster
+from repro.nws.memory import MemoryStore
+
+__all__ = ["ForecasterService", "ForecastReport"]
+
+
+@dataclass(frozen=True)
+class ForecastReport:
+    """Answer to one prediction query.
+
+    Attributes
+    ----------
+    series:
+        Series name the forecast is for.
+    forecast:
+        Predicted next measurement (clamped to [0, 1] by the caller if the
+        series is an availability).
+    error:
+        Empirical error bar: the chosen method's MAE over its recent
+        scoring window (NaN until scored).
+    method:
+        Name of the battery member that produced the forecast.
+    n_measurements:
+        History length the forecast is based on.
+    as_of:
+        Timestamp of the newest measurement consumed.
+    """
+
+    series: str
+    forecast: float
+    error: float
+    method: str
+    n_measurements: int
+    as_of: float
+
+
+class ForecasterService:
+    """Serves NWS-mixture forecasts for every series in a memory.
+
+    Parameters
+    ----------
+    memory:
+        The measurement store to read from.
+    forecaster_factory:
+        Callable producing a fresh mixture per series (default:
+        :class:`~repro.core.mixture.AdaptiveForecaster`).
+    """
+
+    def __init__(self, memory: MemoryStore, forecaster_factory=None):
+        self.memory = memory
+        self._factory = (
+            forecaster_factory if forecaster_factory is not None else AdaptiveForecaster
+        )
+        self._mixtures: dict[str, AdaptiveForecaster] = {}
+        self._consumed: dict[str, int] = {}
+        self._last_time: dict[str, float] = {}
+
+    def _advance(self, series: str) -> None:
+        times, values = self.memory.fetch(series)
+        mixture = self._mixtures.get(series)
+        if mixture is None:
+            mixture = self._factory()
+            self._mixtures[series] = mixture
+            self._consumed[series] = 0
+        start = self._consumed[series]
+        # The memory is bounded: if it dropped more than we consumed, the
+        # oldest unseen samples are gone -- consume what remains.
+        missing = self.memory.count(series) - values.size
+        start = max(start - missing, 0)
+        for v in values[start:]:
+            mixture.update(float(v))
+        self._consumed[series] = values.size
+        if times.size:
+            self._last_time[series] = float(times[-1])
+
+    def query(self, series: str) -> ForecastReport:
+        """One-step-ahead forecast for ``series``.
+
+        Raises
+        ------
+        KeyError
+            Unknown series.
+        ValueError
+            Series exists but holds no measurements yet.
+        """
+        self._advance(series)
+        mixture = self._mixtures[series]
+        forecast, error = mixture.forecast_with_error()
+        return ForecastReport(
+            series=series,
+            forecast=forecast,
+            error=error,
+            method=mixture.chosen_name(),
+            n_measurements=self._consumed[series],
+            as_of=self._last_time.get(series, float("nan")),
+        )
+
+    def query_all(self) -> dict[str, ForecastReport]:
+        """Forecasts for every non-empty series in the memory."""
+        out = {}
+        for series in self.memory.series_names():
+            if self.memory.count(series) > 0:
+                out[series] = self.query(series)
+        return out

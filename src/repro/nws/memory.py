@@ -1,0 +1,141 @@
+"""NWS memory: bounded persistent measurement histories.
+
+An NWS memory accepts timestamped measurements from sensors, retains a
+bounded circular history per series, and serves range fetches to
+forecasters.  Optionally the store journals to disk (JSON lines per
+series) so histories survive restarts -- the real memory's flat-file
+persistence.
+"""
+
+from __future__ import annotations
+
+import json
+from pathlib import Path
+
+import numpy as np
+
+from repro.trace.series import TraceSeries
+
+__all__ = ["MemoryStore"]
+
+
+class MemoryStore:
+    """Bounded per-series measurement storage.
+
+    Parameters
+    ----------
+    capacity:
+        Maximum samples retained per series (older ones are dropped, like
+        the NWS circular memory files).
+    directory:
+        Optional persistence directory; each series appends to
+        ``<name>.jsonl`` and can be recovered with :meth:`recover`.
+    """
+
+    def __init__(self, capacity: int = 4096, directory=None):
+        if capacity < 1:
+            raise ValueError(f"capacity must be >= 1, got {capacity}")
+        self.capacity = int(capacity)
+        self.directory = Path(directory) if directory is not None else None
+        if self.directory is not None:
+            self.directory.mkdir(parents=True, exist_ok=True)
+        self._times: dict[str, list[float]] = {}
+        self._values: dict[str, list[float]] = {}
+
+    # ------------------------------------------------------------- publish
+
+    def publish(self, series: str, time: float, value: float) -> None:
+        """Append one measurement to ``series``.
+
+        Timestamps must be non-decreasing per series (the NWS rejects
+        out-of-order reports).
+        """
+        times = self._times.setdefault(series, [])
+        values = self._values.setdefault(series, [])
+        if times and time < times[-1]:
+            raise ValueError(
+                f"out-of-order measurement for {series!r}: "
+                f"{time} after {times[-1]}"
+            )
+        times.append(float(time))
+        values.append(float(value))
+        if len(times) > self.capacity:
+            del times[: len(times) - self.capacity]
+            del values[: len(values) - self.capacity]
+        if self.directory is not None:
+            path = self.directory / f"{_safe(series)}.jsonl"
+            with path.open("a") as f:
+                f.write(json.dumps({"t": float(time), "v": float(value)}) + "\n")
+
+    # --------------------------------------------------------------- fetch
+
+    def series_names(self) -> list[str]:
+        return sorted(self._times)
+
+    def count(self, series: str) -> int:
+        return len(self._times.get(series, ()))
+
+    def fetch(
+        self, series: str, *, since: float = -np.inf, limit: int | None = None
+    ) -> tuple[np.ndarray, np.ndarray]:
+        """(times, values) for ``series``, newest-retained window.
+
+        Parameters
+        ----------
+        since:
+            Only samples with ``t >= since``.
+        limit:
+            At most this many *most recent* samples.
+        """
+        if series not in self._times:
+            raise KeyError(f"no series {series!r}; have {self.series_names()}")
+        times = np.asarray(self._times[series])
+        values = np.asarray(self._values[series])
+        keep = times >= since
+        times, values = times[keep], values[keep]
+        if limit is not None and times.size > limit:
+            times, values = times[-limit:], values[-limit:]
+        return times, values
+
+    def as_trace(self, series: str, host: str = "", method: str = "") -> TraceSeries:
+        """The retained history as a :class:`~repro.trace.series.TraceSeries`."""
+        times, values = self.fetch(series)
+        return TraceSeries(host or series, method or "memory", times, values)
+
+    # ----------------------------------------------------------- recovery
+
+    def recover(self, series: str) -> int:
+        """Reload ``series`` from the persistence journal.
+
+        Returns the number of samples recovered (bounded by capacity).
+
+        Raises
+        ------
+        RuntimeError
+            If the store has no persistence directory.
+        """
+        if self.directory is None:
+            raise RuntimeError("this MemoryStore has no persistence directory")
+        path = self.directory / f"{_safe(series)}.jsonl"
+        if not path.exists():
+            return 0
+        times: list[float] = []
+        values: list[float] = []
+        with path.open() as f:
+            for line in f:
+                line = line.strip()
+                if not line:
+                    continue
+                sample = json.loads(line)
+                times.append(sample["t"])
+                values.append(sample["v"])
+        if len(times) > self.capacity:
+            times = times[-self.capacity :]
+            values = values[-self.capacity :]
+        self._times[series] = times
+        self._values[series] = values
+        return len(times)
+
+
+def _safe(name: str) -> str:
+    return "".join(c if (c.isalnum() or c in "._-") else "_" for c in name)

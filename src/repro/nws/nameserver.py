@@ -1,0 +1,142 @@
+"""NWS name server: component registration and discovery.
+
+Every NWS component registers itself under a hierarchical name with
+attributes and a time-to-live; clients look components up by kind and
+attribute filters.  Registrations must be refreshed before their TTL
+lapses or they expire -- the NWS's crash-detection mechanism, reproduced
+here against the simulated clock.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field, replace
+
+__all__ = ["NameServer", "Registration"]
+
+
+@dataclass(frozen=True)
+class Registration:
+    """One registered component.
+
+    Attributes
+    ----------
+    name:
+        Unique hierarchical name (e.g. ``"sensor.cpu.thing1"``).
+    kind:
+        Component kind: ``"sensor"``, ``"memory"``, ``"forecaster"``.
+    attributes:
+        Free-form key/value metadata (host, resource, method, ...).
+    expires_at:
+        Simulated time at which the registration lapses.
+    """
+
+    name: str
+    kind: str
+    attributes: dict[str, str] = field(default_factory=dict)
+    expires_at: float = float("inf")
+
+
+class NameServer:
+    """In-process NWS name server with TTL-based liveness.
+
+    Parameters
+    ----------
+    clock:
+        Zero-argument callable returning the current (simulated) time;
+        defaults to a constant 0.0 (registrations never expire unless a
+        TTL is used together with a real clock).
+    """
+
+    KINDS = ("sensor", "memory", "forecaster")
+
+    def __init__(self, clock=None):
+        self._clock = clock if clock is not None else (lambda: 0.0)
+        self._entries: dict[str, Registration] = {}
+
+    def register(
+        self,
+        name: str,
+        kind: str,
+        attributes: dict[str, str] | None = None,
+        *,
+        ttl: float | None = None,
+    ) -> Registration:
+        """Register (or refresh) a component.
+
+        Parameters
+        ----------
+        name:
+            Unique component name; re-registering refreshes TTL and
+            replaces attributes.
+        kind:
+            One of :data:`KINDS`.
+        attributes:
+            Metadata used by :meth:`lookup` filters.
+        ttl:
+            Seconds until expiry (None = never expires).
+        """
+        if kind not in self.KINDS:
+            raise ValueError(f"unknown component kind {kind!r}; use {self.KINDS}")
+        if ttl is not None and ttl <= 0.0:
+            raise ValueError(f"ttl must be positive, got {ttl}")
+        expires = float("inf") if ttl is None else self._clock() + ttl
+        entry = Registration(
+            name=name,
+            kind=kind,
+            attributes=dict(attributes or {}),
+            expires_at=expires,
+        )
+        self._entries[name] = entry
+        return entry
+
+    def refresh(self, name: str, *, ttl: float) -> Registration:
+        """Extend a live registration's TTL.
+
+        Raises
+        ------
+        KeyError
+            If the component is unknown or already expired.
+        """
+        entry = self._require_live(name)
+        refreshed = replace(entry, expires_at=self._clock() + ttl)
+        self._entries[name] = refreshed
+        return refreshed
+
+    def unregister(self, name: str) -> None:
+        """Remove a registration (idempotent)."""
+        self._entries.pop(name, None)
+
+    def _require_live(self, name: str) -> Registration:
+        entry = self._entries.get(name)
+        if entry is None or entry.expires_at <= self._clock():
+            raise KeyError(f"no live component {name!r}")
+        return entry
+
+    def lookup(
+        self, kind: str | None = None, **attribute_filters: str
+    ) -> list[Registration]:
+        """Find live components by kind and exact attribute matches.
+
+        Expired entries are purged as a side effect (the NWS name server
+        garbage-collects lapsed registrations on search).
+        """
+        now = self._clock()
+        dead = [n for n, e in self._entries.items() if e.expires_at <= now]
+        for n in dead:
+            del self._entries[n]
+        out = []
+        for entry in self._entries.values():
+            if kind is not None and entry.kind != kind:
+                continue
+            if any(entry.attributes.get(k) != v for k, v in attribute_filters.items()):
+                continue
+            out.append(entry)
+        return sorted(out, key=lambda e: e.name)
+
+    def get(self, name: str) -> Registration:
+        """Fetch one live registration by name (KeyError if not live)."""
+        return self._require_live(name)
+
+    def __len__(self) -> int:
+        now = self._clock()
+        return sum(1 for e in self._entries.values() if e.expires_at > now)

@@ -1,0 +1,97 @@
+"""SensorHost: one monitored machine publishing into the NWS.
+
+Binds a simulated testbed host + measurement suite to the service layer:
+at every measurement period the three availability readings are published
+into the memory under ``cpu.<host>.<method>`` series names, and the
+sensor's name-server registration is refreshed (missing a refresh marks
+the sensor dead, as in the real system).
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.nws.memory import MemoryStore
+from repro.nws.nameserver import NameServer
+from repro.sensors.suite import METHODS, MeasurementSuite
+from repro.sim.host import SimHost
+from repro.workload.profiles import build_host
+
+__all__ = ["SensorHost"]
+
+
+class SensorHost:
+    """A monitored host wired into name server + memory.
+
+    Parameters
+    ----------
+    profile:
+        Testbed profile name (e.g. ``"thing1"``).
+    nameserver / memory:
+        The NWS services to attach to.
+    seed:
+        Host seed.
+    measure_period:
+        Sensor cadence (default 10 s).
+    ttl:
+        Registration time-to-live; refreshed on every publish (default
+        ``3 * measure_period``).
+    """
+
+    def __init__(
+        self,
+        profile: str,
+        nameserver: NameServer,
+        memory: MemoryStore,
+        *,
+        seed: int | np.random.SeedSequence = 0,
+        measure_period: float = 10.0,
+        ttl: float | None = None,
+    ):
+        self.profile = profile
+        self.nameserver = nameserver
+        self.memory = memory
+        self.host: SimHost = build_host(profile, seed=seed)
+        self.suite = MeasurementSuite(
+            measure_period=measure_period, test_period=None
+        ).attach(self.host)
+        self._published = 0
+        self._ttl = ttl if ttl is not None else 3.0 * measure_period
+        self.sensor_name = f"sensor.cpu.{profile}"
+        nameserver.register(
+            self.sensor_name,
+            "sensor",
+            {"resource": "cpu", "host": profile},
+            ttl=self._ttl,
+        )
+
+    def series_name(self, method: str) -> str:
+        return f"cpu.{self.profile}.{method}"
+
+    def pump(self, until: float) -> int:
+        """Advance the simulation to ``until`` and publish new readings.
+
+        Returns the number of measurement rounds published.
+        """
+        self.host.run_until(until)
+        times, _ = self.suite.series(METHODS[0], include_warmup=True)
+        new_rounds = 0
+        for i in range(self._published, len(times)):
+            for method in METHODS:
+                _, values = self.suite.series(method, include_warmup=True)
+                self.memory.publish(
+                    self.series_name(method), float(times[i]), float(values[i])
+                )
+            new_rounds += 1
+        self._published = len(times)
+        if new_rounds:
+            # Re-register rather than refresh: with coarse advance steps a
+            # registration may have lapsed between pumps, and the sensor
+            # coming back *is* the liveness signal.
+            self.nameserver.register(
+                self.sensor_name,
+                "sensor",
+                {"resource": "cpu", "host": self.profile},
+                ttl=self._ttl,
+            )
+        return new_rounds

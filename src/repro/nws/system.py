@@ -1,0 +1,105 @@
+"""NWSSystem: a complete monitored grid behind the NWS service protocol.
+
+Wires a name server, a memory, a forecaster service and one
+:class:`~repro.nws.sensorhost.SensorHost` per requested profile -- the
+in-process equivalent of deploying the NWS across a departmental grid.
+Clients interact exactly as the paper's schedulers did: discover CPU
+sensors through the name server, then ask the forecaster for availability
+predictions with error bars.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.nws.forecaster import ForecastReport, ForecasterService
+from repro.nws.memory import MemoryStore
+from repro.nws.nameserver import NameServer
+from repro.nws.sensorhost import SensorHost
+
+__all__ = ["NWSSystem"]
+
+
+class NWSSystem:
+    """Name server + memory + forecaster + sensors over simulated hosts.
+
+    Parameters
+    ----------
+    profiles:
+        Testbed profile per monitored machine (repeats allowed).
+    seed:
+        Root seed; each host gets an independent child.
+    measure_period:
+        Sensor cadence.
+    memory_capacity:
+        Per-series retention (default one day of 10 s samples).
+    memory_directory:
+        Optional persistence directory for the memory journal.
+    """
+
+    def __init__(
+        self,
+        profiles: list[str],
+        *,
+        seed: int = 0,
+        measure_period: float = 10.0,
+        memory_capacity: int = 8640,
+        memory_directory=None,
+    ):
+        if not profiles:
+            raise ValueError("need at least one monitored host")
+        self.clock = 0.0
+        self.nameserver = NameServer(clock=lambda: self.clock)
+        self.memory = MemoryStore(
+            capacity=memory_capacity, directory=memory_directory
+        )
+        self.forecaster = ForecasterService(self.memory)
+        self.nameserver.register(
+            "memory.main", "memory", {"capacity": str(memory_capacity)}
+        )
+        self.nameserver.register("forecaster.main", "forecaster", {})
+
+        root = np.random.SeedSequence(seed)
+        self.hosts: list[SensorHost] = []
+        for profile, child in zip(profiles, root.spawn(len(profiles))):
+            self.hosts.append(
+                SensorHost(
+                    profile,
+                    self.nameserver,
+                    self.memory,
+                    seed=child,
+                    measure_period=measure_period,
+                )
+            )
+
+    def advance(self, until: float) -> None:
+        """Run every monitored host to simulated time ``until``."""
+        if until < self.clock:
+            raise ValueError(f"cannot go back in time: {until} < {self.clock}")
+        # Move the service clock first so registrations made while pumping
+        # are stamped with the current simulated time.
+        self.clock = until
+        for host in self.hosts:
+            host.pump(until)
+
+    # ------------------------------------------------------------- queries
+
+    def cpu_sensors(self) -> list[str]:
+        """Names of live CPU sensors (via name-server discovery)."""
+        return [r.name for r in self.nameserver.lookup("sensor", resource="cpu")]
+
+    def availability(
+        self, profile: str, method: str = "nws_hybrid"
+    ) -> ForecastReport:
+        """Forecast availability of one monitored host."""
+        matches = [h for h in self.hosts if h.profile == profile]
+        if not matches:
+            raise KeyError(
+                f"no monitored host {profile!r}; have "
+                f"{[h.profile for h in self.hosts]}"
+            )
+        return self.forecaster.query(matches[0].series_name(method))
+
+    def availability_map(self, method: str = "nws_hybrid") -> dict[str, ForecastReport]:
+        """Forecasts for every monitored host (keyed by profile)."""
+        return {h.profile: self.forecaster.query(h.series_name(method)) for h in self.hosts}

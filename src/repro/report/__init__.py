@@ -1,0 +1,12 @@
+"""Reporting helpers: monospace tables, ASCII plots, CSV export."""
+
+from repro.report.ascii import histogram, line_plot, scatter_plot
+from repro.report.export import export_figure_csv, export_table_csv
+
+__all__ = [
+    "export_figure_csv",
+    "export_table_csv",
+    "histogram",
+    "line_plot",
+    "scatter_plot",
+]

@@ -1,0 +1,148 @@
+"""Terminal plotting: the figures render as ASCII art (no matplotlib here).
+
+These are intentionally simple: enough to see the shape of a trace, an ACF
+decay, or a pox-plot scatter in a terminal or a log file.  Exact data goes
+out through :mod:`repro.report.export` as CSV for external plotting.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+__all__ = ["line_plot", "scatter_plot", "histogram"]
+
+
+def _check_xy(x, y) -> tuple[np.ndarray, np.ndarray]:
+    x = np.asarray(x, dtype=np.float64)
+    y = np.asarray(y, dtype=np.float64)
+    if x.ndim != 1 or y.ndim != 1 or x.size != y.size or x.size == 0:
+        raise ValueError("x and y must be equal-length non-empty 1-D arrays")
+    return x, y
+
+
+def line_plot(
+    x,
+    y,
+    *,
+    width: int = 72,
+    height: int = 12,
+    y_range: tuple[float, float] | None = None,
+) -> str:
+    """Render ``y`` against ``x`` as an ASCII line plot.
+
+    Values are bucketed into ``width`` columns (bucket mean) and ``height``
+    rows; axis extents are annotated.
+
+    Parameters
+    ----------
+    x, y:
+        Equal-length series.
+    width, height:
+        Character-cell dimensions of the plot area (>= 2 each).
+    y_range:
+        Optional fixed (lo, hi) for the y axis; default = data extent.
+    """
+    x, y = _check_xy(x, y)
+    if width < 2 or height < 2:
+        raise ValueError("width and height must be >= 2")
+    lo, hi = y_range if y_range is not None else (float(y.min()), float(y.max()))
+    if hi <= lo:
+        hi = lo + 1.0
+
+    # Column assignment by x position; column value = mean of members.
+    xmin, xmax = float(x.min()), float(x.max())
+    span = xmax - xmin if xmax > xmin else 1.0
+    cols = np.minimum(((x - xmin) / span * width).astype(int), width - 1)
+    sums = np.zeros(width)
+    counts = np.zeros(width)
+    np.add.at(sums, cols, y)
+    np.add.at(counts, cols, 1.0)
+    filled = counts > 0
+    col_values = np.full(width, np.nan)
+    col_values[filled] = sums[filled] / counts[filled]
+
+    grid = [[" "] * width for _ in range(height)]
+    for c in range(width):
+        v = col_values[c]
+        if np.isnan(v):
+            continue
+        r = int((v - lo) / (hi - lo) * (height - 1) + 0.5)
+        r = min(max(r, 0), height - 1)
+        grid[height - 1 - r][c] = "*"
+
+    lines = []
+    for i, row in enumerate(grid):
+        label = f"{hi:8.3g} |" if i == 0 else (f"{lo:8.3g} |" if i == height - 1 else "         |")
+        lines.append(label + "".join(row))
+    lines.append("         +" + "-" * width)
+    lines.append(f"          {xmin:<12.6g}{'':^{max(0, width - 24)}}{xmax:>12.6g}")
+    return "\n".join(lines)
+
+
+def scatter_plot(
+    x,
+    y,
+    *,
+    width: int = 60,
+    height: int = 20,
+    marker: str = "+",
+    overlay: tuple[np.ndarray, np.ndarray] | None = None,
+) -> str:
+    """Render an ASCII scatter plot (used for pox plots).
+
+    Parameters
+    ----------
+    x, y:
+        Point coordinates.
+    overlay:
+        Optional second (x, y) series drawn with ``o`` markers -- e.g. the
+        regression line of a pox plot, sampled at a few abscissae.
+    """
+    x, y = _check_xy(x, y)
+    all_x, all_y = x, y
+    if overlay is not None:
+        ox = np.asarray(overlay[0], dtype=np.float64)
+        oy = np.asarray(overlay[1], dtype=np.float64)
+        all_x = np.concatenate([x, ox])
+        all_y = np.concatenate([y, oy])
+    xmin, xmax = float(all_x.min()), float(all_x.max())
+    ymin, ymax = float(all_y.min()), float(all_y.max())
+    xspan = xmax - xmin if xmax > xmin else 1.0
+    yspan = ymax - ymin if ymax > ymin else 1.0
+
+    grid = [[" "] * width for _ in range(height)]
+
+    def put(px, py, ch):
+        c = min(int((px - xmin) / xspan * (width - 1) + 0.5), width - 1)
+        r = min(int((py - ymin) / yspan * (height - 1) + 0.5), height - 1)
+        grid[height - 1 - r][c] = ch
+
+    for px, py in zip(x, y):
+        put(px, py, marker)
+    if overlay is not None:
+        for px, py in zip(ox, oy):
+            put(px, py, "o")
+
+    lines = []
+    for i, row in enumerate(grid):
+        label = f"{ymax:8.3g} |" if i == 0 else (f"{ymin:8.3g} |" if i == height - 1 else "         |")
+        lines.append(label + "".join(row))
+    lines.append("         +" + "-" * width)
+    lines.append(f"          {xmin:<10.4g}{'':^{max(0, width - 20)}}{xmax:>10.4g}")
+    return "\n".join(lines)
+
+
+def histogram(values, *, bins: int = 20, width: int = 50) -> str:
+    """Render a horizontal ASCII histogram."""
+    arr = np.asarray(values, dtype=np.float64)
+    if arr.ndim != 1 or arr.size == 0:
+        raise ValueError("values must be a non-empty 1-D array")
+    if bins < 1:
+        raise ValueError(f"bins must be >= 1, got {bins}")
+    counts, edges = np.histogram(arr, bins=bins)
+    peak = counts.max() if counts.max() > 0 else 1
+    lines = []
+    for count, lo, hi in zip(counts, edges[:-1], edges[1:]):
+        bar = "#" * int(round(count / peak * width))
+        lines.append(f"{lo:9.3g} - {hi:9.3g} | {bar} {count}")
+    return "\n".join(lines)

@@ -1,0 +1,45 @@
+"""CSV export of reproduced tables and figures (for external plotting)."""
+
+from __future__ import annotations
+
+import csv
+from pathlib import Path
+
+__all__ = ["export_table_csv", "export_figure_csv"]
+
+
+def export_table_csv(table, path) -> None:
+    """Write a :class:`~repro.experiments.results.TableResult` as CSV."""
+    path = Path(path)
+    with path.open("w", newline="") as f:
+        writer = csv.writer(f)
+        writer.writerow(table.headers)
+        for row in table.rows:
+            writer.writerow(row)
+
+
+def export_figure_csv(figure, directory) -> list[Path]:
+    """Write each panel of a :class:`~repro.experiments.results.
+    FigureResult` as ``<figure_id>_<panel>.csv``; returns the paths.
+
+    Panels may mix series of different lengths (e.g. a pox plot's scatter
+    plus its short regression line); shorter columns are padded with empty
+    cells.
+    """
+    directory = Path(directory)
+    directory.mkdir(parents=True, exist_ok=True)
+    written = []
+    for panel, data in figure.panels.items():
+        path = directory / f"{figure.figure_id}_{panel}.csv"
+        keys = list(data)
+        columns = [data[k] for k in keys]
+        n = max(len(c) for c in columns)
+        with path.open("w", newline="") as f:
+            writer = csv.writer(f)
+            writer.writerow(keys)
+            for i in range(n):
+                writer.writerow(
+                    [repr(float(c[i])) if i < len(c) else "" for c in columns]
+                )
+        written.append(path)
+    return written

@@ -1,0 +1,44 @@
+"""Forecast-driven application scheduling (the paper's motivating use).
+
+The paper frames CPU availability prediction as input to *dynamic
+schedulers* (AppLeS-style application-level scheduling, references
+[24, 2]): availability becomes an execution-time *expansion factor*, and a
+mapper places work on the hosts predicted to deliver the most cycles.
+This subpackage closes that loop over the simulated testbed:
+
+* :mod:`repro.schedapp.tasks` -- work units and results.
+* :mod:`repro.schedapp.grid` -- a :class:`SimGrid` of monitored hosts that
+  can execute task assignments and report makespans.
+* :mod:`repro.schedapp.mappers` -- placement policies: random,
+  equal-split (load-blind), and NWS-predictive (greedy LPT on forecast
+  rates).
+* :mod:`repro.schedapp.workqueue` -- dynamic self-scheduling: idle workers
+  pull chunks, so faster (more available) hosts automatically do more.
+
+``benchmarks/bench_scheduler_gain.py`` uses this to reproduce the paper's
+claim that even imperfect availability predictions yield large scheduling
+gains.
+"""
+
+from repro.schedapp.grid import GridRunResult, SimGrid
+from repro.schedapp.mappers import (
+    EqualSplitMapper,
+    Mapper,
+    PredictiveMapper,
+    RandomMapper,
+)
+from repro.schedapp.tasks import GridTask, TaskResult
+from repro.schedapp.workqueue import WorkQueueRun, self_schedule
+
+__all__ = [
+    "EqualSplitMapper",
+    "GridRunResult",
+    "GridTask",
+    "Mapper",
+    "PredictiveMapper",
+    "RandomMapper",
+    "SimGrid",
+    "TaskResult",
+    "WorkQueueRun",
+    "self_schedule",
+]

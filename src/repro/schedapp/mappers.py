@@ -1,0 +1,113 @@
+"""Task-placement policies for independent-task schedules.
+
+Three mappers with increasing use of information, mirroring the scheduling
+literature the paper cites:
+
+* :class:`RandomMapper` -- tasks scattered uniformly (the strawman).
+* :class:`EqualSplitMapper` -- equal work per host, blind to load (what a
+  naive parallel launcher does).
+* :class:`PredictiveMapper` -- greedy longest-processing-time placement on
+  *predicted* execution times, using each host's NWS availability forecast
+  as the expansion factor (paper Section 2: predicted time = work /
+  availability).
+"""
+
+from __future__ import annotations
+
+from abc import ABC, abstractmethod
+
+import numpy as np
+
+from repro.schedapp.tasks import GridTask
+
+__all__ = ["Mapper", "RandomMapper", "EqualSplitMapper", "PredictiveMapper"]
+
+
+class Mapper(ABC):
+    """Builds an assignment ``{host: [tasks]}`` from tasks + forecasts."""
+
+    #: Identifier used in benchmark output.
+    name: str = "base"
+
+    @abstractmethod
+    def assign(
+        self,
+        tasks: list[GridTask],
+        forecasts: dict[str, float],
+        *,
+        rng: np.random.Generator | None = None,
+    ) -> dict[str, list[GridTask]]:
+        """Map every task to exactly one host."""
+
+    @staticmethod
+    def _validate(tasks: list[GridTask], forecasts: dict[str, float]) -> None:
+        if not tasks:
+            raise ValueError("no tasks to assign")
+        if not forecasts:
+            raise ValueError("no hosts to assign to")
+
+
+class RandomMapper(Mapper):
+    """Uniformly random placement."""
+
+    name = "random"
+
+    def assign(self, tasks, forecasts, *, rng=None):
+        self._validate(tasks, forecasts)
+        gen = rng if rng is not None else np.random.default_rng()
+        hosts = list(forecasts)
+        out: dict[str, list[GridTask]] = {h: [] for h in hosts}
+        for task in tasks:
+            out[hosts[int(gen.integers(len(hosts)))]].append(task)
+        return out
+
+
+class EqualSplitMapper(Mapper):
+    """Round-robin placement: equal task counts, blind to availability."""
+
+    name = "equal_split"
+
+    def assign(self, tasks, forecasts, *, rng=None):
+        self._validate(tasks, forecasts)
+        hosts = list(forecasts)
+        out: dict[str, list[GridTask]] = {h: [] for h in hosts}
+        for i, task in enumerate(tasks):
+            out[hosts[i % len(hosts)]].append(task)
+        return out
+
+
+class PredictiveMapper(Mapper):
+    """Greedy LPT on forecast-expanded execution times.
+
+    Tasks are considered largest-first; each goes to the host whose chain
+    would finish earliest, where a task of ``work`` CPU seconds on a host
+    with predicted availability ``a`` is expected to take ``work / a`` wall
+    seconds (the paper's expansion factor).  Hosts forecast below
+    ``min_availability`` are excluded unless every host is.
+    """
+
+    name = "nws_predictive"
+
+    def __init__(self, *, min_availability: float = 0.05):
+        if not 0.0 <= min_availability < 1.0:
+            raise ValueError(
+                f"min_availability must be in [0, 1), got {min_availability}"
+            )
+        self.min_availability = float(min_availability)
+
+    def assign(self, tasks, forecasts, *, rng=None):
+        self._validate(tasks, forecasts)
+        usable = {
+            h: a for h, a in forecasts.items() if a >= self.min_availability
+        }
+        if not usable:
+            usable = dict(forecasts)
+        # Guard against zero-availability forecasts.
+        rates = {h: max(a, 1e-6) for h, a in usable.items()}
+        finish = {h: 0.0 for h in rates}
+        out: dict[str, list[GridTask]] = {h: [] for h in forecasts}
+        for task in sorted(tasks, key=lambda t: t.work, reverse=True):
+            best = min(rates, key=lambda h: finish[h] + task.work / rates[h])
+            finish[best] += task.work / rates[best]
+            out[best].append(task)
+        return out

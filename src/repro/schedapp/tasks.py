@@ -1,0 +1,56 @@
+"""Work units for the grid scheduler."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+__all__ = ["GridTask", "TaskResult"]
+
+
+@dataclass(frozen=True)
+class GridTask:
+    """One independent, CPU-bound unit of work.
+
+    Attributes
+    ----------
+    task_id:
+        Unique identifier within a run.
+    work:
+        CPU seconds required on a dedicated processor.
+    """
+
+    task_id: int
+    work: float
+
+    def __post_init__(self):
+        if self.work <= 0.0:
+            raise ValueError(f"work must be positive, got {self.work}")
+
+
+@dataclass(frozen=True)
+class TaskResult:
+    """Execution record of one task.
+
+    Attributes
+    ----------
+    task:
+        The task executed.
+    host:
+        Host name it ran on.
+    start_time / end_time:
+        Simulated wall-clock interval.
+    """
+
+    task: GridTask
+    host: str
+    start_time: float
+    end_time: float
+
+    @property
+    def elapsed(self) -> float:
+        return self.end_time - self.start_time
+
+    @property
+    def achieved_availability(self) -> float:
+        """CPU fraction the task actually obtained."""
+        return self.task.work / self.elapsed if self.elapsed > 0 else 0.0

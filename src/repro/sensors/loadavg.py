@@ -1,0 +1,46 @@
+"""Load-average availability sensor (paper Equation 1).
+
+The Unix one-minute load average L is a smoothed run-queue length.  A new
+full-priority process joining L other runnable processes can expect
+
+.. math::
+
+    \\mathrm{avail} = \\frac{1}{L + 1}
+
+of the time slices -- the expansion-factor logic of Section 2.  Like
+``uptime``, this sensor needs no privileges and cannot see process
+priorities: a ``nice 19`` soaker inflates L exactly as full-priority work
+does, which is the root of the conundrum measurement error.
+"""
+
+from __future__ import annotations
+
+from repro.sensors.base import CPUSensor
+from repro.sim.kernel import Kernel
+
+__all__ = ["LoadAverageSensor"]
+
+
+class LoadAverageSensor(CPUSensor):
+    """Availability from the kernel's one-minute load average.
+
+    Parameters
+    ----------
+    ncpu_aware:
+        If true, scale for multiprocessors: a machine with ``ncpu`` CPUs
+        and load L offers ``min(1, ncpu / (L + 1))`` to a single-threaded
+        process.  Default false (the paper's hosts and formula are
+        single-CPU).
+    """
+
+    name = "load_average"
+
+    def __init__(self, *, ncpu_aware: bool = False):
+        super().__init__()
+        self._ncpu_aware = bool(ncpu_aware)
+
+    def _measure(self, kernel: Kernel) -> float:
+        load = max(0.0, kernel.load_average)
+        if self._ncpu_aware:
+            return min(1.0, kernel.config.ncpu / (load + 1.0))
+        return 1.0 / (load + 1.0)

@@ -1,0 +1,96 @@
+"""The ground-truth test process (paper Section 2.2).
+
+A test process is a full-priority, CPU-bound process that runs for a fixed
+wall-clock interval and reports the ratio of CPU time received (the
+``getrusage()`` reading) to wall-clock time elapsed -- the availability it
+actually experienced.  Measurement error is the difference between a
+sensor's reading taken immediately before the test process starts and what
+the test process then observes.
+
+Two configurations appear in the paper: a 10-second test process for the
+short-term study (Tables 1-3) and a 5-minute test process run once per
+hour for the medium-term study (Table 6; run sparsely "to prevent the load
+induced ... from driving away potential contention").
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Callable
+
+from repro.sim.kernel import Kernel
+from repro.sim.process import Process
+
+__all__ = ["TestProcessRunner", "TestRun"]
+
+
+@dataclass(frozen=True)
+class TestRun:
+    """Outcome of one test-process execution.
+
+    Attributes
+    ----------
+    start_time / end_time:
+        The wall-clock (simulated) interval spanned.
+    cpu_time:
+        CPU seconds obtained.
+    observed:
+        ``cpu_time / (end_time - start_time)`` -- the availability the
+        process experienced.
+    """
+
+    __test__ = False  # not a pytest test class
+
+    start_time: float
+    end_time: float
+    cpu_time: float
+
+    @property
+    def observed(self) -> float:
+        wall = self.end_time - self.start_time
+        return self.cpu_time / wall if wall > 0.0 else 0.0
+
+
+class TestProcessRunner:
+    """Launches ground-truth test processes.
+
+    Parameters
+    ----------
+    duration:
+        Wall-clock run length in seconds (10 for the short-term study,
+        300 for the medium-term one).
+
+    Notes
+    -----
+    Like the probe, the test process is a real process in the simulated
+    kernel; its intrusiveness (visible as a periodic signature in Figure 4)
+    emerges naturally.
+    """
+
+    __test__ = False  # not a pytest test class
+
+    def __init__(self, *, duration: float = 10.0):
+        if duration <= 0.0:
+            raise ValueError(f"duration must be positive, got {duration}")
+        self.duration = float(duration)
+        self.runs: list[TestRun] = []
+
+    def launch(
+        self,
+        kernel: Kernel,
+        on_result: Callable[[TestRun], None] | None = None,
+    ) -> None:
+        """Start one test process now; ``on_result`` fires at completion."""
+        start = kernel.time
+        proc = kernel.spawn(
+            Process("nws:test", cpu_demand=float("inf"), nice=0, sys_fraction=0.0)
+        )
+
+        def finish():
+            kernel.kill(proc)
+            run = TestRun(start_time=start, end_time=kernel.time, cpu_time=proc.cpu_time)
+            self.runs.append(run)
+            if on_result is not None:
+                on_result(run)
+
+        kernel.after(self.duration, finish)

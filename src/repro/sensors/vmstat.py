@@ -1,0 +1,105 @@
+"""vmstat-style availability sensor (paper Equation 2).
+
+``vmstat`` reports periodically-updated percentages of CPU time spent in
+user, system, and idle states.  The paper derives availability as
+
+.. math::
+
+    \\mathrm{avail} = \\frac{\\mathrm{idle}}{100}
+        + \\frac{\\mathrm{user}/100 + w \\cdot \\mathrm{sys}/100}{rq + 1}
+
+where ``rq`` is a smoothed average of the number of running processes over
+the previous measurements and the weighting factor ``w`` equals the user
+fraction: a new process is entitled to all idle time, a fair (1/(rq+1))
+share of user time, and a share of system time only insofar as system time
+is being spent on behalf of user processes (a machine acting as a network
+gateway burns system time nobody can reclaim).
+
+Like the real utility, this sensor differences cumulative kernel counters
+between reads, so its first read must be discarded as a warm-up (the suite
+handles that by priming the sensor at attach time).
+"""
+
+from __future__ import annotations
+
+from repro.sensors.base import CPUSensor
+from repro.sim.kernel import Kernel
+
+__all__ = ["VmstatSensor"]
+
+
+class VmstatSensor(CPUSensor):
+    """Availability from differenced user/sys/idle counters.
+
+    Parameters
+    ----------
+    smoothing:
+        EWMA gain for the running-process-count estimate ``rq``
+        (default 0.3: "a smoothed average ... over the previous set of
+        measurements").
+    """
+
+    name = "vmstat"
+
+    def __init__(self, *, smoothing: float = 0.3):
+        super().__init__()
+        if not 0.0 < smoothing <= 1.0:
+            raise ValueError(f"smoothing must be in (0, 1], got {smoothing}")
+        self._alpha = float(smoothing)
+        self._prev_user: float | None = None
+        self._prev_sys = 0.0
+        self._prev_idle = 0.0
+        self._prev_nrun = 0.0
+        self._prev_time = 0.0
+        self._rq: float | None = None
+        # Last interval's fractions, exposed for inspection/debugging.
+        self.last_user = 0.0
+        self.last_sys = 0.0
+        self.last_idle = 1.0
+
+    def prime(self, kernel: Kernel) -> None:
+        """Initialize the counter baseline without producing a reading."""
+        self._prev_user = kernel.cum_user
+        self._prev_sys = kernel.cum_sys
+        self._prev_idle = kernel.cum_idle
+        self._prev_nrun = kernel.cum_nrun_time
+        self._prev_time = kernel.time
+
+    def _measure(self, kernel: Kernel) -> float:
+        if self._prev_user is None:
+            self.prime(kernel)
+            # No interval yet: report the instantaneous view (idle unless
+            # someone is runnable right now).
+            n = kernel.run_queue_length
+            self._rq = float(n)
+            return 1.0 if n == 0 else 1.0 / (n + 1.0)
+
+        d_user = kernel.cum_user - self._prev_user
+        d_sys = kernel.cum_sys - self._prev_sys
+        d_idle = kernel.cum_idle - self._prev_idle
+        d_nrun = kernel.cum_nrun_time - self._prev_nrun
+        d_time = kernel.time - self._prev_time
+        self._prev_user = kernel.cum_user
+        self._prev_sys = kernel.cum_sys
+        self._prev_idle = kernel.cum_idle
+        self._prev_nrun = kernel.cum_nrun_time
+        self._prev_time = kernel.time
+        total = d_user + d_sys + d_idle
+        if total <= 0.0:
+            # Zero-length interval (double read in the same instant); fall
+            # back to the previous fractions.
+            user, sys, idle = self.last_user, self.last_sys, self.last_idle
+        else:
+            user, sys, idle = d_user / total, d_sys / total, d_idle / total
+            self.last_user, self.last_sys, self.last_idle = user, sys, idle
+
+        # Interval-averaged runnable count ("r" column), then smoothed over
+        # the previous set of measurements as the paper specifies.
+        n = d_nrun / d_time if d_time > 0.0 else float(kernel.run_queue_length)
+        if self._rq is None:
+            self._rq = n
+        else:
+            self._rq += self._alpha * (n - self._rq)
+
+        w = user  # the paper's weighting factor: user-time fraction
+        return idle + (user + w * sys) / (self._rq + 1.0)

@@ -1,0 +1,67 @@
+"""Event queue for the host simulator.
+
+The kernel advances in fixed scheduling quanta; everything else --
+workload arrivals, sensor reads, probe launches, process wakeups -- is a
+timed callback on this queue, fired when the clock reaches its deadline.
+A plain binary heap with a monotonic sequence number (stable FIFO order for
+simultaneous events) is all that is needed.
+"""
+
+from __future__ import annotations
+
+import heapq
+import itertools
+from typing import Callable
+
+__all__ = ["EventQueue"]
+
+
+class EventQueue:
+    """Min-heap of timed callbacks.
+
+    Events scheduled for the same instant fire in scheduling order (FIFO),
+    which keeps simulations deterministic.
+    """
+
+    __slots__ = ("_counter", "_heap")
+
+    def __init__(self):
+        self._heap: list[tuple[float, int, Callable[[], None]]] = []
+        self._counter = itertools.count()
+
+    def __len__(self) -> int:
+        return len(self._heap)
+
+    def schedule(self, time: float, callback: Callable[[], None]) -> None:
+        """Schedule ``callback`` to fire at simulated ``time`` seconds.
+
+        Parameters
+        ----------
+        time:
+            Absolute simulation time; must be finite and non-negative.
+        callback:
+            Zero-argument callable.
+        """
+        time = float(time)
+        if not time >= 0.0 or time != time or time == float("inf"):
+            raise ValueError(f"event time must be finite and >= 0, got {time}")
+        heapq.heappush(self._heap, (time, next(self._counter), callback))
+
+    def next_time(self) -> float:
+        """Deadline of the earliest pending event, or ``inf`` if empty."""
+        return self._heap[0][0] if self._heap else float("inf")
+
+    def pop_due(self, now: float) -> list[Callable[[], None]]:
+        """Remove and return all callbacks with deadline <= ``now``.
+
+        Returned in deadline order (FIFO within a deadline); the caller is
+        responsible for invoking them.
+        """
+        due = []
+        while self._heap and self._heap[0][0] <= now:
+            due.append(heapq.heappop(self._heap)[2])
+        return due
+
+    def clear(self) -> None:
+        """Drop every pending event."""
+        self._heap.clear()

@@ -1,0 +1,20 @@
+"""Trace containers and persistence.
+
+The NWS stored measurement histories as flat trace files; this subpackage
+provides the equivalent: a timestamped series container, CSV/JSON-lines
+persistence, and resampling onto regular grids.
+"""
+
+from repro.trace.io import load_trace_csv, load_trace_jsonl, save_trace_csv, save_trace_jsonl
+from repro.trace.resample import resample_mean, resample_nearest
+from repro.trace.series import TraceSeries
+
+__all__ = [
+    "TraceSeries",
+    "load_trace_csv",
+    "load_trace_jsonl",
+    "resample_mean",
+    "resample_nearest",
+    "save_trace_csv",
+    "save_trace_jsonl",
+]

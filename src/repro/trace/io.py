@@ -1,0 +1,93 @@
+"""Trace persistence: CSV and JSON-lines round-trips."""
+
+from __future__ import annotations
+
+import csv
+import json
+from pathlib import Path
+
+import numpy as np
+
+from repro.trace.series import TraceSeries
+
+__all__ = [
+    "save_trace_csv",
+    "load_trace_csv",
+    "save_trace_jsonl",
+    "load_trace_jsonl",
+]
+
+
+def save_trace_csv(series: TraceSeries, path) -> None:
+    """Write ``series`` as a CSV file with a metadata header row.
+
+    Layout: a comment line ``# host=<h> method=<m>``, a header row, then
+    ``time,value`` rows with full float precision.
+    """
+    path = Path(path)
+    with path.open("w", newline="") as f:
+        f.write(f"# host={series.host} method={series.method}\n")
+        writer = csv.writer(f)
+        writer.writerow(["time", "value"])
+        for t, v in zip(series.times, series.values):
+            writer.writerow([repr(float(t)), repr(float(v))])
+
+
+def load_trace_csv(path) -> TraceSeries:
+    """Read a trace written by :func:`save_trace_csv`."""
+    path = Path(path)
+    host = method = "unknown"
+    times: list[float] = []
+    values: list[float] = []
+    with path.open() as f:
+        first = f.readline()
+        if first.startswith("#"):
+            for token in first[1:].split():
+                key, _, val = token.partition("=")
+                if key == "host":
+                    host = val
+                elif key == "method":
+                    method = val
+        else:
+            raise ValueError(f"{path} is missing the metadata header line")
+        reader = csv.reader(f)
+        header = next(reader, None)
+        if header != ["time", "value"]:
+            raise ValueError(f"{path} has unexpected columns {header}")
+        for row in reader:
+            if not row:
+                continue
+            times.append(float(row[0]))
+            values.append(float(row[1]))
+    return TraceSeries(host, method, np.asarray(times), np.asarray(values))
+
+
+def save_trace_jsonl(series: TraceSeries, path) -> None:
+    """Write ``series`` as JSON lines: one metadata object, then samples."""
+    path = Path(path)
+    with path.open("w") as f:
+        f.write(json.dumps({"host": series.host, "method": series.method}) + "\n")
+        for t, v in zip(series.times, series.values):
+            f.write(json.dumps({"t": float(t), "v": float(v)}) + "\n")
+
+
+def load_trace_jsonl(path) -> TraceSeries:
+    """Read a trace written by :func:`save_trace_jsonl`."""
+    path = Path(path)
+    times: list[float] = []
+    values: list[float] = []
+    with path.open() as f:
+        meta = json.loads(f.readline())
+        for line in f:
+            line = line.strip()
+            if not line:
+                continue
+            sample = json.loads(line)
+            times.append(sample["t"])
+            values.append(sample["v"])
+    return TraceSeries(
+        meta.get("host", "unknown"),
+        meta.get("method", "unknown"),
+        np.asarray(times),
+        np.asarray(values),
+    )

@@ -1,0 +1,58 @@
+"""Resampling irregular traces onto regular grids.
+
+Live measurements (and simulated ones, after warm-up trimming) are not
+always on a perfect grid; the analysis (ACF, R/S) assumes equal spacing.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.trace.series import TraceSeries
+
+__all__ = ["resample_nearest", "resample_mean"]
+
+
+def _grid(series: TraceSeries, period: float) -> np.ndarray:
+    if period <= 0.0:
+        raise ValueError(f"period must be positive, got {period}")
+    if len(series) < 2:
+        raise ValueError("need at least two samples to resample")
+    start, stop = series.times[0], series.times[-1]
+    n = int(np.floor((stop - start) / period)) + 1
+    return start + period * np.arange(n)
+
+
+def resample_nearest(series: TraceSeries, period: float) -> TraceSeries:
+    """Sample-and-hold resampling onto a regular grid.
+
+    Each grid instant takes the most recent measurement at or before it --
+    semantically right for sensors, whose reading is "the current state".
+    """
+    grid = _grid(series, period)
+    idx = np.searchsorted(series.times, grid, side="right") - 1
+    idx = np.clip(idx, 0, len(series) - 1)
+    return TraceSeries(series.host, series.method, grid, series.values[idx])
+
+
+def resample_mean(series: TraceSeries, period: float) -> TraceSeries:
+    """Mean-of-bin resampling onto a regular grid.
+
+    Empty bins inherit the previous bin's value (sample-and-hold), so the
+    output has no gaps.
+    """
+    grid = _grid(series, period)
+    # Bin edges are [g, g + period); the final grid point gets the tail.
+    bins = np.searchsorted(grid, series.times, side="right") - 1
+    bins = np.clip(bins, 0, grid.size - 1)
+    sums = np.zeros(grid.size)
+    counts = np.zeros(grid.size)
+    np.add.at(sums, bins, series.values)
+    np.add.at(counts, bins, 1.0)
+    values = np.empty(grid.size)
+    last = series.values[0]
+    for i in range(grid.size):
+        if counts[i] > 0:
+            last = sums[i] / counts[i]
+        values[i] = last
+    return TraceSeries(series.host, series.method, grid, values)

@@ -1,0 +1,88 @@
+"""TraceSeries: an immutable timestamped measurement series."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+import numpy as np
+
+__all__ = ["TraceSeries"]
+
+
+@dataclass(frozen=True)
+class TraceSeries:
+    """A timestamped series of availability measurements.
+
+    Attributes
+    ----------
+    host:
+        Host the series was gathered on.
+    method:
+        Measurement method (``load_average`` / ``vmstat`` / ``nws_hybrid``
+        / ``observed`` for ground truth).
+    times:
+        Monotonically increasing timestamps (seconds).
+    values:
+        Availability fractions, same length as ``times``.
+    """
+
+    host: str
+    method: str
+    times: np.ndarray
+    values: np.ndarray
+    _frozen: bool = field(default=True, repr=False)
+
+    def __post_init__(self):
+        times = np.asarray(self.times, dtype=np.float64)
+        values = np.asarray(self.values, dtype=np.float64)
+        if times.ndim != 1 or values.ndim != 1:
+            raise ValueError("times and values must be 1-D")
+        if times.shape != values.shape:
+            raise ValueError(
+                f"times and values lengths differ: {times.size} vs {values.size}"
+            )
+        if times.size > 1 and not np.all(np.diff(times) > 0):
+            raise ValueError("times must be strictly increasing")
+        object.__setattr__(self, "times", times)
+        object.__setattr__(self, "values", values)
+
+    def __len__(self) -> int:
+        return int(self.times.size)
+
+    @property
+    def duration(self) -> float:
+        """Seconds spanned (0 for a series of fewer than two samples)."""
+        return float(self.times[-1] - self.times[0]) if len(self) > 1 else 0.0
+
+    @property
+    def period(self) -> float:
+        """Median sampling period (NaN for fewer than two samples)."""
+        if len(self) < 2:
+            return float("nan")
+        return float(np.median(np.diff(self.times)))
+
+    def window(self, start: float, stop: float) -> "TraceSeries":
+        """Sub-series with ``start <= t < stop``."""
+        if stop <= start:
+            raise ValueError(f"need start < stop, got [{start}, {stop})")
+        keep = (self.times >= start) & (self.times < stop)
+        return TraceSeries(self.host, self.method, self.times[keep], self.values[keep])
+
+    def aggregate(self, m: int) -> "TraceSeries":
+        """Non-overlapping block means (timestamps at each block's end)."""
+        from repro.analysis.aggregate import aggregate_series
+
+        if m < 1:
+            raise ValueError(f"m must be >= 1, got {m}")
+        blocks = len(self) // m
+        if blocks == 0:
+            raise ValueError(f"series too short to aggregate by {m}")
+        values = aggregate_series(self.values, m)
+        times = self.times[: blocks * m].reshape(blocks, m)[:, -1]
+        return TraceSeries(self.host, f"{self.method}~{m}", times, values)
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        return (
+            f"<TraceSeries {self.host}/{self.method} n={len(self)} "
+            f"span={self.duration:.0f}s>"
+        )

@@ -1,0 +1,58 @@
+"""Synthetic background workloads for the simulated hosts.
+
+The paper's hosts carried real August-1998 graduate-student load.  We
+substitute a generative model with the statistical property the paper's
+analysis hinges on -- long-range dependence: the superposition of many
+ON/OFF sources whose ON and OFF durations are heavy-tailed (Pareto with
+tail index ``1 < alpha < 2``) is asymptotically self-similar with Hurst
+parameter ``H = (3 - alpha) / 2`` (Willinger et al., SIGCOMM '95, the
+paper's reference [28]).  ``alpha = 1.6`` therefore targets the paper's
+measured ``H ~ 0.7``.
+
+Components:
+
+* :mod:`repro.workload.distributions` -- duration distributions (Pareto,
+  bounded Pareto, lognormal, exponential).
+* :mod:`repro.workload.arrivals` -- arrival processes (Poisson, diurnally
+  modulated Poisson).
+* :mod:`repro.workload.sessions` -- ON/OFF user sessions and interactive
+  sessions.
+* :mod:`repro.workload.jobs` -- daemons (soakers, long-running hogs),
+  batch job streams, periodic jobs.
+* :mod:`repro.workload.profiles` -- the six named host profiles of the
+  paper's testbed.
+"""
+
+from repro.workload.arrivals import DiurnalPoissonArrivals, PoissonArrivals
+from repro.workload.distributions import (
+    BoundedPareto,
+    Distribution,
+    Exponential,
+    Fixed,
+    LogNormal,
+    Pareto,
+)
+from repro.workload.jobs import BatchJobStream, Daemon, PeriodicJob
+from repro.workload.profiles import HOST_PROFILES, build_host, profile_names
+from repro.workload.replay import TraceReplayWorkload
+from repro.workload.sessions import InteractiveSession, OnOffSession
+
+__all__ = [
+    "BatchJobStream",
+    "BoundedPareto",
+    "Daemon",
+    "DiurnalPoissonArrivals",
+    "Distribution",
+    "Exponential",
+    "Fixed",
+    "HOST_PROFILES",
+    "InteractiveSession",
+    "LogNormal",
+    "OnOffSession",
+    "Pareto",
+    "PeriodicJob",
+    "PoissonArrivals",
+    "TraceReplayWorkload",
+    "build_host",
+    "profile_names",
+]

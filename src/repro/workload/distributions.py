@@ -1,0 +1,185 @@
+"""Duration distributions for workload generation.
+
+Small, explicit sampler objects rather than bare callables: each knows its
+analytic mean (used by tests to validate the generators and by profile
+builders to reason about offered load) and validates its parameters.
+
+The heavy-tailed :class:`Pareto` is the load-bearing piece: tail index
+``1 < alpha < 2`` gives finite mean but infinite variance, the regime in
+which superposed ON/OFF sources produce self-similar aggregate load with
+``H = (3 - alpha) / 2``.
+"""
+
+from __future__ import annotations
+
+import math
+from abc import ABC, abstractmethod
+
+import numpy as np
+
+__all__ = [
+    "Distribution",
+    "Fixed",
+    "Exponential",
+    "Pareto",
+    "BoundedPareto",
+    "LogNormal",
+]
+
+
+class Distribution(ABC):
+    """A positive random duration."""
+
+    @abstractmethod
+    def sample(self, rng: np.random.Generator) -> float:
+        """Draw one duration (seconds, > 0)."""
+
+    @property
+    @abstractmethod
+    def mean(self) -> float:
+        """Analytic mean (may be ``inf``)."""
+
+
+class Fixed(Distribution):
+    """Degenerate distribution: always ``value``."""
+
+    def __init__(self, value: float):
+        if value <= 0.0:
+            raise ValueError(f"value must be positive, got {value}")
+        self._value = float(value)
+
+    def sample(self, rng: np.random.Generator) -> float:
+        return self._value
+
+    @property
+    def mean(self) -> float:
+        return self._value
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        return f"Fixed({self._value!r})"
+
+
+class Exponential(Distribution):
+    """Exponential with the given mean (memoryless think times)."""
+
+    def __init__(self, mean: float):
+        if mean <= 0.0:
+            raise ValueError(f"mean must be positive, got {mean}")
+        self._mean = float(mean)
+
+    def sample(self, rng: np.random.Generator) -> float:
+        return float(rng.exponential(self._mean))
+
+    @property
+    def mean(self) -> float:
+        return self._mean
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        return f"Exponential(mean={self._mean!r})"
+
+
+class Pareto(Distribution):
+    """Pareto (Type I): ``P[X > x] = (xm / x)**alpha`` for ``x >= xm``.
+
+    Parameters
+    ----------
+    alpha:
+        Tail index (> 0).  For ``1 < alpha < 2`` the mean is finite but
+        the variance infinite -- the self-similarity regime.
+    xm:
+        Scale (minimum value, > 0).
+    """
+
+    def __init__(self, alpha: float, xm: float):
+        if alpha <= 0.0:
+            raise ValueError(f"alpha must be positive, got {alpha}")
+        if xm <= 0.0:
+            raise ValueError(f"xm must be positive, got {xm}")
+        self.alpha = float(alpha)
+        self.xm = float(xm)
+
+    def sample(self, rng: np.random.Generator) -> float:
+        # Inverse CDF: xm * U**(-1/alpha).
+        u = rng.random()
+        # rng.random() is in [0, 1); guard the measure-zero 0 endpoint.
+        while u == 0.0:  # pragma: no cover - probability ~1e-16 per draw
+            u = rng.random()
+        return self.xm * u ** (-1.0 / self.alpha)
+
+    @property
+    def mean(self) -> float:
+        if self.alpha <= 1.0:
+            return math.inf
+        return self.alpha * self.xm / (self.alpha - 1.0)
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        return f"Pareto(alpha={self.alpha!r}, xm={self.xm!r})"
+
+
+class BoundedPareto(Distribution):
+    """Pareto truncated to ``[xm, cap]`` by inverse-CDF restriction.
+
+    Used where a hard upper bound is physically sensible (no single
+    interactive burst should exceed, say, an hour) while preserving the
+    heavy tail below the cap.
+    """
+
+    def __init__(self, alpha: float, xm: float, cap: float):
+        if alpha <= 0.0:
+            raise ValueError(f"alpha must be positive, got {alpha}")
+        if not 0.0 < xm < cap:
+            raise ValueError(f"need 0 < xm < cap, got xm={xm}, cap={cap}")
+        self.alpha = float(alpha)
+        self.xm = float(xm)
+        self.cap = float(cap)
+
+    def sample(self, rng: np.random.Generator) -> float:
+        # Inverse CDF of the truncated Pareto.
+        a, lo, hi = self.alpha, self.xm, self.cap
+        u = rng.random()
+        ratio = (lo / hi) ** a
+        return lo * (1.0 - u * (1.0 - ratio)) ** (-1.0 / a)
+
+    @property
+    def mean(self) -> float:
+        a, lo, hi = self.alpha, self.xm, self.cap
+        if a == 1.0:
+            return math.log(hi / lo) / (1.0 / lo - 1.0 / hi)
+        num = (a / (a - 1.0)) * (lo ** a) * (lo ** (1.0 - a) - hi ** (1.0 - a))
+        den = 1.0 - (lo / hi) ** a
+        return num / den
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        return f"BoundedPareto(alpha={self.alpha!r}, xm={self.xm!r}, cap={self.cap!r})"
+
+
+class LogNormal(Distribution):
+    """Lognormal parameterized by its arithmetic mean and shape sigma.
+
+    Parameters
+    ----------
+    mean:
+        Desired arithmetic mean (> 0).
+    sigma:
+        Shape parameter of the underlying normal (> 0); larger is more
+        skewed.
+    """
+
+    def __init__(self, mean: float, sigma: float = 1.0):
+        if mean <= 0.0:
+            raise ValueError(f"mean must be positive, got {mean}")
+        if sigma <= 0.0:
+            raise ValueError(f"sigma must be positive, got {sigma}")
+        self._mean = float(mean)
+        self.sigma = float(sigma)
+        self.mu = math.log(mean) - 0.5 * sigma * sigma
+
+    def sample(self, rng: np.random.Generator) -> float:
+        return float(rng.lognormal(self.mu, self.sigma))
+
+    @property
+    def mean(self) -> float:
+        return self._mean
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        return f"LogNormal(mean={self._mean!r}, sigma={self.sigma!r})"

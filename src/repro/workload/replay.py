@@ -1,0 +1,145 @@
+"""Trace-replay workload: drive a simulated host from a recorded trace.
+
+Lets a user feed *real* measurements (for example, collected with
+:mod:`repro.live` on their own machine, or converted from an archival NWS
+trace) back into the simulator as background load, then run the full
+sensing/forecasting stack against it.
+
+The replay inverts the load-average availability formula: a recorded
+availability ``a`` implies a competing load of ``L = 1/a - 1`` runnable
+processes.  The generator maintains ``floor(L)`` full-time spinner
+processes plus one duty-cycled process supplying the fractional part,
+updating the set at each trace sample.  The reconstruction is necessarily
+approximate (availability is a lossy summary of the run queue), but it
+preserves the quantity every sensor and forecaster in this package
+consumes.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.sim.kernel import Kernel
+from repro.sim.process import Process, ProcessState
+from repro.trace.series import TraceSeries
+
+__all__ = ["TraceReplayWorkload"]
+
+
+class TraceReplayWorkload:
+    """Replays an availability trace as synthetic background load.
+
+    Parameters
+    ----------
+    trace:
+        The availability series to reproduce (values in [0, 1]).  Replay
+        begins at simulation time 0 regardless of the trace's own
+        timestamps; inter-sample spacing is preserved.
+    nice:
+        Nice level of the replay processes (default 0).
+    loop:
+        If true, restart the trace when it ends (endless background).
+    """
+
+    def __init__(self, trace: TraceSeries, *, nice: int = 0, loop: bool = False):
+        if len(trace) < 2:
+            raise ValueError("replay needs a trace with at least 2 samples")
+        if trace.values.min() < 0.0 or trace.values.max() > 1.0:
+            raise ValueError("trace values must be availabilities in [0, 1]")
+        self.trace = trace
+        self.nice = int(nice)
+        self.loop = bool(loop)
+        self._kernel: Kernel | None = None
+        self._spinners: list[Process] = []
+        self._fractional: Process | None = None
+        self._index = 0
+        self._offsets = trace.times - trace.times[0]
+        self.samples_replayed = 0
+
+    def start(self, kernel: Kernel, rng: np.random.Generator) -> None:
+        """Attach to ``kernel``; called by :meth:`SimHost.attach`."""
+        self._kernel = kernel
+        self._base = kernel.time
+        kernel.after(0.0, self._apply_next)
+
+    # ------------------------------------------------------------- internals
+
+    def _target_load(self, availability: float) -> float:
+        availability = min(max(availability, 0.02), 1.0)  # cap implied load at 49
+        return 1.0 / availability - 1.0
+
+    def _set_spinners(self, count: int) -> None:
+        kernel = self._kernel
+        assert kernel is not None
+        while len(self._spinners) < count:
+            self._spinners.append(
+                kernel.spawn(
+                    Process(
+                        f"replay:spin{len(self._spinners)}",
+                        nice=self.nice,
+                        sys_fraction=0.05,
+                    )
+                )
+            )
+        while len(self._spinners) > count:
+            kernel.kill(self._spinners.pop())
+
+    #: Length of one fractional duty cycle.  Short relative to the
+    #: load-average time constant (60 s), so the EWMA sees the *average*
+    #: load rather than oscillating with the cycle.
+    CYCLE = 10.0
+
+    def _set_fraction(self, fraction: float, until: float) -> None:
+        """Duty-cycle one extra process at ``fraction`` until ``until``.
+
+        The process runs ``fraction * CYCLE`` then sleeps the rest of each
+        cycle, repeating until the next trace sample takes over.
+        """
+        kernel = self._kernel
+        assert kernel is not None
+        if self._fractional is not None:
+            kernel.kill(self._fractional)
+            self._fractional = None
+        if fraction <= 0.01:
+            return
+        proc = kernel.spawn(
+            Process("replay:frac", nice=self.nice, sys_fraction=0.05)
+        )
+        self._fractional = proc
+        busy = min(fraction, 0.99) * self.CYCLE
+
+        def cycle():
+            if proc.done or kernel.time >= until - 1e-6:
+                return
+            if proc.state is ProcessState.RUNNABLE:
+                # Sleep out the remainder of this cycle.
+                kernel.sleep(proc, max(self.CYCLE - busy, 1e-3))
+            kernel.after(self.CYCLE, cycle)
+
+        kernel.after(busy, cycle)
+
+    def _apply_next(self) -> None:
+        kernel = self._kernel
+        assert kernel is not None
+        if self._index >= len(self.trace):
+            if not self.loop:
+                self._set_spinners(0)
+                self._set_fraction(0.0, kernel.time)
+                return
+            self._base = kernel.time
+            self._index = 0
+        availability = float(self.trace.values[self._index])
+        load = self._target_load(availability)
+        whole = int(load)
+        frac = load - whole
+
+        if self._index + 1 < len(self.trace):
+            next_at = self._base + self._offsets[self._index + 1]
+        else:
+            next_at = kernel.time + float(np.median(np.diff(self.trace.times)))
+
+        self._set_spinners(whole)
+        self._set_fraction(frac, next_at)
+        self.samples_replayed += 1
+        self._index += 1
+        kernel.at(next_at, self._apply_next)

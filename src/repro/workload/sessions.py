@@ -1,0 +1,250 @@
+"""User sessions: the ON/OFF sources that make the load self-similar.
+
+An :class:`OnOffSession` models one user (or one long-lived application)
+alternating between a CPU-bound ON period and an idle OFF period, both with
+heavy-tailed durations.  Superposing a handful of such sources reproduces
+the long-range dependence the paper measures: by the Willinger et al.
+result, Pareto ON/OFF durations with tail index ``alpha`` give aggregate
+load with ``H = (3 - alpha) / 2``.
+
+:class:`InteractiveSession` refines this for workstation consoles: within
+an ON period the user issues short CPU bursts separated by sub-second to
+few-second think times (keystrokes, compiles, pagination), which roughens
+the trace at the 10-second measurement scale the NWS samples at.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.sim.kernel import Kernel
+from repro.sim.process import Process, ProcessState
+from repro.workload.distributions import Distribution, Exponential, Pareto
+
+__all__ = ["OnOffSession", "InteractiveSession", "attach_io_pattern"]
+
+
+def attach_io_pattern(
+    kernel: Kernel,
+    process: Process,
+    *,
+    interval: float = 2.0,
+    wait: float = 0.2,
+    rng: np.random.Generator | None = None,
+) -> None:
+    """Make ``process`` block briefly for I/O every ``interval`` wall seconds.
+
+    Real compute jobs are not pure spinners: they page, hit the filesystem
+    (NFS, in the paper's era), and write checkpoints.  Each short sleep
+    earns the BSD wakeup priority boost, keeping the job's ``estcpu`` low
+    enough to contend with fresh processes immediately -- which is exactly
+    why the NWS probe did *not* overestimate availability on ordinary busy
+    hosts, only on kongo whose resident job never slept.
+
+    Parameters
+    ----------
+    kernel, process:
+        The process to modulate; the pattern stops when it exits.
+    interval:
+        Mean wall-clock seconds between waits (jittered +-50 % if ``rng``
+        is given, to avoid lockstep across jobs).
+    wait:
+        Sleep length per I/O (seconds).
+    """
+    if interval <= 0.0 or wait <= 0.0:
+        raise ValueError("interval and wait must be positive")
+
+    def pause():
+        if process.done:
+            return
+        if process.state is ProcessState.RUNNABLE:
+            kernel.sleep(process, wait)
+        gap = interval if rng is None else interval * (0.5 + rng.random())
+        kernel.after(wait + gap, pause)
+
+    first = interval if rng is None else interval * (0.5 + rng.random())
+    kernel.after(first, pause)
+
+
+class OnOffSession:
+    """One heavy-tailed ON/OFF CPU load source.
+
+    During ON, a CPU-bound process with demand equal to the drawn ON
+    duration runs (at whatever rate contention allows -- demand is CPU
+    seconds, not wall seconds, so a busy machine stretches the burst, as
+    real workloads stretch).  During OFF the source is silent.
+
+    Parameters
+    ----------
+    user:
+        Label; processes are named ``"<user>:on"`` (the fair-share
+        scheduler groups by this prefix).
+    on_time:
+        Distribution of ON-period CPU demand (default Pareto(1.6, 15 s),
+        targeting H = 0.7).
+    off_time:
+        Distribution of OFF-period durations (default Pareto(1.6, 30 s)).
+    nice:
+        Nice level of the ON process (default 0).
+    sys_fraction:
+        Fraction of the burst charged as system time (default 0.15 --
+        compiles and editors do noticeable kernel work).
+    initial_delay:
+        Optional deterministic delay before the first period; by default
+        the source starts with an OFF period so that superposed sources
+        de-phase.
+    io_interval / io_wait:
+        If ``io_interval`` is not None, the ON process blocks for
+        ``io_wait`` seconds roughly every ``io_interval`` wall seconds (see
+        :func:`attach_io_pattern`): it behaves like a real compute job
+        rather than a pure spinner.  Default: I/O every 2 s for 0.2 s.
+        Pass ``io_interval=None`` for a pure spinner (the kongo hog).
+    """
+
+    def __init__(
+        self,
+        user: str,
+        *,
+        on_time: Distribution | None = None,
+        off_time: Distribution | None = None,
+        nice: int = 0,
+        sys_fraction: float = 0.15,
+        initial_delay: float | None = None,
+        io_interval: float | None = 2.0,
+        io_wait: float = 0.2,
+    ):
+        self.user = str(user)
+        self.on_time = on_time if on_time is not None else Pareto(1.6, 15.0)
+        self.off_time = off_time if off_time is not None else Pareto(1.6, 30.0)
+        self.nice = int(nice)
+        self.sys_fraction = float(sys_fraction)
+        self.initial_delay = initial_delay
+        self.io_interval = io_interval
+        self.io_wait = float(io_wait)
+        self._kernel: Kernel | None = None
+        self._rng: np.random.Generator | None = None
+        self.bursts_started = 0
+
+    def start(self, kernel: Kernel, rng: np.random.Generator) -> None:
+        """Attach to ``kernel``; called by :meth:`SimHost.attach`."""
+        self._kernel = kernel
+        self._rng = rng
+        delay = (
+            self.initial_delay
+            if self.initial_delay is not None
+            else self.off_time.sample(rng)
+        )
+        kernel.after(delay, self._begin_on)
+
+    def _begin_on(self) -> None:
+        assert self._kernel is not None and self._rng is not None
+        demand = self.on_time.sample(self._rng)
+        self.bursts_started += 1
+        proc = self._kernel.spawn(
+            Process(
+                f"{self.user}:on",
+                cpu_demand=demand,
+                nice=self.nice,
+                sys_fraction=self.sys_fraction,
+                on_done=self._begin_off,
+            )
+        )
+        if self.io_interval is not None:
+            attach_io_pattern(
+                self._kernel,
+                proc,
+                interval=self.io_interval,
+                wait=self.io_wait,
+                rng=self._rng,
+            )
+
+    def _begin_off(self, _proc: Process) -> None:
+        assert self._kernel is not None and self._rng is not None
+        self._kernel.after(self.off_time.sample(self._rng), self._begin_on)
+
+
+class InteractiveSession:
+    """A console user: heavy-tailed sessions of short bursts + think times.
+
+    The session alternates between a *logged-in* period (heavy-tailed)
+    and a *logged-out* period (heavy-tailed).  While logged in, the user
+    repeatedly runs a short CPU burst (lognormal demand) followed by an
+    exponential think time -- the classic interactive workload shape.
+
+    Parameters
+    ----------
+    user:
+        Label for process naming.
+    session_time:
+        Wall-clock length distribution of logged-in periods
+        (default Pareto(1.6, 300 s)).
+    logout_time:
+        Length distribution of logged-out periods
+        (default Pareto(1.6, 600 s)).
+    burst:
+        CPU demand distribution of one interaction
+        (default lognormal, mean 2 s).
+    think:
+        Think-time distribution between interactions
+        (default exponential, mean 8 s).
+    nice, sys_fraction:
+        As in :class:`OnOffSession`.
+    """
+
+    def __init__(
+        self,
+        user: str,
+        *,
+        session_time: Distribution | None = None,
+        logout_time: Distribution | None = None,
+        burst: Distribution | None = None,
+        think: Distribution | None = None,
+        nice: int = 0,
+        sys_fraction: float = 0.2,
+    ):
+        from repro.workload.distributions import LogNormal
+
+        self.user = str(user)
+        self.session_time = session_time if session_time is not None else Pareto(1.6, 300.0)
+        self.logout_time = logout_time if logout_time is not None else Pareto(1.6, 600.0)
+        self.burst = burst if burst is not None else LogNormal(2.0, 1.0)
+        self.think = think if think is not None else Exponential(8.0)
+        self.nice = int(nice)
+        self.sys_fraction = float(sys_fraction)
+        self._kernel: Kernel | None = None
+        self._rng: np.random.Generator | None = None
+        self._session_ends_at = -1.0
+        self.sessions_started = 0
+        self.bursts_started = 0
+
+    def start(self, kernel: Kernel, rng: np.random.Generator) -> None:
+        """Attach to ``kernel``; called by :meth:`SimHost.attach`."""
+        self._kernel = kernel
+        self._rng = rng
+        kernel.after(self.logout_time.sample(rng), self._login)
+
+    def _login(self) -> None:
+        assert self._kernel is not None and self._rng is not None
+        self.sessions_started += 1
+        self._session_ends_at = self._kernel.time + self.session_time.sample(self._rng)
+        self._next_interaction()
+
+    def _next_interaction(self) -> None:
+        assert self._kernel is not None and self._rng is not None
+        if self._kernel.time >= self._session_ends_at:
+            self._kernel.after(self.logout_time.sample(self._rng), self._login)
+            return
+        self.bursts_started += 1
+        self._kernel.spawn(
+            Process(
+                f"{self.user}:burst",
+                cpu_demand=self.burst.sample(self._rng),
+                nice=self.nice,
+                sys_fraction=self.sys_fraction,
+                on_done=self._after_burst,
+            )
+        )
+
+    def _after_burst(self, _proc: Process) -> None:
+        assert self._kernel is not None and self._rng is not None
+        self._kernel.after(self.think.sample(self._rng), self._next_interaction)

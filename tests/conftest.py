@@ -1,0 +1,50 @@
+"""Shared fixtures: short reproducible testbed runs, seeded RNGs."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.experiments.testbed import TestbedConfig, run_host
+
+
+@pytest.fixture
+def rng() -> np.random.Generator:
+    return np.random.default_rng(12345)
+
+
+#: A short config shared by experiment-level tests: 4 simulated hours is
+#: enough for ~23 ground-truth samples and ~1200 measurements per host,
+#: while keeping the whole suite fast.  run_host memoizes, so every test
+#: using this config shares one simulation per host.
+SHORT = TestbedConfig(duration=4 * 3600.0, seed=7)
+
+#: Medium-term (Table 6 style) short config.
+SHORT_MEDIUM = TestbedConfig(
+    duration=6 * 3600.0, seed=7, test_period=3600.0, test_duration=300.0
+)
+
+
+@pytest.fixture(scope="session")
+def short_config() -> TestbedConfig:
+    return SHORT
+
+
+@pytest.fixture(scope="session")
+def thing1_run():
+    return run_host("thing1", SHORT)
+
+
+@pytest.fixture(scope="session")
+def thing2_run():
+    return run_host("thing2", SHORT)
+
+
+@pytest.fixture(scope="session")
+def conundrum_run():
+    return run_host("conundrum", SHORT)
+
+
+@pytest.fixture(scope="session")
+def kongo_run():
+    return run_host("kongo", SHORT)

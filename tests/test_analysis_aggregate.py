@@ -1,0 +1,85 @@
+"""Tests for repro.analysis.aggregate (variance-time law, Section 3.2)."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.analysis.aggregate import (
+    aggregate_series,
+    aggregated_variances,
+    variance_time_slope,
+)
+from repro.analysis.fgn import fgn
+
+
+class TestAggregateSeries:
+    def test_block_means(self):
+        x = np.array([1.0, 3.0, 5.0, 7.0, 9.0, 11.0])
+        np.testing.assert_allclose(aggregate_series(x, 2), [2.0, 6.0, 10.0])
+
+    def test_partial_block_discarded(self):
+        x = np.arange(7, dtype=float)
+        assert aggregate_series(x, 3).size == 2
+
+    def test_m_one_is_identity(self, rng):
+        x = rng.normal(size=50)
+        np.testing.assert_allclose(aggregate_series(x, 1), x)
+
+    def test_mean_preserved_when_exact(self, rng):
+        x = rng.normal(size=300)
+        assert aggregate_series(x, 30).mean() == pytest.approx(x.mean())
+
+    def test_too_short_rejected(self):
+        with pytest.raises(ValueError):
+            aggregate_series([1.0, 2.0], 3)
+
+    def test_bad_m_rejected(self, rng):
+        with pytest.raises(ValueError):
+            aggregate_series(rng.normal(size=10), 0)
+
+    @given(st.integers(min_value=1, max_value=20), st.integers(min_value=40, max_value=200))
+    @settings(max_examples=25, deadline=None)
+    def test_property_length_and_bounds(self, m, n):
+        gen = np.random.default_rng(m * 1000 + n)
+        x = gen.uniform(0.0, 1.0, size=n)
+        if n < m:
+            return
+        agg = aggregate_series(x, m)
+        assert agg.size == n // m
+        assert np.all(agg >= x.min() - 1e-12)
+        assert np.all(agg <= x.max() + 1e-12)
+
+
+class TestVarianceTime:
+    def test_iid_variance_decays_like_one_over_m(self, rng):
+        x = rng.normal(size=120_000)
+        variances = aggregated_variances(x, [1, 4, 16])
+        assert variances[1] == pytest.approx(variances[0] / 4.0, rel=0.15)
+        assert variances[2] == pytest.approx(variances[0] / 16.0, rel=0.25)
+
+    def test_lrd_variance_decays_slower(self):
+        x = fgn(1 << 16, 0.85, rng=20)
+        variances = aggregated_variances(x, [1, 16])
+        # For H = 0.85: ratio ~ 16^{2H-2} = 16^{-0.3} ~ 0.43, not 1/16.
+        ratio = variances[1] / variances[0]
+        assert ratio > 3.0 / 16.0
+
+    def test_iid_slope_near_minus_one(self, rng):
+        x = rng.normal(size=60_000)
+        slope, hurst = variance_time_slope(x)
+        assert slope == pytest.approx(-1.0, abs=0.1)
+        assert hurst == pytest.approx(0.5, abs=0.05)
+
+    def test_fgn_slope_gives_hurst(self):
+        x = fgn(1 << 16, 0.8, rng=21)
+        _, hurst = variance_time_slope(x)
+        assert hurst == pytest.approx(0.8, abs=0.08)
+
+    def test_level_too_large_rejected(self, rng):
+        with pytest.raises(ValueError, match="fewer than 2 blocks"):
+            aggregated_variances(rng.normal(size=100), [80])
+
+    def test_needs_two_levels(self, rng):
+        with pytest.raises(ValueError, match="two levels"):
+            variance_time_slope(rng.normal(size=1000), levels=[4])

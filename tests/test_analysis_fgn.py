@@ -1,0 +1,114 @@
+"""Tests for repro.analysis.fgn (Davies-Harte fractional Gaussian noise)."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.analysis.fgn import fbm, fgn, fgn_autocovariance
+
+
+class TestAutocovariance:
+    def test_lag_zero_is_sigma_squared(self):
+        g = fgn_autocovariance(0.7, 10, sigma=2.0)
+        assert g[0] == pytest.approx(4.0)
+
+    def test_h_half_is_white(self):
+        g = fgn_autocovariance(0.5, 10)
+        assert g[0] == pytest.approx(1.0)
+        np.testing.assert_allclose(g[1:], 0.0, atol=1e-12)
+
+    def test_positive_correlation_for_h_above_half(self):
+        g = fgn_autocovariance(0.8, 20)
+        assert np.all(g[1:] > 0.0)
+
+    def test_negative_correlation_for_h_below_half(self):
+        g = fgn_autocovariance(0.3, 5)
+        assert np.all(g[1:] < 0.0)
+
+    def test_known_value(self):
+        # gamma(1) = (2^{2H} - 2) / 2 for unit variance.
+        h = 0.75
+        expected = (2 ** (2 * h) - 2.0) / 2.0
+        assert fgn_autocovariance(h, 1)[1] == pytest.approx(expected)
+
+    def test_bad_hurst_rejected(self):
+        for h in (0.0, 1.0, -0.5, 2.0):
+            with pytest.raises(ValueError):
+                fgn_autocovariance(h, 5)
+
+
+class TestFgn:
+    def test_reproducible_with_seed(self):
+        a = fgn(256, 0.7, rng=42)
+        b = fgn(256, 0.7, rng=42)
+        np.testing.assert_array_equal(a, b)
+
+    def test_different_seeds_differ(self):
+        assert not np.array_equal(fgn(256, 0.7, rng=1), fgn(256, 0.7, rng=2))
+
+    def test_unit_variance(self):
+        x = fgn(1 << 16, 0.75, rng=3)
+        assert x.var() == pytest.approx(1.0, rel=0.05)
+        # The sample mean of LRD noise has std ~ n^{H-1} = 65536^{-0.25}.
+        assert abs(x.mean()) < 4 * (1 << 16) ** (0.75 - 1.0)
+
+    def test_sigma_scales_variance(self):
+        x = fgn(1 << 15, 0.6, sigma=3.0, rng=4)
+        assert x.var() == pytest.approx(9.0, rel=0.1)
+
+    def test_empirical_autocovariance_matches_theory(self):
+        x = fgn(1 << 16, 0.8, rng=5)
+        theory = fgn_autocovariance(0.8, 4)
+        for k in range(1, 5):
+            emp = float(np.mean(x[:-k] * x[k:]))
+            assert emp == pytest.approx(theory[k], abs=0.05)
+
+    def test_h_half_is_iid_gaussian(self):
+        x = fgn(1 << 14, 0.5, rng=6)
+        lag1 = float(np.mean(x[:-1] * x[1:]))
+        assert abs(lag1) < 0.03
+
+    def test_tiny_n(self):
+        assert fgn(1, 0.7, rng=0).shape == (1,)
+        assert fgn(2, 0.7, rng=0).shape == (2,)
+
+    def test_generator_instance_accepted(self):
+        gen = np.random.default_rng(9)
+        x = fgn(64, 0.7, rng=gen)
+        assert x.shape == (64,)
+
+    def test_bad_n_rejected(self):
+        with pytest.raises(ValueError):
+            fgn(0, 0.7)
+
+    @given(st.floats(min_value=0.05, max_value=0.95))
+    @settings(max_examples=15, deadline=None)
+    def test_property_variance_matches_lrd_expectation(self, hurst):
+        # For LRD noise the *sample* variance is biased low because the
+        # sample mean absorbs low-frequency power:
+        # E[s^2] = sigma^2 * (1 - n^{2H-2}).
+        n = 1 << 13
+        x = fgn(n, hurst, rng=int(hurst * 1e6))
+        expected = 1.0 - n ** (2.0 * hurst - 2.0)
+        assert x.var() == pytest.approx(expected, rel=0.25)
+
+
+class TestFbm:
+    def test_is_cumsum_of_fgn(self):
+        path = fbm(128, 0.7, rng=11)
+        noise = fgn(128, 0.7, rng=11)
+        np.testing.assert_allclose(path, np.cumsum(noise))
+
+    def test_self_similar_scaling(self):
+        # Var(B_n) ~ n^{2H}: check the growth exponent over many paths.
+        h = 0.75
+        n = 1024
+        finals_full = []
+        finals_half = []
+        for seed in range(200):
+            path = fbm(n, h, rng=seed)
+            finals_full.append(path[-1])
+            finals_half.append(path[n // 2 - 1])
+        ratio = np.var(finals_full) / np.var(finals_half)
+        assert ratio == pytest.approx(2 ** (2 * h), rel=0.25)

@@ -1,0 +1,79 @@
+"""Tests for repro.analysis.hurst (three Hurst estimators)."""
+
+import numpy as np
+import pytest
+
+from repro.analysis.fgn import fgn
+from repro.analysis.hurst import (
+    HurstEstimate,
+    hurst_aggregated_variance,
+    hurst_periodogram,
+    hurst_rs,
+)
+
+ESTIMATORS = [hurst_rs, hurst_aggregated_variance, hurst_periodogram]
+
+
+class TestEstimatorsOnFgn:
+    @pytest.mark.parametrize("estimator", ESTIMATORS)
+    @pytest.mark.parametrize("true_h", [0.6, 0.75, 0.9])
+    def test_recovers_known_hurst(self, estimator, true_h):
+        x = fgn(1 << 15, true_h, rng=int(true_h * 100))
+        est = estimator(x)
+        assert est.value == pytest.approx(true_h, abs=0.1)
+
+    @pytest.mark.parametrize("estimator", [hurst_aggregated_variance, hurst_periodogram])
+    def test_white_noise_near_half(self, estimator):
+        x = fgn(1 << 15, 0.5, rng=9)
+        assert estimator(x).value == pytest.approx(0.5, abs=0.1)
+
+    def test_estimators_agree_with_each_other(self):
+        x = fgn(1 << 15, 0.8, rng=10)
+        values = [estimator(x).value for estimator in ESTIMATORS]
+        assert max(values) - min(values) < 0.15
+
+
+class TestHurstEstimate:
+    def test_metadata(self):
+        x = fgn(4096, 0.7, rng=11)
+        est = hurst_rs(x)
+        assert isinstance(est, HurstEstimate)
+        assert est.method == "rs"
+        assert est.n == 4096
+        assert "pox" in est.detail
+
+    def test_lrd_flags(self):
+        high = HurstEstimate(0.8, "rs", 100, {})
+        low = HurstEstimate(0.4, "rs", 100, {})
+        over = HurstEstimate(1.1, "rs", 100, {})
+        assert high.is_long_range_dependent and high.is_self_similar_range
+        assert not low.is_long_range_dependent
+        assert over.is_long_range_dependent and not over.is_self_similar_range
+
+    def test_aggregated_variance_detail_has_slope(self):
+        x = fgn(4096, 0.7, rng=12)
+        est = hurst_aggregated_variance(x)
+        # beta = 2H - 2 must match the returned H.
+        assert est.detail["slope"] == pytest.approx(2 * est.value - 2.0)
+
+    def test_periodogram_detail(self):
+        x = fgn(4096, 0.7, rng=13)
+        est = hurst_periodogram(x)
+        assert est.detail["bins"] >= 4
+
+
+class TestValidation:
+    def test_periodogram_needs_length(self):
+        with pytest.raises(ValueError):
+            hurst_periodogram(np.random.default_rng(0).normal(size=64))
+
+    def test_periodogram_fraction_range(self):
+        x = fgn(1024, 0.7, rng=14)
+        with pytest.raises(ValueError):
+            hurst_periodogram(x, fraction=0.0)
+        with pytest.raises(ValueError):
+            hurst_periodogram(x, fraction=0.9)
+
+    def test_aggregated_variance_needs_length(self):
+        with pytest.raises(ValueError):
+            hurst_aggregated_variance(np.arange(16, dtype=float))

@@ -1,0 +1,112 @@
+"""Tests for repro.analysis.residuals (the paper's omitted analysis)."""
+
+import numpy as np
+import pytest
+
+from repro.analysis.residuals import (
+    ResidualComparison,
+    bootstrap_mae_difference,
+    compare_residuals,
+)
+
+
+def make_data(n=200, noise_a=0.05, noise_b=0.05, seed=0):
+    rng = np.random.default_rng(seed)
+    truth = np.clip(0.6 + 0.1 * rng.standard_normal(n), 0, 1)
+    a = truth + noise_a * rng.standard_normal(n)
+    b = truth + noise_b * rng.standard_normal(n)
+    return a, b, truth
+
+
+class TestCompareResiduals:
+    def test_equal_noise_not_significant(self):
+        a, b, truth = make_data()
+        result = compare_residuals(a, b, truth)
+        assert isinstance(result, ResidualComparison)
+        assert not result.significant
+        assert "no significant" in result.verdict()
+        assert result.ci_low < 0.0 < result.ci_high
+
+    def test_clearly_better_estimator_detected(self):
+        a, b, truth = make_data(noise_a=0.02, noise_b=0.15)
+        result = compare_residuals(a, b, truth)
+        assert result.significant
+        assert result.mae_difference < 0.0
+        assert "estimator A" in result.verdict()
+        assert result.ci_high < 0.0
+
+    def test_direction_symmetric(self):
+        a, b, truth = make_data(noise_a=0.15, noise_b=0.02)
+        result = compare_residuals(a, b, truth)
+        assert result.significant
+        assert result.mae_difference > 0.0
+        assert "estimator B" in result.verdict()
+
+    def test_identical_estimators_tie(self):
+        a, _, truth = make_data()
+        result = compare_residuals(a, a, truth)
+        assert np.isnan(result.wilcoxon_p)
+        assert not result.significant
+        assert result.mae_difference == 0.0
+
+    def test_mae_fields_match_inputs(self):
+        a, b, truth = make_data()
+        result = compare_residuals(a, b, truth)
+        assert result.mae_a == pytest.approx(np.abs(a - truth).mean())
+        assert result.mae_b == pytest.approx(np.abs(b - truth).mean())
+        assert result.n == truth.size
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            compare_residuals([0.1], [0.1], [0.1])
+        with pytest.raises(ValueError):
+            compare_residuals([0.1] * 10, [0.1] * 9, [0.1] * 10)
+
+
+class TestBootstrap:
+    def test_reproducible_with_seed(self):
+        a, b, truth = make_data()
+        ci1 = bootstrap_mae_difference(a - truth, b - truth, rng=5)
+        ci2 = bootstrap_mae_difference(a - truth, b - truth, rng=5)
+        assert ci1 == ci2
+
+    def test_interval_ordered_and_centered(self):
+        a, b, truth = make_data(noise_a=0.02, noise_b=0.15)
+        lo, hi = bootstrap_mae_difference(a - truth, b - truth)
+        assert lo < hi
+        observed = np.abs(a - truth).mean() - np.abs(b - truth).mean()
+        assert lo <= observed <= hi
+
+    def test_confidence_widens_interval(self):
+        a, b, truth = make_data()
+        lo95, hi95 = bootstrap_mae_difference(a - truth, b - truth, confidence=0.95)
+        lo99, hi99 = bootstrap_mae_difference(a - truth, b - truth, confidence=0.99)
+        assert lo99 <= lo95 and hi99 >= hi95
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            bootstrap_mae_difference([0.1], [0.1])
+        with pytest.raises(ValueError):
+            bootstrap_mae_difference([0.1, 0.2], [0.1, 0.2], confidence=1.5)
+
+
+class TestOnTestbedData:
+    def test_paper_omitted_analysis(self, thing1_run):
+        """The analysis the paper skipped: is the forecast significantly
+        more accurate than the raw measurement?  (Expected: mostly not.)"""
+        from repro.core.mixture import forecast_series
+
+        series = thing1_run.series["load_average"]
+        forecasts = forecast_series(series.values)
+        pre, fc, truth = [], [], []
+        for obs in thing1_run.observations:
+            i = int(np.searchsorted(series.times, obs.start_time, side="right")) - 1
+            if i < 0 or i + 1 >= forecasts.size or np.isnan(forecasts[i + 1]):
+                continue
+            pre.append(obs.premeasurements["load_average"])
+            fc.append(forecasts[i + 1])
+            truth.append(obs.observed)
+        result = compare_residuals(fc, pre, truth)
+        # Forecast and measurement accuracies are approximately the same:
+        # the MAE difference is tiny even if occasionally "significant".
+        assert abs(result.mae_difference) < 0.03

@@ -1,0 +1,101 @@
+"""Tests for repro.analysis.rs (R/S statistic and pox plots)."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.analysis.fgn import fgn
+from repro.analysis.rs import PoxPlotData, pox_plot_data, rs_statistic
+
+
+class TestRsStatistic:
+    def test_hand_computed_example(self):
+        # x = [1, 2, 3]: mean 2, walk = [-1, -1, 0], range = max(0,-1..0)
+        # spread = 0 - (-1) = 1, std = sqrt(2/3).
+        expected = 1.0 / np.sqrt(2.0 / 3.0)
+        assert rs_statistic([1.0, 2.0, 3.0]) == pytest.approx(expected)
+
+    def test_scale_invariant(self, rng):
+        x = rng.normal(size=100)
+        assert rs_statistic(x) == pytest.approx(rs_statistic(5.0 * x))
+
+    def test_shift_invariant(self, rng):
+        x = rng.normal(size=100)
+        assert rs_statistic(x) == pytest.approx(rs_statistic(x + 100.0))
+
+    def test_positive(self, rng):
+        for _ in range(20):
+            assert rs_statistic(rng.normal(size=50)) > 0.0
+
+    def test_constant_segment_rejected(self):
+        with pytest.raises(ValueError, match="constant"):
+            rs_statistic(np.full(10, 3.0))
+
+    def test_too_short_rejected(self):
+        with pytest.raises(ValueError):
+            rs_statistic([1.0])
+
+    @given(st.integers(min_value=8, max_value=200))
+    @settings(max_examples=25, deadline=None)
+    def test_property_positive_and_bounded(self, n):
+        gen = np.random.default_rng(n)
+        x = gen.normal(size=n)
+        value = rs_statistic(x)
+        # R/S of n points cannot exceed ~n (walk spread bounded by n*std).
+        assert 0.0 < value < 2.0 * n
+
+
+class TestPoxPlot:
+    def test_structure(self):
+        x = fgn(4096, 0.7, rng=1)
+        pox = pox_plot_data(x)
+        assert isinstance(pox, PoxPlotData)
+        assert pox.log10_d.shape == pox.log10_rs.shape
+        assert pox.segment_lengths.size == pox.mean_log10_rs.size
+        assert pox.segment_lengths.size >= 2
+        # dyadic lengths starting at the default minimum
+        assert pox.segment_lengths[0] == 8
+        np.testing.assert_array_equal(
+            np.diff(np.log2(pox.segment_lengths)), 1.0
+        )
+
+    def test_recovers_hurst_of_fgn(self):
+        x = fgn(1 << 15, 0.75, rng=2)
+        pox = pox_plot_data(x)
+        assert pox.hurst == pytest.approx(0.75, abs=0.08)
+
+    def test_white_noise_near_half(self):
+        x = fgn(1 << 15, 0.5, rng=3)
+        pox = pox_plot_data(x)
+        # R/S has a well-known small-sample positive bias at H=0.5.
+        assert 0.45 < pox.hurst < 0.65
+
+    def test_regression_line_passes_through_means(self):
+        x = fgn(8192, 0.7, rng=4)
+        pox = pox_plot_data(x)
+        line = pox.regression_line(np.log10(pox.segment_lengths.astype(float)))
+        residual = pox.mean_log10_rs - line
+        assert np.abs(residual).max() < 0.25
+
+    def test_max_segments_cap(self):
+        x = fgn(1 << 14, 0.7, rng=5)
+        pox = pox_plot_data(x, max_segments_per_length=10)
+        # At most 10 scatter points per distinct segment length.
+        for d in pox.segment_lengths:
+            count = np.sum(np.isclose(pox.log10_d, np.log10(d)))
+            assert count <= 10
+
+    def test_constant_segments_skipped(self):
+        # Half the series constant: those segments contribute nothing.
+        x = np.concatenate([np.zeros(512), fgn(512, 0.7, rng=6)])
+        pox = pox_plot_data(x)
+        assert pox.segment_lengths.size >= 2
+
+    def test_too_short_rejected(self):
+        with pytest.raises(ValueError):
+            pox_plot_data(np.arange(16, dtype=float))
+
+    def test_all_constant_rejected(self):
+        with pytest.raises(ValueError):
+            pox_plot_data(np.ones(1024))

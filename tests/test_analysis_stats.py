@@ -1,0 +1,60 @@
+"""Tests for repro.analysis.stats."""
+
+import numpy as np
+import pytest
+
+from repro.analysis.stats import exponential_smooth, running_mean, summarize
+
+
+class TestSummarize:
+    def test_values(self):
+        s = summarize([1.0, 2.0, 3.0, 4.0])
+        assert s.n == 4
+        assert s.mean == pytest.approx(2.5)
+        assert s.variance == pytest.approx(1.25)  # population variance
+        assert s.minimum == 1.0 and s.maximum == 4.0
+        assert s.median == pytest.approx(2.5)
+        assert s.std == pytest.approx(np.sqrt(1.25))
+
+    def test_single_sample(self):
+        s = summarize([7.0])
+        assert s.n == 1 and s.variance == 0.0 and s.median == 7.0
+
+    def test_empty_rejected(self):
+        with pytest.raises(ValueError):
+            summarize([])
+
+
+class TestExponentialSmooth:
+    def test_alpha_one_is_identity(self, rng):
+        x = rng.normal(size=50)
+        np.testing.assert_allclose(exponential_smooth(x, 1.0), x)
+
+    def test_recurrence(self):
+        x = np.array([0.0, 1.0, 1.0])
+        out = exponential_smooth(x, 0.5)
+        np.testing.assert_allclose(out, [0.0, 0.5, 0.75])
+
+    def test_initial_value(self):
+        out = exponential_smooth([1.0], 0.5, initial=3.0)
+        assert out[0] == pytest.approx(2.0)
+
+    def test_converges_to_constant(self):
+        out = exponential_smooth(np.full(200, 5.0), 0.1, initial=0.0)
+        assert out[-1] == pytest.approx(5.0, abs=1e-6)
+
+    def test_bad_alpha_rejected(self):
+        for alpha in (0.0, -1.0, 1.5):
+            with pytest.raises(ValueError):
+                exponential_smooth([1.0, 2.0], alpha)
+
+
+class TestRunningMean:
+    def test_values(self):
+        np.testing.assert_allclose(
+            running_mean([2.0, 4.0, 6.0]), [2.0, 3.0, 4.0]
+        )
+
+    def test_last_equals_full_mean(self, rng):
+        x = rng.normal(size=100)
+        assert running_mean(x)[-1] == pytest.approx(x.mean())

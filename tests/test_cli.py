@@ -1,0 +1,90 @@
+"""Tests for the nws-repro command-line interface."""
+
+import os
+import sys
+
+import pytest
+
+from repro.cli import build_parser, main
+
+
+class TestParser:
+    def test_requires_command(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args([])
+
+    def test_tables_defaults(self):
+        args = build_parser().parse_args(["tables"])
+        assert args.seed == 7 and args.hours == 24.0 and args.table is None
+
+    def test_table_choice_validated(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args(["tables", "--table", "9"])
+
+    def test_figures_args(self):
+        args = build_parser().parse_args(["figures", "--figure", "2", "--out", "/tmp/x"])
+        assert args.figure == 2 and args.out == "/tmp/x"
+
+
+class TestCommands:
+    def test_tables_prints_table(self, capsys):
+        rc = main(["tables", "--table", "3", "--hours", "2", "--seed", "3"])
+        out = capsys.readouterr().out
+        assert rc == 0
+        assert "TABLE3" in out and "kongo" in out
+
+    def test_tables_with_paper(self, capsys):
+        rc = main(
+            ["tables", "--table", "1", "--hours", "2", "--seed", "3", "--with-paper"]
+        )
+        out = capsys.readouterr().out
+        assert rc == 0
+        assert "paper reported" in out
+
+    def test_figures_with_csv_export(self, capsys, tmp_path):
+        rc = main(
+            ["figures", "--figure", "1", "--seed", "3", "--out", str(tmp_path)]
+        )
+        out = capsys.readouterr().out
+        assert rc == 0
+        assert "FIGURE1" in out
+        assert (tmp_path / "figure1_thing1.csv").exists()
+
+    @pytest.mark.skipif(
+        not (sys.platform.startswith("linux") and os.path.exists("/proc/stat")),
+        reason="live sensing requires Linux /proc",
+    )
+    def test_live_command(self, capsys):
+        rc = main(["live", "--interval", "0.1", "--count", "2"])
+        out = capsys.readouterr().out
+        assert rc == 0
+        assert "loadavg" in out
+
+    def test_sched_demo(self, capsys):
+        rc = main(["sched-demo", "--tasks", "6", "--seed", "2"])
+        out = capsys.readouterr().out
+        assert rc == 0
+        assert "workqueue" in out and "nws_predictive" in out
+
+    def test_report_writes_all_artifacts(self, capsys, tmp_path):
+        rc = main(
+            [
+                "report",
+                str(tmp_path),
+                "--seed",
+                "3",
+                "--hours",
+                "2",
+                "--figure3-days",
+                "0.5",
+            ]
+        )
+        assert rc == 0
+        for n in range(1, 7):
+            assert (tmp_path / f"table{n}.csv").exists()
+            assert (tmp_path / f"table{n}.txt").exists()
+        for n in range(1, 5):
+            assert (tmp_path / f"figure{n}.txt").exists()
+        assert (tmp_path / "figure3_thing1.csv").exists()
+        report = (tmp_path / "REPORT.txt").read_text()
+        assert "TABLE1" in report and "figure3" in report

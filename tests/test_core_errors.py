@@ -1,0 +1,65 @@
+"""Tests for repro.core.errors (paper Equations 3-5)."""
+
+import numpy as np
+import pytest
+
+from repro.core.errors import (
+    ErrorSummary,
+    mean_absolute_error,
+    mean_squared_error,
+    measurement_errors,
+    one_step_prediction_errors,
+    root_mean_squared_error,
+    true_forecasting_errors,
+)
+
+
+class TestMetrics:
+    def test_mae(self):
+        assert mean_absolute_error([0.5, 0.5], [0.3, 0.9]) == pytest.approx(0.3)
+
+    def test_mse_and_rmse(self):
+        assert mean_squared_error([1.0, 0.0], [0.0, 0.0]) == pytest.approx(0.5)
+        assert root_mean_squared_error([1.0, 0.0], [0.0, 0.0]) == pytest.approx(
+            np.sqrt(0.5)
+        )
+
+    def test_perfect_prediction(self):
+        x = np.linspace(0, 1, 10)
+        assert mean_absolute_error(x, x) == 0.0
+
+    def test_shape_mismatch_rejected(self):
+        with pytest.raises(ValueError, match="equal shapes"):
+            mean_absolute_error([1.0], [1.0, 2.0])
+
+    def test_empty_rejected(self):
+        with pytest.raises(ValueError):
+            mean_absolute_error([], [])
+
+    def test_2d_rejected(self):
+        with pytest.raises(ValueError):
+            mean_absolute_error(np.ones((2, 2)), np.ones((2, 2)))
+
+
+class TestSummaries:
+    def test_measurement_errors_summary(self):
+        s = measurement_errors([0.5, 0.7], [0.6, 0.6])
+        assert isinstance(s, ErrorSummary)
+        assert s.mae == pytest.approx(0.1)
+        assert s.n == 2
+        assert s.mae_percent == pytest.approx(10.0)
+
+    def test_true_forecasting_errors(self):
+        s = true_forecasting_errors([0.8], [0.5])
+        assert s.mae == pytest.approx(0.3)
+
+    def test_one_step_prediction_errors(self):
+        s = one_step_prediction_errors([0.4, 0.4], [0.5, 0.3])
+        assert s.mae == pytest.approx(0.1)
+        assert s.rmse == pytest.approx(0.1)
+
+    def test_rmse_dominates_mae(self):
+        predicted = np.array([0.1, 0.9, 0.5])
+        actual = np.array([0.2, 0.1, 0.5])
+        s = measurement_errors(predicted, actual)
+        assert s.rmse >= s.mae

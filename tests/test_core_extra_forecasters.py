@@ -1,0 +1,137 @@
+"""Tests for repro.core.extra_forecasters (battery extensions)."""
+
+import numpy as np
+import pytest
+
+from repro.core.extra_forecasters import (
+    AR1Forecaster,
+    MedianOfMeans,
+    TimeOfDayForecaster,
+    TrendForecaster,
+    extended_battery,
+)
+from repro.core.forecasters import default_battery
+from repro.core.mixture import AdaptiveForecaster, forecast_series
+
+
+class TestAR1:
+    def test_learns_ar1_process(self):
+        phi, c = 0.8, 0.1
+        rng = np.random.default_rng(0)
+        f = AR1Forecaster(discount=1.0)
+        x = 0.5
+        for _ in range(3000):
+            f.update(x)
+            x = c + phi * x + rng.normal(0, 0.02)
+        fitted_c, fitted_phi = f._coefficients()
+        assert fitted_phi == pytest.approx(phi, abs=0.1)
+        assert fitted_c == pytest.approx(c, abs=0.06)
+
+    def test_degenerate_falls_back_to_last_value(self):
+        f = AR1Forecaster()
+        f.update(0.4)
+        assert f.forecast() == pytest.approx(0.4)
+        f.update(0.4)  # constant input: denominator ~ 0
+        assert f.forecast() == pytest.approx(0.4)
+
+    def test_forecast_before_update_rejected(self):
+        with pytest.raises(ValueError):
+            AR1Forecaster().forecast()
+
+    def test_reset(self):
+        f = AR1Forecaster()
+        f.update(0.5)
+        f.reset()
+        with pytest.raises(ValueError):
+            f.forecast()
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            AR1Forecaster(discount=0.0)
+
+
+class TestTrend:
+    def test_tracks_linear_ramp(self):
+        f = TrendForecaster(0.5, 0.3)
+        for i in range(60):
+            f.update(0.2 + 0.01 * i)
+        # Forecast should anticipate the ramp, i.e. exceed the last value.
+        assert f.forecast() > 0.2 + 0.01 * 59
+
+    def test_flat_series_no_spurious_trend(self):
+        f = TrendForecaster()
+        for _ in range(50):
+            f.update(0.6)
+        assert f.forecast() == pytest.approx(0.6, abs=1e-9)
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            TrendForecaster(level_gain=0.0)
+        with pytest.raises(ValueError):
+            TrendForecaster(trend_gain=1.5)
+
+
+class TestMedianOfMeans:
+    def test_resists_outliers(self):
+        f = MedianOfMeans(group_size=3, groups=3)
+        for v in (0.5, 0.5, 0.5, 0.5, 0.5, 0.5, 0.5, 0.5, 5.0):
+            f.update(v)  # one wild outlier in the last group
+        assert f.forecast() == pytest.approx(0.5)
+
+    def test_single_group_is_mean(self):
+        f = MedianOfMeans(group_size=4, groups=1)
+        for v in (0.2, 0.4, 0.6, 0.8):
+            f.update(v)
+        assert f.forecast() == pytest.approx(0.5)
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            MedianOfMeans(group_size=0)
+
+
+class TestTimeOfDay:
+    def test_learns_diurnal_pattern(self):
+        # Two-bin "day": values alternate between day-half and night-half.
+        f = TimeOfDayForecaster(measure_period=1.0, day=2.0, bins=2)
+        for _ in range(50):
+            f.update(0.9)  # bin 0
+            f.update(0.1)  # bin 1
+        # The next update lands in bin 0: forecast its mean.
+        assert f.forecast() == pytest.approx(0.9)
+        f.update(0.9)
+        assert f.forecast() == pytest.approx(0.1)
+
+    def test_unseen_bin_falls_back_to_global_mean(self):
+        f = TimeOfDayForecaster(measure_period=1.0, day=10.0, bins=10)
+        f.update(0.4)  # bin 0 only
+        assert f.forecast() == pytest.approx(0.4)  # bin 1 unseen
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            TimeOfDayForecaster(measure_period=0.0)
+        with pytest.raises(ValueError):
+            TimeOfDayForecaster(bins=0)
+
+
+class TestExtendedBattery:
+    def test_fresh_and_uniquely_named(self):
+        battery = extended_battery()
+        names = [f.name for f in battery]
+        assert len(set(names)) == len(names)
+        combined = default_battery() + battery
+        assert len({f.name for f in combined}) == len(combined)
+
+    def test_combined_mixture_runs(self):
+        rng = np.random.default_rng(1)
+        values = np.clip(0.6 + 0.1 * rng.standard_normal(300), 0, 1)
+        mixture = AdaptiveForecaster(default_battery() + extended_battery())
+        out = forecast_series(values, mixture)
+        assert np.all(np.isfinite(out[1:]))
+
+    def test_forecast_with_error(self):
+        mixture = AdaptiveForecaster()
+        mixture.update(0.5)
+        mixture.update(0.6)
+        forecast, error = mixture.forecast_with_error()
+        assert 0.0 <= forecast <= 1.0
+        assert error >= 0.0

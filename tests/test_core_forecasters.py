@@ -1,0 +1,178 @@
+"""Tests for repro.core.forecasters (the NWS battery)."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core.forecasters import (
+    AdaptiveWindowMean,
+    AdaptiveWindowMedian,
+    ExponentialSmoothing,
+    GradientTracker,
+    LastValue,
+    RunningMean,
+    SlidingMean,
+    SlidingMedian,
+    TrimmedMeanWindow,
+    default_battery,
+)
+
+availabilities = st.floats(min_value=0.0, max_value=1.0, allow_nan=False)
+
+
+def feed(forecaster, values):
+    for v in values:
+        forecaster.update(v)
+    return forecaster.forecast()
+
+
+class TestLastValue:
+    def test_tracks_last(self):
+        assert feed(LastValue(), [0.2, 0.9, 0.4]) == 0.4
+
+    def test_empty_rejected(self):
+        with pytest.raises(ValueError):
+            LastValue().forecast()
+
+    def test_reset(self):
+        f = LastValue()
+        f.update(0.5)
+        f.reset()
+        with pytest.raises(ValueError):
+            f.forecast()
+
+
+class TestRunningMean:
+    def test_mean_of_all(self):
+        assert feed(RunningMean(), [0.0, 0.5, 1.0]) == pytest.approx(0.5)
+
+    def test_reset(self):
+        f = RunningMean()
+        f.update(1.0)
+        f.reset()
+        f.update(0.0)
+        assert f.forecast() == 0.0
+
+
+class TestSlidingWindows:
+    def test_sliding_mean_window(self):
+        f = SlidingMean(2)
+        assert feed(f, [0.0, 0.4, 0.8]) == pytest.approx(0.6)
+
+    def test_sliding_median_window(self):
+        f = SlidingMedian(3)
+        assert feed(f, [0.9, 0.1, 0.5, 0.2]) == pytest.approx(0.2)
+
+    def test_trimmed_mean(self):
+        f = TrimmedMeanWindow(5, 1)
+        assert feed(f, [1.0, 0.0, 0.5, 0.5, 0.5]) == pytest.approx(0.5)
+
+    def test_names_include_window(self):
+        assert SlidingMean(7).name == "sliding_mean_7"
+        assert SlidingMedian(9).name == "sliding_median_9"
+
+
+class TestAdaptiveWindows:
+    def test_grows_when_accurate(self):
+        f = AdaptiveWindowMean(min_window=2, max_window=50, tolerance=0.1)
+        for _ in range(30):
+            f.update(0.5)
+        assert f._window > 2  # grew on every accurate step
+
+    def test_shrinks_on_level_shift(self):
+        f = AdaptiveWindowMean(min_window=2, max_window=50, tolerance=0.05)
+        for _ in range(30):
+            f.update(0.2)
+        grown = f._window
+        f.update(0.9)  # big miss
+        assert f._window < grown
+
+    def test_median_variant_estimates_median(self):
+        f = AdaptiveWindowMedian(min_window=5, max_window=10)
+        for v in (0.1, 0.1, 0.9, 0.1, 0.1):
+            f.update(v)
+        assert f.forecast() == pytest.approx(0.1)
+
+    def test_memory_bounded(self):
+        f = AdaptiveWindowMean(min_window=2, max_window=10)
+        for i in range(100):
+            f.update(i % 2 / 10.0)
+        assert len(f._history) <= 10
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            AdaptiveWindowMean(min_window=5, max_window=2)
+        with pytest.raises(ValueError):
+            AdaptiveWindowMean(shrink=1.5)
+        with pytest.raises(ValueError):
+            AdaptiveWindowMean(tolerance=0.0)
+
+
+class TestExponentialSmoothing:
+    def test_gain_one_is_last_value(self):
+        f = ExponentialSmoothing(1.0)
+        assert feed(f, [0.3, 0.8]) == pytest.approx(0.8)
+
+    def test_recurrence(self):
+        f = ExponentialSmoothing(0.5)
+        f.update(0.0)
+        f.update(1.0)
+        assert f.forecast() == pytest.approx(0.5)
+        f.update(1.0)
+        assert f.forecast() == pytest.approx(0.75)
+
+    def test_bad_gain_rejected(self):
+        for gain in (0.0, -0.2, 1.1):
+            with pytest.raises(ValueError):
+                ExponentialSmoothing(gain)
+
+
+class TestGradientTracker:
+    def test_step_bounded(self):
+        f = GradientTracker(0.05)
+        f.update(0.5)
+        f.update(1.0)  # large jump, but the move is one step
+        assert f.forecast() == pytest.approx(0.55)
+
+    def test_no_overshoot(self):
+        f = GradientTracker(0.5)
+        f.update(0.5)
+        f.update(0.6)  # closer than one step: land exactly
+        assert f.forecast() == pytest.approx(0.6)
+
+    def test_tracks_downward(self):
+        f = GradientTracker(0.1)
+        f.update(0.9)
+        f.update(0.0)
+        assert f.forecast() == pytest.approx(0.8)
+
+    def test_bad_step_rejected(self):
+        with pytest.raises(ValueError):
+            GradientTracker(0.0)
+
+
+class TestDefaultBattery:
+    def test_unique_names(self):
+        names = [f.name for f in default_battery()]
+        assert len(names) == len(set(names))
+
+    def test_reasonable_size(self):
+        assert 15 <= len(default_battery()) <= 30
+
+    def test_fresh_instances(self):
+        a, b = default_battery(), default_battery()
+        a[0].update(0.5)
+        with pytest.raises(ValueError):
+            b[0].forecast()
+
+    @given(st.lists(availabilities, min_size=1, max_size=40))
+    @settings(max_examples=30, deadline=None)
+    def test_property_forecasts_within_data_hull(self, values):
+        # Every battery member's forecast lies within [min, max] of its
+        # inputs -- all are means/medians/level trackers, never
+        # extrapolators.
+        lo, hi = min(values), max(values)
+        for forecaster in default_battery():
+            out = feed(forecaster, values)
+            assert lo - 1e-9 <= out <= hi + 1e-9, forecaster.name

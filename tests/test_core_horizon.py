@@ -1,0 +1,53 @@
+"""Tests for repro.core.horizon (multi-horizon forecasting)."""
+
+import numpy as np
+import pytest
+
+from repro.analysis.fgn import fgn
+from repro.core.horizon import HorizonError, future_averages, horizon_error_profile
+
+
+class TestFutureAverages:
+    def test_block_means(self):
+        out = future_averages([1.0, 3.0, 5.0, 7.0], 2)
+        np.testing.assert_allclose(out, [2.0, 6.0])
+
+
+class TestHorizonProfile:
+    def test_profile_shape(self):
+        values = np.clip(0.6 + 0.1 * fgn(3000, 0.8, rng=0), 0, 1)
+        profile = horizon_error_profile(values, horizons=(1, 6, 30))
+        assert [h.horizon for h in profile] == [1, 6, 30]
+        for entry in profile:
+            assert entry.direct_mae >= 0.0
+            assert entry.n >= 8
+
+    def test_undersized_horizons_skipped(self):
+        values = np.clip(0.5 + 0.05 * fgn(200, 0.7, rng=1), 0, 1)
+        profile = horizon_error_profile(values, horizons=(1, 100))
+        assert [h.horizon for h in profile] == [1]
+
+    def test_error_shrinks_with_aggregation_on_lrd(self):
+        # For an LRD series, block averages are smoother, so longer-horizon
+        # (aggregated) prediction has smaller absolute error.
+        values = np.clip(0.6 + 0.1 * fgn(6000, 0.85, rng=2), 0, 1)
+        profile = horizon_error_profile(values, horizons=(1, 30))
+        assert profile[1].direct_mae < profile[0].direct_mae
+
+    def test_direct_beats_persistence_on_average(self, thing2_run):
+        values = thing2_run.values("load_average")
+        profile = horizon_error_profile(values, horizons=(6, 30))
+        mean_skill = float(np.mean([h.skill for h in profile]))
+        assert mean_skill > -0.1  # at worst a whisker behind persistence
+
+    def test_skill_property(self):
+        entry = HorizonError(horizon=1, direct_mae=0.05, persistent_mae=0.1, n=10)
+        assert entry.skill == pytest.approx(0.5)
+        zero = HorizonError(horizon=1, direct_mae=0.0, persistent_mae=0.0, n=10)
+        assert zero.skill == 0.0
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            horizon_error_profile([0.5] * 8)
+        with pytest.raises(ValueError):
+            horizon_error_profile(np.full(100, 0.5), horizons=(50,))

@@ -1,0 +1,82 @@
+"""Tests for repro.core.predictor (the high-level NWSPredictor facade)."""
+
+import numpy as np
+import pytest
+
+from repro.core.predictor import NWSPredictor
+
+
+class TestObserve:
+    def test_counts(self):
+        p = NWSPredictor(aggregation=3)
+        for v in (0.5, 0.6, 0.7, 0.8):
+            p.observe(v)
+        assert p.n_measurements == 4
+        assert p.n_blocks == 1  # one complete block of 3
+
+    def test_out_of_range_rejected(self):
+        p = NWSPredictor()
+        with pytest.raises(ValueError):
+            p.observe(1.5)
+        with pytest.raises(ValueError):
+            p.observe(-0.1)
+
+    def test_bad_aggregation_rejected(self):
+        with pytest.raises(ValueError):
+            NWSPredictor(aggregation=0)
+
+
+class TestForecasts:
+    def test_short_term_tracks_constant(self):
+        p = NWSPredictor()
+        for _ in range(20):
+            p.observe(0.6)
+        assert p.forecast_next() == pytest.approx(0.6)
+
+    def test_block_forecast_requires_a_block(self):
+        p = NWSPredictor(aggregation=5)
+        p.observe(0.5)
+        with pytest.raises(ValueError):
+            p.forecast_block()
+
+    def test_block_forecast_is_block_mean_based(self):
+        p = NWSPredictor(aggregation=2)
+        for v in (0.2, 0.4, 0.6, 0.8):
+            p.observe(v)  # blocks: 0.3, 0.7
+        out = p.forecast_block()
+        assert 0.3 - 1e-9 <= out <= 0.7 + 1e-9
+
+    def test_horizon_routing(self):
+        p = NWSPredictor(aggregation=3)
+        for v in (0.5, 0.5, 0.5, 0.5, 0.5, 0.5):
+            p.observe(v)
+        assert p.forecast(1) == pytest.approx(0.5)
+        assert p.forecast(3) == pytest.approx(0.5)  # medium-term path
+        with pytest.raises(ValueError):
+            p.forecast(0)
+
+    def test_horizon_falls_back_before_first_block(self):
+        p = NWSPredictor(aggregation=50)
+        for _ in range(5):
+            p.observe(0.4)
+        assert p.forecast(100) == pytest.approx(0.4)
+
+    def test_forecasts_clamped(self):
+        p = NWSPredictor()
+        for _ in range(5):
+            p.observe(1.0)
+        assert 0.0 <= p.forecast_next() <= 1.0
+
+
+class TestExpansionFactor:
+    def test_inverse_of_availability(self):
+        p = NWSPredictor()
+        for _ in range(10):
+            p.observe(0.5)
+        assert p.expansion_factor() == pytest.approx(2.0)
+
+    def test_infinite_when_unavailable(self):
+        p = NWSPredictor()
+        for _ in range(10):
+            p.observe(0.0)
+        assert p.expansion_factor() == np.inf

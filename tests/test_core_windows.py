@@ -1,0 +1,109 @@
+"""Tests for repro.core.windows (sliding-window accumulators)."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core.windows import RingMean, RingMedian, RingTrimmedMean
+
+floats = st.floats(min_value=-1e6, max_value=1e6, allow_nan=False)
+
+
+class TestRingMean:
+    def test_mean_before_full(self):
+        ring = RingMean(5)
+        ring.push(2.0)
+        ring.push(4.0)
+        assert ring.mean == pytest.approx(3.0)
+        assert len(ring) == 2
+
+    def test_eviction(self):
+        ring = RingMean(2)
+        for v in (1.0, 2.0, 3.0):
+            ring.push(v)
+        assert len(ring) == 2
+        assert ring.mean == pytest.approx(2.5)
+        assert ring.values() == [2.0, 3.0]
+
+    def test_empty_mean_rejected(self):
+        with pytest.raises(ValueError, match="empty"):
+            RingMean(3).mean
+
+    def test_bad_capacity_rejected(self):
+        with pytest.raises(ValueError):
+            RingMean(0)
+
+    @given(st.lists(floats, min_size=1, max_size=60), st.integers(min_value=1, max_value=10))
+    @settings(max_examples=50, deadline=None)
+    def test_property_matches_numpy(self, values, capacity):
+        ring = RingMean(capacity)
+        for v in values:
+            ring.push(v)
+        expected = np.mean(values[-capacity:])
+        assert ring.mean == pytest.approx(expected, rel=1e-9, abs=1e-6)
+
+
+class TestRingMedian:
+    def test_median_odd_even(self):
+        ring = RingMedian(5)
+        for v in (5.0, 1.0, 3.0):
+            ring.push(v)
+        assert ring.median == 3.0
+        ring.push(2.0)
+        assert ring.median == pytest.approx(2.5)
+
+    def test_eviction_keeps_sorted_in_sync(self):
+        ring = RingMedian(3)
+        for v in (10.0, 1.0, 5.0, 7.0):
+            ring.push(v)  # retains [1, 5, 7]
+        assert ring.median == 5.0
+        assert ring.values() == [1.0, 5.0, 7.0]
+
+    def test_duplicates(self):
+        ring = RingMedian(3)
+        for v in (2.0, 2.0, 2.0, 2.0):
+            ring.push(v)
+        assert ring.median == 2.0
+
+    def test_quantile(self):
+        ring = RingMedian(10)
+        for v in range(10):
+            ring.push(float(v))
+        assert ring.quantile(0.0) == 0.0
+        assert ring.quantile(1.0) == 9.0
+        with pytest.raises(ValueError):
+            ring.quantile(1.5)
+
+    def test_empty_rejected(self):
+        with pytest.raises(ValueError):
+            RingMedian(3).median
+
+    @given(st.lists(floats, min_size=1, max_size=60), st.integers(min_value=1, max_value=10))
+    @settings(max_examples=50, deadline=None)
+    def test_property_matches_numpy(self, values, capacity):
+        ring = RingMedian(capacity)
+        for v in values:
+            ring.push(v)
+        expected = np.median(values[-capacity:])
+        assert ring.median == pytest.approx(expected, rel=1e-9, abs=1e-6)
+
+
+class TestRingTrimmedMean:
+    def test_trims_extremes(self):
+        ring = RingTrimmedMean(5, 1)
+        for v in (100.0, 1.0, 2.0, 3.0, -50.0):
+            ring.push(v)
+        assert ring.trimmed_mean == pytest.approx(2.0)
+
+    def test_falls_back_to_plain_mean_when_small(self):
+        ring = RingTrimmedMean(7, 2)
+        ring.push(4.0)
+        ring.push(8.0)
+        assert ring.trimmed_mean == pytest.approx(6.0)
+
+    def test_bad_trim_rejected(self):
+        with pytest.raises(ValueError):
+            RingTrimmedMean(4, 2)
+        with pytest.raises(ValueError):
+            RingTrimmedMean(4, -1)

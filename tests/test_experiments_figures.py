@@ -1,0 +1,87 @@
+"""Tests for repro.experiments.figures (structure + shape invariants)."""
+
+import numpy as np
+import pytest
+
+from repro.analysis.acf import acf_confidence_band
+from repro.experiments.figures import figure1, figure2, figure3, figure4
+
+from tests.conftest import SHORT, SHORT_MEDIUM
+
+HOURS4 = SHORT.duration
+SEED = SHORT.seed
+
+
+class TestFigure1:
+    @pytest.fixture(scope="class")
+    def fig(self):
+        return figure1(seed=SEED, duration=HOURS4)
+
+    def test_panels(self, fig):
+        assert set(fig.panels) == {"thing1", "thing2"}
+        for data in fig.panels.values():
+            assert set(data) == {"time_hours", "availability_percent"}
+            assert data["time_hours"].shape == data["availability_percent"].shape
+
+    def test_availability_is_percent(self, fig):
+        for data in fig.panels.values():
+            v = data["availability_percent"]
+            assert v.min() >= 0.0 and v.max() <= 100.0
+            assert v.max() > 50.0  # the machines are not permanently pegged
+
+    def test_renders(self, fig):
+        text = fig.render(width=40, height=8)
+        assert "thing1" in text and "*" in text
+
+
+class TestFigure2:
+    @pytest.fixture(scope="class")
+    def fig(self):
+        return figure2(seed=SEED, duration=HOURS4)
+
+    def test_acf_starts_at_one(self, fig):
+        for data in fig.panels.values():
+            assert data["autocorrelation"][0] == 1.0
+            assert data["lag"].size == 361
+
+    def test_slow_decay_vs_white_noise(self, fig):
+        # Long-range dependence: the mean ACF over lags 1..60 (10 minutes)
+        # sits far above the white-noise confidence band.
+        for host, data in fig.panels.items():
+            rho = data["autocorrelation"]
+            band = acf_confidence_band(1200)
+            assert rho[1:61].mean() > 3 * band, host
+
+
+class TestFigure3:
+    @pytest.fixture(scope="class")
+    def fig(self):
+        # Shorter than the paper's week to keep tests quick; the benches
+        # run the full seven days.
+        return figure3(seed=SEED, duration=12 * 3600.0)
+
+    def test_pox_panels(self, fig):
+        for data in fig.panels.values():
+            assert data["log10_d"].shape == data["log10_rs"].shape
+            assert data["fit_x"].size == data["fit_y"].size
+
+    def test_hurst_notes_in_range(self, fig):
+        for key, value in fig.notes.items():
+            assert key.endswith("_hurst")
+            assert 0.5 < value < 1.0, (key, value)
+
+
+class TestFigure4:
+    @pytest.fixture(scope="class")
+    def fig(self):
+        return figure4(seed=SEED, duration=SHORT_MEDIUM.duration)
+
+    def test_aggregated_length(self, fig):
+        raw = figure1(seed=SEED, duration=HOURS4)
+        for host in fig.panels:
+            assert fig.panels[host]["time_hours"].size < raw.panels[host]["time_hours"].size
+
+    def test_availability_percent_range(self, fig):
+        for data in fig.panels.values():
+            v = data["availability_percent"]
+            assert v.min() >= 0.0 and v.max() <= 100.0

@@ -1,0 +1,39 @@
+"""Tests for repro.experiments.smp (the multiprocessor extension)."""
+
+import pytest
+
+from repro.experiments.smp import SmpResult, smp_study
+
+DURATION = 2 * 3600.0
+
+
+class TestSmpStudy:
+    @pytest.fixture(scope="class")
+    def uni(self):
+        return smp_study(1, seed=3, duration=DURATION)
+
+    @pytest.fixture(scope="class")
+    def quad(self):
+        return smp_study(4, seed=3, duration=DURATION)
+
+    def test_result_structure(self, uni):
+        assert isinstance(uni, SmpResult)
+        assert uni.ncpu == 1
+        assert uni.n >= 5
+        assert 0.0 <= uni.mean_truth <= 1.0
+
+    def test_uniprocessor_formulas_coincide(self, uni):
+        assert uni.plain_mae == pytest.approx(uni.aware_mae, abs=1e-12)
+
+    def test_smp_aware_formula_wins_on_quad(self, quad):
+        assert quad.aware_mae < quad.plain_mae
+
+    def test_plain_formula_underestimates_on_smp(self, quad):
+        # On a 4-way box with per-CPU load ~0.5 the truth is ~1.0 while
+        # 1/(L+1) reads far below it.
+        assert quad.mean_truth > 0.85
+        assert quad.plain_mae > 0.1
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            smp_study(0)

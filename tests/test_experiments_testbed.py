@@ -1,0 +1,79 @@
+"""Tests for repro.experiments.testbed (runs, memoization, determinism)."""
+
+import numpy as np
+import pytest
+
+from repro.experiments.testbed import (
+    Testbed,
+    TestbedConfig,
+    clear_run_cache,
+    run_host,
+)
+from repro.sensors.suite import METHODS
+
+from tests.conftest import SHORT
+
+
+class TestConfigValidation:
+    def test_duration_must_exceed_warmup(self):
+        with pytest.raises(ValueError):
+            TestbedConfig(duration=100.0, warmup=600.0)
+
+    def test_unknown_scheduler_rejected(self):
+        with pytest.raises(ValueError, match="unknown scheduler"):
+            TestbedConfig(scheduler="fifo")
+
+
+class TestRunHost:
+    def test_memoization_returns_same_object(self):
+        a = run_host("thing1", SHORT)
+        b = run_host("thing1", SHORT)
+        assert a is b
+
+    def test_distinct_configs_not_shared(self):
+        a = run_host("thing1", SHORT)
+        other = TestbedConfig(duration=SHORT.duration, seed=SHORT.seed + 1)
+        b = run_host("thing1", other)
+        assert a is not b
+        clear_run_cache()
+
+    def test_series_present_for_all_methods(self, thing1_run):
+        assert set(thing1_run.series) == set(METHODS)
+        for method in METHODS:
+            series = thing1_run.series[method]
+            assert len(series) > 1000  # 4 h of 10 s samples post-warmup
+            assert np.all((series.values >= 0.0) & (series.values <= 1.0))
+
+    def test_observations_populated(self, thing1_run):
+        assert len(thing1_run.observations) >= 20
+        truth = thing1_run.observed()
+        assert np.all((truth >= 0.0) & (truth <= 1.0))
+
+    def test_premeasurement_alignment(self, thing1_run):
+        pre = thing1_run.premeasurements("load_average")
+        assert pre.shape == thing1_run.observed().shape
+
+    def test_determinism_across_cache_clears(self):
+        first = run_host("gremlin", SHORT).values("load_average").copy()
+        clear_run_cache()
+        second = run_host("gremlin", SHORT).values("load_average")
+        np.testing.assert_array_equal(first, second)
+
+    def test_hosts_evolve_independently(self, thing1_run, thing2_run):
+        n = min(len(thing1_run.values("load_average")), len(thing2_run.values("load_average")))
+        assert not np.array_equal(
+            thing1_run.values("load_average")[:n],
+            thing2_run.values("load_average")[:n],
+        )
+
+
+class TestTestbed:
+    def test_iterates_in_table_order(self):
+        testbed = Testbed(SHORT)
+        assert testbed.host_names[0] == "thing2"
+        assert testbed.host_names[-1] == "kongo"
+
+    def test_runs_all_hosts(self):
+        testbed = Testbed(SHORT)
+        runs = testbed.runs()
+        assert [r.host for r in runs] == testbed.host_names

@@ -1,0 +1,102 @@
+"""End-to-end integration: sensing -> forecasting -> analysis -> scheduling.
+
+These tests exercise whole pipelines across module boundaries, using the
+shared 4-hour testbed runs from conftest.
+"""
+
+import numpy as np
+import pytest
+
+from repro.analysis.acf import acf, acf_confidence_band
+from repro.analysis.aggregate import aggregate_series
+from repro.analysis.hurst import hurst_rs
+from repro.core.errors import one_step_prediction_errors, true_forecasting_errors
+from repro.core.mixture import forecast_series
+from repro.core.predictor import NWSPredictor
+from repro.trace.io import load_trace_csv, save_trace_csv
+from repro.trace.resample import resample_nearest
+
+
+class TestSensingToForecasting:
+    def test_forecasting_pipeline_on_simulated_trace(self, thing1_run):
+        values = thing1_run.values("load_average")
+        forecasts = forecast_series(values)
+        err = one_step_prediction_errors(forecasts[1:], values[1:])
+        assert err.mae_percent < 7.0
+
+    def test_predictor_streaming_matches_batch(self, thing1_run):
+        values = thing1_run.values("load_average")[:500]
+        predictor = NWSPredictor()
+        predictions = []
+        for v in values:
+            if predictor.n_measurements > 0:
+                predictions.append(predictor.forecast_next())
+            predictor.observe(float(v))
+        err = np.abs(np.asarray(predictions) - values[1:]).mean()
+        assert err < 0.08
+
+    def test_true_forecast_error_close_to_measurement_error(self, thing2_run):
+        values = thing2_run.series["load_average"].values
+        times = thing2_run.series["load_average"].times
+        forecasts = forecast_series(values)
+        pre, truth = [], []
+        for obs in thing2_run.observations:
+            i = int(np.searchsorted(times, obs.start_time, side="right")) - 1
+            if i < 0 or i + 1 >= forecasts.size or np.isnan(forecasts[i + 1]):
+                continue
+            pre.append(forecasts[i + 1])
+            truth.append(obs.observed)
+        forecast_err = true_forecasting_errors(np.array(pre), np.array(truth)).mae
+        meas = thing2_run.premeasurements("load_average")
+        meas_err = np.abs(meas - thing2_run.observed()).mean()
+        assert forecast_err == pytest.approx(meas_err, abs=0.05)
+
+
+class TestSensingToAnalysis:
+    def test_simulated_trace_is_long_range_dependent(self, thing2_run):
+        values = thing2_run.values("load_average")
+        rho = acf(values, nlags=60)
+        band = acf_confidence_band(values.size)
+        assert rho[1:61].mean() > 3 * band
+
+    def test_hurst_in_paper_range(self, thing2_run):
+        est = hurst_rs(thing2_run.values("load_average"))
+        assert 0.55 < est.value < 0.95
+
+    def test_aggregation_reduces_variance_slowly(self, thing2_run):
+        values = thing2_run.values("load_average")
+        agg = aggregate_series(values, 30)
+        assert agg.var() < values.var()
+        assert agg.var() > values.var() / 30.0
+
+
+class TestAnomalyChain:
+    def test_conundrum_chain(self, conundrum_run):
+        """Sensor pathology propagates exactly as the paper describes."""
+        truth = conundrum_run.observed()
+        la = conundrum_run.premeasurements("load_average")
+        hy = conundrum_run.premeasurements("nws_hybrid")
+        # Truth: a full-priority process gets nearly the whole machine.
+        assert truth.mean() > 0.9
+        # Load average claims half of it is gone; the hybrid knows better.
+        assert la.mean() < 0.65
+        assert np.abs(hy - truth).mean() < np.abs(la - truth).mean() / 3.0
+
+    def test_kongo_chain(self, kongo_run):
+        truth = kongo_run.observed()
+        la = kongo_run.premeasurements("load_average")
+        hy = kongo_run.premeasurements("nws_hybrid")
+        assert 0.4 < truth.mean() < 0.7
+        assert np.abs(la - truth).mean() < 0.15
+        assert np.abs(hy - truth).mean() > 2.0 * np.abs(la - truth).mean()
+
+
+class TestTracePersistenceRoundtrip:
+    def test_simulated_series_roundtrip_and_resample(self, thing1_run, tmp_path):
+        series = thing1_run.series["nws_hybrid"]
+        path = tmp_path / "hybrid.csv"
+        save_trace_csv(series, path)
+        loaded = load_trace_csv(path)
+        np.testing.assert_array_equal(loaded.values, series.values)
+        regular = resample_nearest(loaded, 10.0)
+        assert regular.period == pytest.approx(10.0)

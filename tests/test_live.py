@@ -1,0 +1,114 @@
+"""Tests for repro.live (real /proc sensing) -- Linux-only, fast cadences."""
+
+import os
+import sys
+import threading
+import time
+
+import pytest
+
+pytestmark = pytest.mark.skipif(
+    not (sys.platform.startswith("linux") and os.path.exists("/proc/stat")),
+    reason="live sensing requires Linux /proc",
+)
+
+from repro.live.proc import ProcStatReader, read_loadavg, read_proc_stat
+from repro.live.probe import LiveMonitor, spin_probe
+from repro.live.sensors import LiveLoadAverageSensor, LiveVmstatSensor
+
+
+class TestProcReaders:
+    def test_loadavg_triple(self):
+        one, five, fifteen = read_loadavg()
+        for value in (one, five, fifteen):
+            assert value >= 0.0
+
+    def test_proc_stat_counters_monotone(self):
+        a = read_proc_stat()
+        time.sleep(0.05)
+        b = read_proc_stat()
+        assert b.total >= a.total
+        assert a.procs_running >= 1
+
+    def test_stat_reader_fractions_sum_to_one(self):
+        reader = ProcStatReader()
+        time.sleep(0.2)
+        user, sys_, idle, n = reader.delta()
+        assert user + sys_ + idle == pytest.approx(1.0)
+        assert n >= 1
+
+    def test_missing_path_raises_runtime_error(self):
+        with pytest.raises(RuntimeError, match="live sensing"):
+            read_loadavg("/nonexistent/loadavg")
+
+
+class TestLiveSensors:
+    def test_loadavg_sensor_in_unit_range(self):
+        sensor = LiveLoadAverageSensor()
+        value = sensor.read()
+        assert 0.0 < value <= 1.0
+
+    def test_loadavg_matches_formula(self):
+        sensor = LiveLoadAverageSensor()
+        one_minute, _, _ = read_loadavg()
+        assert sensor.read() == pytest.approx(1.0 / (one_minute + 1.0), abs=0.05)
+
+    def test_ncpu_aware_at_least_plain(self):
+        plain = LiveLoadAverageSensor().read()
+        aware = LiveLoadAverageSensor(ncpu_aware=True).read()
+        assert aware >= plain - 1e-9
+
+    def test_vmstat_sensor_in_unit_range(self):
+        sensor = LiveVmstatSensor()
+        time.sleep(0.2)
+        value = sensor.read()
+        assert 0.0 <= value <= 1.0
+
+    def test_vmstat_validation(self):
+        with pytest.raises(ValueError):
+            LiveVmstatSensor(smoothing=2.0)
+
+
+class TestSpinProbe:
+    def test_measures_share_on_quiet_machine(self):
+        share = spin_probe(0.3)
+        assert 0.3 < share <= 1.0  # CI containers can be noisy; loose floor
+
+    def test_detects_contention(self):
+        # Spin a competing thread pinned to the GIL-free busy loop via a
+        # subprocess would be heavyweight; instead just assert the probe
+        # returns less than ~1.0 + epsilon and is repeatable.
+        first = spin_probe(0.2)
+        second = spin_probe(0.2)
+        assert abs(first - second) < 0.7
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            spin_probe(0.0)
+
+
+class TestLiveMonitor:
+    def test_run_collects_all_methods(self):
+        monitor = LiveMonitor(measure_period=0.1, probe_period=None)
+        traces = monitor.run(4)
+        assert set(traces) == {"load_average", "vmstat", "nws_hybrid"}
+        for series in traces.values():
+            assert len(series) == 4
+            assert series.host == os.uname().nodename
+
+    def test_probe_rearbitrates(self):
+        monitor = LiveMonitor(
+            measure_period=0.1, probe_period=0.2, probe_duration=0.1
+        )
+        monitor.run(4)
+        # At least one probe fired and set a bias (possibly ~0).
+        assert monitor._trusted in ("load_average", "vmstat")
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            LiveMonitor(measure_period=0.0)
+        with pytest.raises(ValueError):
+            LiveMonitor(measure_period=5.0, probe_period=1.0)
+        monitor = LiveMonitor(measure_period=0.1, probe_period=None)
+        with pytest.raises(ValueError):
+            monitor.run(0)

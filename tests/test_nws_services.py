@@ -1,0 +1,211 @@
+"""Tests for repro.nws (the NWS service architecture)."""
+
+import numpy as np
+import pytest
+
+from repro.nws.forecaster import ForecasterService
+from repro.nws.memory import MemoryStore
+from repro.nws.nameserver import NameServer
+from repro.nws.system import NWSSystem
+
+
+class TestNameServer:
+    def test_register_and_lookup(self):
+        ns = NameServer()
+        ns.register("sensor.cpu.a", "sensor", {"host": "a", "resource": "cpu"})
+        ns.register("sensor.cpu.b", "sensor", {"host": "b", "resource": "cpu"})
+        ns.register("memory.main", "memory")
+        assert len(ns.lookup("sensor")) == 2
+        assert [r.name for r in ns.lookup("sensor", host="b")] == ["sensor.cpu.b"]
+        assert len(ns) == 3
+
+    def test_unknown_kind_rejected(self):
+        with pytest.raises(ValueError, match="unknown component kind"):
+            NameServer().register("x", "scheduler")
+
+    def test_ttl_expiry(self):
+        clock = {"t": 0.0}
+        ns = NameServer(clock=lambda: clock["t"])
+        ns.register("sensor.cpu.a", "sensor", ttl=30.0)
+        assert len(ns.lookup("sensor")) == 1
+        clock["t"] = 31.0
+        assert ns.lookup("sensor") == []
+        with pytest.raises(KeyError):
+            ns.get("sensor.cpu.a")
+
+    def test_refresh_extends_ttl(self):
+        clock = {"t": 0.0}
+        ns = NameServer(clock=lambda: clock["t"])
+        ns.register("sensor.cpu.a", "sensor", ttl=30.0)
+        clock["t"] = 25.0
+        ns.refresh("sensor.cpu.a", ttl=30.0)
+        clock["t"] = 50.0
+        assert len(ns.lookup("sensor")) == 1
+
+    def test_refresh_dead_rejected(self):
+        clock = {"t": 0.0}
+        ns = NameServer(clock=lambda: clock["t"])
+        ns.register("sensor.cpu.a", "sensor", ttl=10.0)
+        clock["t"] = 20.0
+        with pytest.raises(KeyError):
+            ns.refresh("sensor.cpu.a", ttl=10.0)
+
+    def test_reregistration_replaces(self):
+        ns = NameServer()
+        ns.register("sensor.cpu.a", "sensor", {"v": "1"})
+        ns.register("sensor.cpu.a", "sensor", {"v": "2"})
+        assert ns.get("sensor.cpu.a").attributes["v"] == "2"
+        assert len(ns) == 1
+
+    def test_unregister_idempotent(self):
+        ns = NameServer()
+        ns.register("m", "memory")
+        ns.unregister("m")
+        ns.unregister("m")
+        assert len(ns) == 0
+
+
+class TestMemoryStore:
+    def test_publish_and_fetch(self):
+        mem = MemoryStore()
+        for i in range(5):
+            mem.publish("cpu.a", 10.0 * i, 0.1 * i)
+        times, values = mem.fetch("cpu.a")
+        assert times.size == 5
+        assert values[-1] == pytest.approx(0.4)
+
+    def test_bounded_retention(self):
+        mem = MemoryStore(capacity=3)
+        for i in range(10):
+            mem.publish("s", float(i), float(i))
+        times, values = mem.fetch("s")
+        np.testing.assert_allclose(times, [7.0, 8.0, 9.0])
+
+    def test_out_of_order_rejected(self):
+        mem = MemoryStore()
+        mem.publish("s", 10.0, 0.5)
+        with pytest.raises(ValueError, match="out-of-order"):
+            mem.publish("s", 5.0, 0.5)
+
+    def test_fetch_filters(self):
+        mem = MemoryStore()
+        for i in range(10):
+            mem.publish("s", float(i), float(i))
+        times, _ = mem.fetch("s", since=5.0)
+        assert times[0] == 5.0
+        times, _ = mem.fetch("s", limit=2)
+        np.testing.assert_allclose(times, [8.0, 9.0])
+
+    def test_unknown_series_rejected(self):
+        with pytest.raises(KeyError):
+            MemoryStore().fetch("nope")
+
+    def test_persistence_roundtrip(self, tmp_path):
+        mem = MemoryStore(capacity=100, directory=tmp_path)
+        for i in range(5):
+            mem.publish("cpu.a", float(i), 0.5)
+        fresh = MemoryStore(capacity=100, directory=tmp_path)
+        assert fresh.recover("cpu.a") == 5
+        times, values = fresh.fetch("cpu.a")
+        assert times.size == 5
+
+    def test_recover_respects_capacity(self, tmp_path):
+        mem = MemoryStore(capacity=100, directory=tmp_path)
+        for i in range(50):
+            mem.publish("s", float(i), 0.5)
+        small = MemoryStore(capacity=10, directory=tmp_path)
+        assert small.recover("s") == 10
+
+    def test_recover_without_directory_rejected(self):
+        with pytest.raises(RuntimeError):
+            MemoryStore().recover("s")
+
+    def test_as_trace(self):
+        mem = MemoryStore()
+        mem.publish("cpu.a", 0.0, 0.5)
+        mem.publish("cpu.a", 10.0, 0.6)
+        trace = mem.as_trace("cpu.a", host="a", method="load_average")
+        assert trace.host == "a" and len(trace) == 2
+
+
+class TestForecasterService:
+    def test_query_tracks_series(self):
+        mem = MemoryStore()
+        svc = ForecasterService(mem)
+        for i in range(30):
+            mem.publish("cpu.a", 10.0 * i, 0.7)
+        report = svc.query("cpu.a")
+        assert report.forecast == pytest.approx(0.7)
+        assert report.n_measurements == 30
+        assert report.as_of == pytest.approx(290.0)
+        assert report.method
+
+    def test_incremental_consumption(self):
+        mem = MemoryStore()
+        svc = ForecasterService(mem)
+        for i in range(10):
+            mem.publish("s", float(i), 0.5)
+        first = svc.query("s")
+        for i in range(10, 15):
+            mem.publish("s", float(i), 0.9)
+        second = svc.query("s")
+        assert second.n_measurements == 15
+        assert second.forecast > first.forecast  # saw the jump to 0.9
+
+    def test_error_bar_reported(self):
+        mem = MemoryStore()
+        svc = ForecasterService(mem)
+        rng = np.random.default_rng(0)
+        for i in range(100):
+            mem.publish("s", float(i), float(np.clip(0.5 + rng.normal(0, 0.1), 0, 1)))
+        report = svc.query("s")
+        assert 0.0 < report.error < 0.5
+
+    def test_query_all(self):
+        mem = MemoryStore()
+        svc = ForecasterService(mem)
+        mem.publish("a", 0.0, 0.5)
+        mem.publish("b", 0.0, 0.6)
+        out = svc.query_all()
+        assert set(out) == {"a", "b"}
+
+    def test_unknown_series(self):
+        with pytest.raises(KeyError):
+            ForecasterService(MemoryStore()).query("nope")
+
+
+class TestNWSSystem:
+    @pytest.fixture(scope="class")
+    def system(self):
+        system = NWSSystem(["thing1", "kongo"], seed=5)
+        system.advance(1800.0)
+        return system
+
+    def test_discovery(self, system):
+        assert system.cpu_sensors() == ["sensor.cpu.kongo", "sensor.cpu.thing1"]
+
+    def test_memory_filled(self, system):
+        assert system.memory.count("cpu.thing1.load_average") > 100
+        assert system.memory.count("cpu.kongo.nws_hybrid") > 100
+
+    def test_availability_queries(self, system):
+        report = system.availability("kongo", method="load_average")
+        # kongo's hog pins availability near 0.5.
+        assert report.forecast == pytest.approx(0.5, abs=0.1)
+        assert report.n_measurements > 100
+
+    def test_availability_map(self, system):
+        out = system.availability_map()
+        assert set(out) == {"thing1", "kongo"}
+
+    def test_unknown_host(self, system):
+        with pytest.raises(KeyError):
+            system.availability("nonesuch")
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            NWSSystem([])
+        system = NWSSystem(["gremlin"], seed=1)
+        system.advance(100.0)
+        with pytest.raises(ValueError):
+            system.advance(50.0)

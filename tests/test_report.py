@@ -1,0 +1,119 @@
+"""Tests for repro.report (ASCII plots and CSV export)."""
+
+import csv
+
+import numpy as np
+import pytest
+
+from repro.experiments.results import FigureResult, TableResult
+from repro.report.ascii import histogram, line_plot, scatter_plot
+from repro.report.export import export_figure_csv, export_table_csv
+
+
+class TestLinePlot:
+    def test_dimensions(self):
+        x = np.linspace(0, 10, 100)
+        y = np.sin(x)
+        text = line_plot(x, y, width=40, height=8)
+        lines = text.split("\n")
+        assert len(lines) == 10  # 8 rows + axis + labels
+        assert all(len(line) <= 60 for line in lines)
+
+    def test_contains_markers(self):
+        text = line_plot([0, 1, 2], [0.0, 1.0, 0.0], width=10, height=4)
+        assert "*" in text
+
+    def test_fixed_y_range(self):
+        text = line_plot([0, 1], [0.4, 0.6], width=10, height=4, y_range=(0, 1))
+        assert "1" in text.split("\n")[0]
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            line_plot([], [])
+        with pytest.raises(ValueError):
+            line_plot([1, 2], [1, 2], width=1)
+
+
+class TestScatterPlot:
+    def test_markers_and_overlay(self):
+        x = np.array([0.0, 1.0, 2.0])
+        y = np.array([0.0, 0.5, 1.0])
+        text = scatter_plot(x, y, overlay=(x, y * 0.9))
+        assert "+" in text and "o" in text
+
+    def test_constant_data_no_crash(self):
+        text = scatter_plot([1.0, 1.0], [2.0, 2.0])
+        assert "+" in text
+
+
+class TestHistogram:
+    def test_bars_proportional(self):
+        values = np.concatenate([np.zeros(90), np.ones(10)])
+        text = histogram(values, bins=2, width=30)
+        lines = text.split("\n")
+        assert lines[0].count("#") == 30
+        assert 1 <= lines[1].count("#") <= 5
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            histogram([])
+        with pytest.raises(ValueError):
+            histogram([1.0], bins=0)
+
+
+class TestExport:
+    def test_table_csv(self, tmp_path):
+        table = TableResult(
+            table_id="tableX",
+            title="t",
+            headers=["Host", "A"],
+            rows=[["h1", "1.0%"], ["h2", "2.0%"]],
+        )
+        path = tmp_path / "t.csv"
+        export_table_csv(table, path)
+        with path.open() as f:
+            rows = list(csv.reader(f))
+        assert rows[0] == ["Host", "A"]
+        assert rows[1] == ["h1", "1.0%"]
+
+    def test_figure_csv(self, tmp_path):
+        figure = FigureResult(
+            figure_id="figX",
+            title="f",
+            panels={"p": {"x": np.array([1.0, 2.0]), "y": np.array([3.0, 4.0])}},
+        )
+        paths = export_figure_csv(figure, tmp_path)
+        assert len(paths) == 1
+        with paths[0].open() as f:
+            rows = list(csv.reader(f))
+        assert rows[0] == ["x", "y"]
+        assert float(rows[1][0]) == 1.0
+
+    def test_figure_unequal_lengths_padded(self, tmp_path):
+        figure = FigureResult(
+            figure_id="figY",
+            title="f",
+            panels={"p": {"x": np.array([1.0]), "y": np.array([1.0, 2.0])}},
+        )
+        (path,) = export_figure_csv(figure, tmp_path)
+        with path.open() as f:
+            rows = list(csv.reader(f))
+        assert rows[1] == ["1.0", "1.0"]
+        assert rows[2] == ["", "2.0"]  # shorter column padded
+
+
+class TestTableResult:
+    def test_cell_lookup(self):
+        table = TableResult("t", "title", ["Host", "A"], [["h1", "5%"]])
+        assert table.cell("h1", "A") == "5%"
+        with pytest.raises(KeyError):
+            table.cell("h1", "B")
+        with pytest.raises(KeyError):
+            table.cell("h9", "A")
+
+    def test_render_with_paper(self):
+        table = TableResult(
+            "t", "title", ["Host", "A"], [["h1", "5%"]], paper=[["h1", "4%"]]
+        )
+        text = table.render(with_paper=True)
+        assert "paper reported" in text and "4%" in text

@@ -1,0 +1,146 @@
+"""Tests for repro.schedapp (grid scheduling on forecasts)."""
+
+import numpy as np
+import pytest
+
+from repro.schedapp.grid import SimGrid
+from repro.schedapp.mappers import EqualSplitMapper, PredictiveMapper, RandomMapper
+from repro.schedapp.tasks import GridTask, TaskResult
+from repro.schedapp.workqueue import self_schedule
+
+
+def make_tasks(n=8, seed=0):
+    rng = np.random.default_rng(seed)
+    return [GridTask(i, float(w)) for i, w in enumerate(rng.uniform(10, 40, n))]
+
+
+class TestGridTask:
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            GridTask(0, 0.0)
+
+    def test_result_metrics(self):
+        r = TaskResult(GridTask(0, 10.0), "h", 0.0, 20.0)
+        assert r.elapsed == 20.0
+        assert r.achieved_availability == pytest.approx(0.5)
+
+
+class TestMappers:
+    FORECASTS = {"a": 0.9, "b": 0.5, "c": 0.1}
+
+    def _assert_complete(self, assignment, tasks):
+        placed = [t.task_id for ts in assignment.values() for t in ts]
+        assert sorted(placed) == [t.task_id for t in tasks]
+
+    def test_random_places_all(self):
+        tasks = make_tasks(20)
+        out = RandomMapper().assign(tasks, self.FORECASTS, rng=np.random.default_rng(1))
+        self._assert_complete(out, tasks)
+
+    def test_equal_split_balances_counts(self):
+        tasks = make_tasks(9)
+        out = EqualSplitMapper().assign(tasks, self.FORECASTS)
+        assert [len(v) for v in out.values()] == [3, 3, 3]
+
+    def test_predictive_prefers_fast_hosts(self):
+        tasks = make_tasks(12)
+        out = PredictiveMapper().assign(tasks, self.FORECASTS)
+        self._assert_complete(out, tasks)
+        work = {h: sum(t.work for t in ts) for h, ts in out.items()}
+        assert work["a"] > work["c"]
+        # Work shares roughly proportional to rates (LPT approximates).
+        assert work["a"] / work["b"] == pytest.approx(0.9 / 0.5, rel=0.5)
+
+    def test_predictive_balances_finish_times(self):
+        tasks = make_tasks(40)
+        forecasts = {"a": 0.8, "b": 0.4}
+        out = PredictiveMapper().assign(tasks, forecasts)
+        finish = {
+            h: sum(t.work for t in ts) / forecasts[h] for h, ts in out.items()
+        }
+        assert abs(finish["a"] - finish["b"]) < 40.0
+
+    def test_predictive_excludes_dead_hosts(self):
+        tasks = make_tasks(6)
+        out = PredictiveMapper(min_availability=0.2).assign(
+            tasks, {"alive": 0.9, "dead": 0.01}
+        )
+        assert out["dead"] == []
+
+    def test_predictive_falls_back_when_all_dead(self):
+        tasks = make_tasks(4)
+        out = PredictiveMapper(min_availability=0.5).assign(
+            tasks, {"x": 0.1, "y": 0.2}
+        )
+        assert sum(len(v) for v in out.values()) == 4
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            RandomMapper().assign([], self.FORECASTS)
+        with pytest.raises(ValueError):
+            RandomMapper().assign(make_tasks(1), {})
+        with pytest.raises(ValueError):
+            PredictiveMapper(min_availability=1.5)
+
+
+class TestSimGrid:
+    def test_unknown_method_rejected(self):
+        with pytest.raises(ValueError):
+            SimGrid(["thing1"], method="top")
+
+    def test_empty_rejected(self):
+        with pytest.raises(ValueError):
+            SimGrid([])
+
+    def test_forecasts_for_each_instance(self):
+        grid = SimGrid(["thing1", "thing1"], seed=3)
+        grid.advance(1200.0)
+        fc = grid.forecasts()
+        assert set(fc) == {"thing1#0", "thing1#1"}
+        for value in fc.values():
+            assert 0.0 <= value <= 1.0
+
+    def test_execute_runs_all_tasks(self):
+        grid = SimGrid(["thing1", "gremlin"], seed=4)
+        grid.advance(1200.0)
+        tasks = make_tasks(6)
+        assignment = EqualSplitMapper().assign(tasks, grid.forecasts())
+        result = grid.execute(assignment)
+        assert len(result.results) == 6
+        assert result.makespan > 0.0
+        assert max(result.per_host_finish.values()) == pytest.approx(result.makespan)
+
+    def test_execute_unknown_host_rejected(self):
+        grid = SimGrid(["thing1"], seed=5)
+        with pytest.raises(KeyError):
+            grid.execute({"bogus": make_tasks(1)})
+
+    def test_task_on_idle_host_runs_near_full_speed(self):
+        grid = SimGrid(["gremlin"], seed=6)
+        grid.advance(1200.0)
+        result = grid.execute({"gremlin#0": [GridTask(0, 30.0)]})
+        r = result.results[0]
+        assert r.achieved_availability > 0.6
+
+
+class TestWorkQueue:
+    def test_drains_all_tasks(self):
+        grid = SimGrid(["thing1", "kongo"], seed=7)
+        grid.advance(1200.0)
+        tasks = make_tasks(10)
+        run = self_schedule(grid, tasks)
+        assert len(run.results) == 10
+        assert sum(run.chunks_per_host.values()) == 10
+
+    def test_faster_host_pulls_more(self):
+        # kongo's permanent hog halves its rate; thing1 is mostly idle.
+        grid = SimGrid(["thing1", "kongo"], seed=8)
+        grid.advance(1200.0)
+        tasks = [GridTask(i, 15.0) for i in range(12)]
+        run = self_schedule(grid, tasks)
+        assert run.chunks_per_host["thing1#0"] > run.chunks_per_host["kongo#1"]
+
+    def test_empty_rejected(self):
+        grid = SimGrid(["thing1"], seed=9)
+        with pytest.raises(ValueError):
+            self_schedule(grid, [])

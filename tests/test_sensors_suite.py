@@ -1,0 +1,106 @@
+"""Tests for repro.sensors.suite (the full monitoring configuration)."""
+
+import numpy as np
+import pytest
+
+from repro.sensors.suite import METHODS, MeasurementSuite
+from repro.sim.host import SimHost
+from repro.workload.jobs import Daemon
+
+
+def make_host(**suite_kwargs):
+    host = SimHost("h", seed=1)
+    suite = MeasurementSuite(**suite_kwargs).attach(host)
+    return host, suite
+
+
+class TestCadence:
+    def test_measurement_count(self):
+        host, suite = make_host(warmup=0.0)
+        host.run_until(605.0)
+        # One reading every 10 s starting at t=10.
+        assert suite.n_measurements() == 60
+
+    def test_series_aligned_across_methods(self):
+        host, suite = make_host(warmup=0.0)
+        host.run_until(300.0)
+        times_la, _ = suite.series("load_average")
+        times_vm, _ = suite.series("vmstat")
+        np.testing.assert_array_equal(times_la, times_vm)
+
+    def test_probes_run_once_per_minute(self):
+        host, suite = make_host(warmup=0.0)
+        host.run_until(600.0)
+        assert len(suite.hybrid.probe.results) == pytest.approx(9, abs=2)
+
+    def test_test_processes_on_schedule(self):
+        host, suite = make_host(warmup=0.0, test_period=120.0, test_duration=10.0)
+        host.run_until(1000.0)
+        assert len(suite.all_test_observations) == pytest.approx(7, abs=1)
+
+
+class TestWarmup:
+    def test_series_drops_warmup(self):
+        host, suite = make_host(warmup=300.0)
+        host.run_until(600.0)
+        times, values = suite.series("load_average")
+        assert times.min() >= 300.0
+        times_all, _ = suite.series("load_average", include_warmup=True)
+        assert times_all.min() < 300.0
+
+    def test_observations_drop_warmup(self):
+        host, suite = make_host(warmup=1200.0, test_period=300.0)
+        host.run_until(2400.0)
+        assert all(o.start_time >= 1200.0 for o in suite.test_observations)
+        assert len(suite.all_test_observations) >= len(suite.test_observations)
+
+
+class TestObservations:
+    def test_premeasurements_have_all_methods(self):
+        host, suite = make_host(warmup=0.0, test_period=120.0)
+        host.run_until(400.0)
+        obs = suite.all_test_observations[0]
+        assert set(obs.premeasurements) == set(METHODS)
+        assert 0.0 <= obs.observed <= 1.0
+
+    def test_idle_host_observations_near_one(self):
+        host, suite = make_host(warmup=0.0, test_period=120.0)
+        host.run_until(800.0)
+        for obs in suite.all_test_observations:
+            assert obs.observed > 0.95  # host has no workload attached
+
+    def test_loaded_host_observed_below_one(self):
+        host = SimHost("busy", seed=2)
+        Daemon("hog").start(host.kernel, np.random.default_rng(0))
+        suite = MeasurementSuite(warmup=0.0, test_period=300.0).attach(host)
+        host.run_until(1500.0)
+        for obs in suite.all_test_observations:
+            assert obs.observed < 0.8
+
+
+class TestConfiguration:
+    def test_tests_disabled(self):
+        host, suite = make_host(warmup=0.0, test_period=None)
+        host.run_until(2000.0)
+        assert suite.all_test_observations == []
+
+    def test_unknown_method_rejected(self):
+        host, suite = make_host()
+        host.run_until(60.0)
+        with pytest.raises(KeyError):
+            suite.series("nonesuch")
+
+    def test_double_attach_rejected(self):
+        host, suite = make_host()
+        with pytest.raises(ValueError):
+            suite.attach(host)
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            MeasurementSuite(measure_period=0.0)
+        with pytest.raises(ValueError):
+            MeasurementSuite(probe_period=1.0, measure_period=10.0)
+        with pytest.raises(ValueError):
+            MeasurementSuite(test_period=5.0, test_duration=10.0)
+        with pytest.raises(ValueError):
+            MeasurementSuite(warmup=-1.0)

@@ -1,0 +1,118 @@
+"""Scenario tests: the scheduling phenomena the paper's anomalies need.
+
+These are the calibration contracts of the simulator -- if any of them
+breaks, Tables 1/2/6 lose the conundrum and kongo signatures.
+"""
+
+import pytest
+
+from repro.sim.kernel import Kernel
+from repro.sim.process import Process
+from repro.workload.sessions import attach_io_pattern
+
+import numpy as np
+
+
+def run_probe(kernel, duration=1.5):
+    p = kernel.spawn(Process("probe"))
+    kernel.after(duration, lambda: kernel.kill(p))
+    kernel.run_until(kernel.time + duration + 0.5)
+    return p.cpu_time / duration
+
+
+def run_test_process(kernel, duration=10.0):
+    t = kernel.spawn(Process("test"))
+    kernel.after(duration, lambda: kernel.kill(t))
+    kernel.run_until(kernel.time + duration + 0.5)
+    return t.cpu_time / duration
+
+
+class TestConundrumBehaviour:
+    """A nice-19 soaker must be invisible to full-priority work."""
+
+    def test_full_priority_preempts_soaker(self):
+        k = Kernel()
+        k.spawn(Process("soak", nice=19))
+        k.run_until(300.0)
+        share = run_test_process(k)
+        assert share > 0.95
+
+    def test_soaker_inflates_load_average(self):
+        k = Kernel()
+        k.spawn(Process("soak", nice=19))
+        k.run_until(300.0)
+        assert k.load_average > 0.9
+
+    def test_soaker_gets_cpu_when_alone(self):
+        k = Kernel()
+        soak = k.spawn(Process("soak", nice=19))
+        k.run_until(100.0)
+        assert soak.cpu_time == pytest.approx(100.0, rel=0.02)
+
+
+class TestKongoBehaviour:
+    """A long-running spinner concedes a window the probe fits inside."""
+
+    def test_probe_overshoots_aged_hog(self):
+        k = Kernel()
+        k.spawn(Process("hog"))
+        k.run_until(1800.0)
+        probe_share = run_probe(k)
+        assert probe_share > 0.75
+
+    def test_ten_second_test_fair_shares(self):
+        k = Kernel()
+        k.spawn(Process("hog"))
+        k.run_until(1800.0)
+        test_share = run_test_process(k)
+        assert 0.45 < test_share < 0.70
+
+    def test_probe_sees_more_than_test(self):
+        k = Kernel()
+        k.spawn(Process("hog"))
+        k.run_until(1800.0)
+        probe_share = run_probe(k)
+        k.run_until(k.time + 60.0)
+        test_share = run_test_process(k)
+        assert probe_share - test_share > 0.15
+
+
+class TestSleepBoostBehaviour:
+    """I/O-doing jobs keep competitive priority (no kongo effect)."""
+
+    def test_io_job_limits_probe_overshoot(self):
+        k = Kernel()
+        rng = np.random.default_rng(1)
+        job = k.spawn(Process("job"))
+        attach_io_pattern(k, job, interval=1.5, wait=0.25, rng=rng)
+        k.run_until(300.0)
+        probe_share = run_probe(k)
+        k.run_until(k.time + 30.0)
+        test_share = run_test_process(k)
+        # Against an I/O-doing job the probe/test gap shrinks well below
+        # the pure-spinner gap.
+        assert probe_share - test_share < 0.35
+
+    def test_io_job_estcpu_below_cap(self):
+        k = Kernel()
+        rng = np.random.default_rng(2)
+        job = k.spawn(Process("job"))
+        attach_io_pattern(k, job, interval=1.5, wait=0.25, rng=rng)
+        k.run_until(120.0)
+        assert job.estcpu < k.scheduler.estcpu_cap
+
+
+class TestFreshProcessTransient:
+    def test_fresh_process_brief_advantage(self):
+        # Immediately after spawn, a fresh process outruns a capped one,
+        # but within a few seconds they alternate.
+        k = Kernel()
+        old = k.spawn(Process("old"))
+        k.run_until(100.0)
+        fresh = k.spawn(Process("fresh"))
+        k.run_until(101.0)
+        assert fresh.cpu_time > 0.8  # almost the whole first second
+        k.run_until(120.0)
+        # Long-run shares converge toward 50/50.
+        recent_fresh = fresh.cpu_time
+        assert 0.45 * 20 < recent_fresh < 0.75 * 20

@@ -1,0 +1,56 @@
+"""Tests for repro.sim.engine (the event queue)."""
+
+import pytest
+
+from repro.sim.engine import EventQueue
+
+
+class TestEventQueue:
+    def test_fifo_within_same_deadline(self):
+        q = EventQueue()
+        order = []
+        q.schedule(1.0, lambda: order.append("a"))
+        q.schedule(1.0, lambda: order.append("b"))
+        q.schedule(1.0, lambda: order.append("c"))
+        for cb in q.pop_due(1.0):
+            cb()
+        assert order == ["a", "b", "c"]
+
+    def test_deadline_order(self):
+        q = EventQueue()
+        order = []
+        q.schedule(3.0, lambda: order.append(3))
+        q.schedule(1.0, lambda: order.append(1))
+        q.schedule(2.0, lambda: order.append(2))
+        for cb in q.pop_due(10.0):
+            cb()
+        assert order == [1, 2, 3]
+
+    def test_pop_due_leaves_future_events(self):
+        q = EventQueue()
+        q.schedule(1.0, lambda: None)
+        q.schedule(5.0, lambda: None)
+        assert len(q.pop_due(2.0)) == 1
+        assert len(q) == 1
+        assert q.next_time() == 5.0
+
+    def test_next_time_empty_is_inf(self):
+        assert EventQueue().next_time() == float("inf")
+
+    def test_clear(self):
+        q = EventQueue()
+        q.schedule(1.0, lambda: None)
+        q.clear()
+        assert len(q) == 0
+
+    def test_invalid_times_rejected(self):
+        q = EventQueue()
+        for bad in (-1.0, float("nan"), float("inf")):
+            with pytest.raises(ValueError):
+                q.schedule(bad, lambda: None)
+
+    def test_len(self):
+        q = EventQueue()
+        for i in range(5):
+            q.schedule(float(i + 1), lambda: None)
+        assert len(q) == 5

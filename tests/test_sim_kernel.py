@@ -1,0 +1,218 @@
+"""Tests for repro.sim.kernel (dispatch, accounting, instrumentation)."""
+
+import pytest
+
+from repro.sim.kernel import Kernel, KernelConfig
+from repro.sim.process import Process, ProcessState
+from repro.sim.scheduler import RoundRobinScheduler
+
+
+class TestConfig:
+    def test_defaults(self):
+        c = KernelConfig()
+        assert c.quantum == 0.1 and c.tick == 1.0 and c.ncpu == 1
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            KernelConfig(quantum=0.0)
+        with pytest.raises(ValueError):
+            KernelConfig(quantum=2.0, tick=1.0)
+        with pytest.raises(ValueError):
+            KernelConfig(loadavg_tau=0.0)
+        with pytest.raises(ValueError):
+            KernelConfig(ncpu=0)
+
+
+class TestAccountingConservation:
+    def test_time_fully_accounted_idle(self):
+        k = Kernel()
+        k.run_until(100.0)
+        assert k.cum_user + k.cum_sys + k.cum_idle == pytest.approx(100.0)
+        assert k.cum_idle == pytest.approx(100.0)
+
+    def test_time_fully_accounted_busy(self):
+        k = Kernel()
+        k.spawn(Process("hog", sys_fraction=0.2))
+        k.run_until(50.0)
+        assert k.cum_user + k.cum_sys + k.cum_idle == pytest.approx(50.0)
+        assert k.cum_sys == pytest.approx(10.0, rel=0.01)
+
+    def test_time_fully_accounted_contended(self):
+        k = Kernel()
+        for i in range(3):
+            k.spawn(Process(f"p{i}"))
+        k.run_until(30.0)
+        assert k.cum_user + k.cum_sys + k.cum_idle == pytest.approx(30.0)
+        assert k.cum_idle == pytest.approx(0.0, abs=1e-6)
+
+    def test_smp_accounting(self):
+        k = Kernel(KernelConfig(ncpu=2))
+        k.spawn(Process("one"))
+        k.run_until(10.0)
+        # one CPU busy, one idle
+        assert k.cum_user + k.cum_sys == pytest.approx(10.0, rel=0.01)
+        assert k.cum_idle == pytest.approx(10.0, rel=0.01)
+
+    def test_nrun_integral(self):
+        k = Kernel()
+        k.spawn(Process("a"))
+        k.spawn(Process("b"))
+        k.run_until(10.0)
+        assert k.cum_nrun_time == pytest.approx(20.0, rel=0.01)
+
+
+class TestDispatch:
+    def test_equal_sharing(self):
+        k = Kernel()
+        a = k.spawn(Process("a", cpu_demand=20.0))
+        b = k.spawn(Process("b", cpu_demand=20.0))
+        k.run_until(45.0)
+        assert a.done and b.done
+        assert a.observed_availability == pytest.approx(0.5, abs=0.02)
+        assert b.observed_availability == pytest.approx(0.5, abs=0.02)
+
+    def test_single_process_full_speed(self):
+        k = Kernel()
+        p = k.spawn(Process("p", cpu_demand=5.0))
+        k.run_until(10.0)
+        assert p.done
+        assert p.end_time == pytest.approx(5.0, abs=0.2)
+
+    def test_completion_callback(self):
+        k = Kernel()
+        finished = []
+        k.spawn(Process("p", cpu_demand=2.0, on_done=finished.append))
+        k.run_until(5.0)
+        assert len(finished) == 1 and finished[0].name == "p"
+
+    def test_smp_runs_two_at_once(self):
+        k = Kernel(KernelConfig(ncpu=2))
+        a = k.spawn(Process("a", cpu_demand=10.0))
+        b = k.spawn(Process("b", cpu_demand=10.0))
+        k.run_until(12.0)
+        assert a.done and b.done
+        assert a.end_time == pytest.approx(10.0, abs=0.3)
+        assert b.end_time == pytest.approx(10.0, abs=0.3)
+
+    def test_run_backwards_rejected(self):
+        k = Kernel()
+        k.run_until(10.0)
+        with pytest.raises(ValueError, match="backwards"):
+            k.run_until(5.0)
+
+    def test_double_spawn_rejected(self):
+        k = Kernel()
+        p = k.spawn(Process("p"))
+        with pytest.raises(ValueError):
+            k.spawn(p)
+
+
+class TestLoadAverage:
+    def test_converges_to_run_queue(self):
+        k = Kernel()
+        k.spawn(Process("hog"))
+        k.run_until(400.0)
+        assert k.load_average == pytest.approx(1.0, abs=0.01)
+
+    def test_one_minute_time_constant(self):
+        k = Kernel()
+        k.spawn(Process("hog"))
+        k.run_until(60.0)
+        # After one time constant the EWMA reaches 1 - 1/e.
+        assert k.load_average == pytest.approx(1.0 - 1.0 / 2.718281828, abs=0.03)
+
+    def test_decays_after_load_leaves(self):
+        k = Kernel()
+        k.spawn(Process("job", cpu_demand=100.0))
+        k.run_until(300.0)
+        peak = k.load_average
+        k.run_until(600.0)
+        assert k.load_average < peak / 10.0
+
+
+class TestSleepWake:
+    def test_sleeping_leaves_run_queue(self):
+        k = Kernel()
+        p = k.spawn(Process("p"))
+        k.run_until(1.0)
+        k.sleep(p, 5.0)
+        assert k.run_queue_length == 0
+        k.run_until(7.0)
+        assert p.state is ProcessState.RUNNABLE
+
+    def test_sleeping_process_consumes_no_cpu(self):
+        k = Kernel()
+        p = k.spawn(Process("p"))
+        k.run_until(2.0)
+        used_before = p.cpu_time
+        k.sleep(p, 10.0)
+        k.run_until(11.0)
+        assert p.cpu_time == pytest.approx(used_before, abs=0.2)
+
+    def test_sleep_validation(self):
+        k = Kernel()
+        p = k.spawn(Process("p"))
+        with pytest.raises(ValueError):
+            k.sleep(p, 0.0)
+        k.sleep(p, 1.0)
+        with pytest.raises(ValueError):
+            k.sleep(p, 1.0)  # already sleeping
+
+
+class TestKill:
+    def test_kill_removes_and_stamps(self):
+        k = Kernel()
+        p = k.spawn(Process("p"))
+        k.run_until(3.0)
+        k.kill(p)
+        assert p.done and p.end_time == pytest.approx(3.0)
+        assert p not in k.processes
+
+    def test_kill_done_is_noop(self):
+        k = Kernel()
+        p = k.spawn(Process("p", cpu_demand=1.0))
+        k.run_until(2.0)
+        k.kill(p)  # already completed; must not raise
+
+
+class TestEvents:
+    def test_after_and_at(self):
+        k = Kernel()
+        fired = []
+        k.after(5.0, lambda: fired.append(k.time))
+        k.at(10.0, lambda: fired.append(k.time))
+        k.run_until(12.0)
+        assert len(fired) == 2
+        assert fired[0] == pytest.approx(5.0, abs=0.11)
+        assert fired[1] == pytest.approx(10.0, abs=0.11)
+
+    def test_event_in_past_fires_promptly(self):
+        k = Kernel()
+        k.run_until(5.0)
+        fired = []
+        k.at(1.0, lambda: fired.append(k.time))
+        k.run_until(6.0)
+        assert fired and fired[0] == pytest.approx(5.0, abs=0.11)
+
+    def test_negative_delay_rejected(self):
+        k = Kernel()
+        with pytest.raises(ValueError):
+            k.after(-1.0, lambda: None)
+
+    def test_on_tick_listener(self):
+        k = Kernel()
+        ticks = []
+        k.on_tick(lambda kern: ticks.append(kern.time))
+        k.run_until(5.0)
+        assert len(ticks) == 5
+
+
+class TestSchedulerPluggability:
+    def test_round_robin_shares_with_nice(self):
+        # Under round-robin, a nice-19 process gets an equal share --
+        # the ablation premise.
+        k = Kernel(scheduler=RoundRobinScheduler())
+        soak = k.spawn(Process("soak", nice=19, cpu_demand=50.0))
+        hog = k.spawn(Process("hog", nice=0, cpu_demand=50.0))
+        k.run_until(60.0)
+        assert soak.cpu_time == pytest.approx(hog.cpu_time, rel=0.05)

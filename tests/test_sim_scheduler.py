@@ -1,0 +1,134 @@
+"""Tests for repro.sim.scheduler (policies and their accounting)."""
+
+import pytest
+
+from repro.sim.process import Process
+from repro.sim.scheduler import (
+    DecayUsageScheduler,
+    FairShareScheduler,
+    RoundRobinScheduler,
+)
+
+
+class TestDecayUsagePriority:
+    def test_priority_formula(self):
+        sched = DecayUsageScheduler()
+        p = Process("p", nice=4)
+        p.estcpu = 40.0
+        assert sched.priority(p) == pytest.approx(40.0 / 4.0 + 2.0 * 4)
+
+    def test_default_cap_matches_nice_spread(self):
+        sched = DecayUsageScheduler()
+        # cap / divisor == nice_weight * 19 (the FreeBSD ESTCPULIM idea).
+        assert sched.estcpu_cap / sched.estcpu_divisor == pytest.approx(
+            sched.nice_weight * 19.0
+        )
+
+    def test_charge_caps(self):
+        sched = DecayUsageScheduler()
+        p = Process("p")
+        sched.charge(p, 100.0)
+        assert p.estcpu == sched.estcpu_cap
+
+    def test_decay_factor_is_bsd_rule(self):
+        sched = DecayUsageScheduler()
+        p = Process("p")
+        p.estcpu = 90.0
+        sched.decay([p], load_average=1.0)
+        assert p.estcpu == pytest.approx(90.0 * (2.0 / 3.0))
+
+    def test_decay_zero_load_zeroes_estcpu(self):
+        sched = DecayUsageScheduler()
+        p = Process("p")
+        p.estcpu = 50.0
+        sched.decay([p], load_average=0.0)
+        assert p.estcpu == 0.0
+
+    def test_pick_lowest_priority_number(self):
+        sched = DecayUsageScheduler()
+        fresh = Process("fresh")
+        tired = Process("tired")
+        tired.estcpu = 100.0
+        assert sched.pick([tired, fresh], 0.0) is fresh
+
+    def test_pick_tie_break_least_recently_dispatched(self):
+        sched = DecayUsageScheduler()
+        a, b = Process("a"), Process("b")
+        a.last_dispatch = 5.0
+        b.last_dispatch = 1.0
+        assert sched.pick([a, b], 10.0) is b
+
+    def test_nice_dominates_when_estcpu_capped(self):
+        # A capped full-priority process still outranks an idle nice-19.
+        sched = DecayUsageScheduler()
+        hog = Process("hog")
+        hog.estcpu = sched.estcpu_cap
+        soaker = Process("soak", nice=19)
+        soaker.estcpu = 0.0
+        assert sched.priority(hog) <= sched.priority(soaker)
+
+    def test_sleep_boost(self):
+        sched = DecayUsageScheduler(sleep_boost=8.0)
+        sched.decay([], load_average=1.0)  # sets the decay factor to 2/3
+        p = Process("p")
+        p.estcpu = 90.0
+        sched.on_wake(p, slept_seconds=1.0)
+        assert p.estcpu == pytest.approx(90.0 * (2.0 / 3.0) ** 8)
+
+    def test_sleep_boost_disabled(self):
+        sched = DecayUsageScheduler(sleep_boost=0.0)
+        p = Process("p")
+        p.estcpu = 90.0
+        sched.on_wake(p, 5.0)
+        assert p.estcpu == 90.0
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            DecayUsageScheduler(charge_rate=0.0)
+        with pytest.raises(ValueError):
+            DecayUsageScheduler(estcpu_divisor=-1.0)
+        with pytest.raises(ValueError):
+            DecayUsageScheduler(sleep_boost=-1.0)
+        with pytest.raises(ValueError):
+            DecayUsageScheduler(estcpu_cap=0.0)
+
+
+class TestRoundRobin:
+    def test_rotates(self):
+        sched = RoundRobinScheduler()
+        a, b = Process("a"), Process("b")
+        a.last_dispatch = 2.0
+        b.last_dispatch = 1.0
+        assert sched.pick([a, b], 3.0) is b
+
+    def test_priority_blind(self):
+        sched = RoundRobinScheduler()
+        nice19 = Process("n", nice=19)
+        assert sched.priority(nice19) == 0.0
+
+
+class TestFairShare:
+    def test_picks_least_used_user(self):
+        sched = FairShareScheduler()
+        a = Process("alice:job")
+        b = Process("bob:job")
+        sched.charge(a, 10.0)
+        assert sched.pick([a, b], 0.0) is b
+
+    def test_usage_decays(self):
+        sched = FairShareScheduler()
+        a = Process("alice:job")
+        sched.charge(a, 10.0)
+        sched.decay([], 0.0)
+        assert sched._usage["alice"] == pytest.approx(9.9)
+
+    def test_groups_by_name_prefix(self):
+        sched = FairShareScheduler()
+        a1 = Process("alice:one")
+        a2 = Process("alice:two")
+        b = Process("bob:job")
+        sched.charge(a1, 5.0)
+        sched.charge(a2, 5.0)
+        sched.charge(b, 6.0)
+        # alice has 10 total, bob 6: bob's process wins.
+        assert sched.pick([a1, a2, b], 0.0) is b

@@ -1,0 +1,127 @@
+"""Tests for repro.trace (series container, IO, resampling)."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.trace.io import (
+    load_trace_csv,
+    load_trace_jsonl,
+    save_trace_csv,
+    save_trace_jsonl,
+)
+from repro.trace.resample import resample_mean, resample_nearest
+from repro.trace.series import TraceSeries
+
+
+def make_series(n=20, period=10.0):
+    times = period * np.arange(n)
+    values = np.linspace(0.1, 0.9, n)
+    return TraceSeries("h", "load_average", times, values)
+
+
+class TestTraceSeries:
+    def test_basic_properties(self):
+        s = make_series(7)
+        assert len(s) == 7
+        assert s.duration == pytest.approx(60.0)
+        assert s.period == pytest.approx(10.0)
+
+    def test_non_increasing_times_rejected(self):
+        with pytest.raises(ValueError, match="increasing"):
+            TraceSeries("h", "m", [0.0, 2.0, 1.0], [0.1, 0.2, 0.3])
+
+    def test_length_mismatch_rejected(self):
+        with pytest.raises(ValueError):
+            TraceSeries("h", "m", [0.0, 1.0], [0.1])
+
+    def test_window(self):
+        s = make_series(10)
+        w = s.window(20.0, 50.0)
+        assert len(w) == 3
+        assert w.times[0] == 20.0
+
+    def test_window_validation(self):
+        with pytest.raises(ValueError):
+            make_series().window(5.0, 5.0)
+
+    def test_aggregate(self):
+        s = make_series(10)
+        agg = s.aggregate(5)
+        assert len(agg) == 2
+        assert agg.values[0] == pytest.approx(s.values[:5].mean())
+        assert agg.times[0] == s.times[4]  # block-end timestamps
+        assert agg.method == "load_average~5"
+
+    def test_aggregate_too_short(self):
+        with pytest.raises(ValueError):
+            make_series(3).aggregate(5)
+
+
+class TestIo:
+    def test_csv_roundtrip(self, tmp_path):
+        s = make_series(15)
+        path = tmp_path / "trace.csv"
+        save_trace_csv(s, path)
+        loaded = load_trace_csv(path)
+        assert loaded.host == s.host and loaded.method == s.method
+        np.testing.assert_array_equal(loaded.times, s.times)
+        np.testing.assert_array_equal(loaded.values, s.values)
+
+    def test_jsonl_roundtrip(self, tmp_path):
+        s = make_series(15)
+        path = tmp_path / "trace.jsonl"
+        save_trace_jsonl(s, path)
+        loaded = load_trace_jsonl(path)
+        assert loaded.host == s.host and loaded.method == s.method
+        np.testing.assert_array_equal(loaded.times, s.times)
+        np.testing.assert_array_equal(loaded.values, s.values)
+
+    def test_csv_missing_header_rejected(self, tmp_path):
+        path = tmp_path / "bad.csv"
+        path.write_text("time,value\n1,0.5\n")
+        with pytest.raises(ValueError, match="metadata"):
+            load_trace_csv(path)
+
+    @given(values=st.lists(st.floats(min_value=0.0, max_value=1.0), min_size=1, max_size=30))
+    @settings(max_examples=20, deadline=None)
+    def test_property_roundtrip_exact(self, values, tmp_path_factory):
+        times = 10.0 * np.arange(len(values))
+        s = TraceSeries("h", "m", times, np.asarray(values))
+        path = tmp_path_factory.mktemp("t") / "trace.csv"
+        save_trace_csv(s, path)
+        loaded = load_trace_csv(path)
+        np.testing.assert_array_equal(loaded.values, s.values)
+
+
+class TestResample:
+    def test_nearest_sample_and_hold(self):
+        s = TraceSeries("h", "m", [0.0, 10.0, 25.0], [0.1, 0.5, 0.9])
+        r = resample_nearest(s, 5.0)
+        np.testing.assert_allclose(r.times, [0, 5, 10, 15, 20, 25])
+        np.testing.assert_allclose(r.values, [0.1, 0.1, 0.5, 0.5, 0.5, 0.9])
+
+    def test_mean_bins(self):
+        s = TraceSeries("h", "m", [0.0, 1.0, 2.0, 3.0], [0.0, 1.0, 0.0, 1.0])
+        r = resample_mean(s, 2.0)
+        np.testing.assert_allclose(r.values, [0.5, 0.5])
+
+    def test_mean_fills_empty_bins(self):
+        s = TraceSeries("h", "m", [0.0, 30.0], [0.2, 0.8])
+        r = resample_mean(s, 10.0)
+        # Bins at 10 and 20 are empty: hold 0.2.
+        np.testing.assert_allclose(r.values, [0.2, 0.2, 0.2, 0.8])
+
+    def test_regular_input_unchanged_by_nearest(self):
+        s = make_series(10)
+        r = resample_nearest(s, 10.0)
+        np.testing.assert_allclose(r.values, s.values)
+
+    def test_validation(self):
+        s = make_series(5)
+        with pytest.raises(ValueError):
+            resample_nearest(s, 0.0)
+        single = TraceSeries("h", "m", [0.0], [0.5])
+        with pytest.raises(ValueError):
+            resample_nearest(single, 1.0)

@@ -1,0 +1,68 @@
+"""Tests for repro.workload.arrivals."""
+
+import numpy as np
+import pytest
+
+from repro.workload.arrivals import DiurnalPoissonArrivals, PoissonArrivals
+
+
+class TestPoisson:
+    def test_rate(self):
+        proc = PoissonArrivals(0.1)  # one per 10 s
+        rng = np.random.default_rng(0)
+        gaps = [proc.next_interarrival(0.0, rng) for _ in range(20_000)]
+        assert np.mean(gaps) == pytest.approx(10.0, rel=0.05)
+
+    def test_positive_gaps(self):
+        proc = PoissonArrivals(5.0)
+        rng = np.random.default_rng(1)
+        assert all(proc.next_interarrival(0.0, rng) > 0 for _ in range(100))
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            PoissonArrivals(0.0)
+
+
+class TestDiurnal:
+    def test_rate_at_peak_and_trough(self):
+        proc = DiurnalPoissonArrivals(1.0, amplitude=0.5, peak_time=12 * 3600.0)
+        assert proc.rate_at(12 * 3600.0) == pytest.approx(1.5)
+        assert proc.rate_at(0.0) == pytest.approx(0.5)
+
+    def test_mean_rate_preserved_over_a_day(self):
+        proc = DiurnalPoissonArrivals(1.0 / 60.0, amplitude=0.8)
+        rng = np.random.default_rng(2)
+        # Count arrivals over several simulated days by walking the clock.
+        t, count, horizon = 0.0, 0, 5 * 86400.0
+        while t < horizon:
+            t += proc.next_interarrival(t, rng)
+            count += 1
+        assert count / (horizon / 60.0) == pytest.approx(1.0, rel=0.05)
+
+    def test_more_arrivals_near_peak(self):
+        proc = DiurnalPoissonArrivals(1.0 / 120.0, amplitude=0.9, peak_time=15 * 3600.0)
+        rng = np.random.default_rng(3)
+        peak_count = trough_count = 0
+        for day in range(40):
+            base = day * 86400.0
+            t = base + 14 * 3600.0
+            while t < base + 16 * 3600.0:
+                t += proc.next_interarrival(t, rng)
+                peak_count += 1
+            t = base + 2 * 3600.0
+            while t < base + 4 * 3600.0:
+                t += proc.next_interarrival(t, rng)
+                trough_count += 1
+        assert peak_count > 3 * trough_count
+
+    def test_zero_amplitude_is_homogeneous(self):
+        proc = DiurnalPoissonArrivals(0.05, amplitude=0.0)
+        rng = np.random.default_rng(4)
+        gaps = [proc.next_interarrival(1000.0, rng) for _ in range(20_000)]
+        assert np.mean(gaps) == pytest.approx(20.0, rel=0.05)
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            DiurnalPoissonArrivals(0.0)
+        with pytest.raises(ValueError):
+            DiurnalPoissonArrivals(1.0, amplitude=1.0)

@@ -1,0 +1,128 @@
+"""Tests for repro.workload.distributions."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.workload.distributions import (
+    BoundedPareto,
+    Exponential,
+    Fixed,
+    LogNormal,
+    Pareto,
+)
+
+
+def sample_mean(dist, n=40_000, seed=0):
+    rng = np.random.default_rng(seed)
+    return float(np.mean([dist.sample(rng) for _ in range(n)]))
+
+
+class TestFixed:
+    def test_constant(self):
+        d = Fixed(3.0)
+        rng = np.random.default_rng(0)
+        assert d.sample(rng) == 3.0
+        assert d.mean == 3.0
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            Fixed(0.0)
+
+
+class TestExponential:
+    def test_mean(self):
+        d = Exponential(5.0)
+        assert sample_mean(d) == pytest.approx(5.0, rel=0.05)
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            Exponential(-1.0)
+
+
+class TestPareto:
+    def test_analytic_mean(self):
+        d = Pareto(2.5, 4.0)
+        assert d.mean == pytest.approx(2.5 * 4.0 / 1.5)
+
+    def test_sample_mean_matches(self):
+        d = Pareto(2.5, 4.0)
+        assert sample_mean(d) == pytest.approx(d.mean, rel=0.05)
+
+    def test_infinite_mean_for_alpha_at_most_one(self):
+        assert Pareto(1.0, 2.0).mean == np.inf
+        assert Pareto(0.5, 2.0).mean == np.inf
+
+    def test_samples_at_least_xm(self):
+        d = Pareto(1.6, 7.0)
+        rng = np.random.default_rng(1)
+        for _ in range(500):
+            assert d.sample(rng) >= 7.0
+
+    def test_heavy_tail_in_lrd_regime(self):
+        # alpha in (1, 2): sample variance grows without bound -- spot
+        # check the tail is much heavier than exponential.
+        d = Pareto(1.3, 1.0)
+        rng = np.random.default_rng(2)
+        samples = np.array([d.sample(rng) for _ in range(30_000)])
+        assert samples.max() > 100.0
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            Pareto(0.0, 1.0)
+        with pytest.raises(ValueError):
+            Pareto(1.5, 0.0)
+
+
+class TestBoundedPareto:
+    def test_samples_within_bounds(self):
+        d = BoundedPareto(1.6, 2.0, 50.0)
+        rng = np.random.default_rng(3)
+        samples = [d.sample(rng) for _ in range(2000)]
+        assert min(samples) >= 2.0
+        assert max(samples) <= 50.0
+
+    def test_analytic_mean_matches_sampling(self):
+        d = BoundedPareto(1.6, 2.0, 50.0)
+        assert sample_mean(d) == pytest.approx(d.mean, rel=0.03)
+
+    def test_alpha_one_mean(self):
+        d = BoundedPareto(1.0, 1.0, np.e)
+        # mean = ln(hi/lo) / (1/lo - 1/hi) = 1 / (1 - 1/e)
+        assert d.mean == pytest.approx(1.0 / (1.0 - 1.0 / np.e))
+        assert sample_mean(d) == pytest.approx(d.mean, rel=0.03)
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            BoundedPareto(1.6, 5.0, 5.0)
+
+    @given(
+        st.floats(min_value=0.5, max_value=3.0),
+        st.floats(min_value=0.1, max_value=10.0),
+    )
+    @settings(max_examples=30, deadline=None)
+    def test_property_bounded(self, alpha, xm):
+        d = BoundedPareto(alpha, xm, xm * 10.0)
+        rng = np.random.default_rng(int(alpha * 100 + xm * 10))
+        for _ in range(50):
+            s = d.sample(rng)
+            assert xm <= s <= xm * 10.0
+
+
+class TestLogNormal:
+    def test_arithmetic_mean_parameterization(self):
+        d = LogNormal(4.0, sigma=1.0)
+        assert sample_mean(d) == pytest.approx(4.0, rel=0.1)
+
+    def test_positive(self):
+        d = LogNormal(2.0, 1.5)
+        rng = np.random.default_rng(4)
+        for _ in range(200):
+            assert d.sample(rng) > 0.0
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            LogNormal(0.0)
+        with pytest.raises(ValueError):
+            LogNormal(1.0, sigma=0.0)

@@ -1,0 +1,87 @@
+"""Tests for repro.workload.profiles (the six-host testbed)."""
+
+import numpy as np
+import pytest
+
+from repro.sim.scheduler import RoundRobinScheduler
+from repro.workload.profiles import HOST_PROFILES, build_host, profile_names
+
+
+class TestRegistry:
+    def test_six_hosts_in_table_order(self):
+        assert profile_names() == [
+            "thing2",
+            "thing1",
+            "conundrum",
+            "beowulf",
+            "gremlin",
+            "kongo",
+        ]
+
+    def test_registry_covers_names(self):
+        assert set(profile_names()) == set(HOST_PROFILES)
+
+    def test_unknown_host_rejected_with_choices(self):
+        with pytest.raises(KeyError, match="known hosts"):
+            build_host("nonesuch")
+
+
+class TestBuildHost:
+    @pytest.mark.parametrize("name", profile_names())
+    def test_every_profile_runs(self, name):
+        host = build_host(name, seed=0)
+        host.run_until(600.0)
+        k = host.kernel
+        assert k.cum_user + k.cum_sys + k.cum_idle == pytest.approx(600.0)
+
+    def test_deterministic_given_seed(self):
+        a = build_host("thing1", seed=5)
+        b = build_host("thing1", seed=5)
+        a.run_until(1800.0)
+        b.run_until(1800.0)
+        assert a.kernel.cum_user == pytest.approx(b.kernel.cum_user)
+        assert a.kernel.load_average == pytest.approx(b.kernel.load_average)
+
+    def test_different_seeds_differ(self):
+        a = build_host("thing1", seed=1)
+        b = build_host("thing1", seed=2)
+        a.run_until(3600.0)
+        b.run_until(3600.0)
+        assert a.kernel.cum_user != pytest.approx(b.kernel.cum_user, rel=1e-6)
+
+    def test_scheduler_override(self):
+        host = build_host("conundrum", seed=0, scheduler=RoundRobinScheduler())
+        assert isinstance(host.kernel.scheduler, RoundRobinScheduler)
+
+
+class TestProfileCharacter:
+    def test_conundrum_has_permanent_soaker(self):
+        host = build_host("conundrum", seed=0)
+        host.run_until(60.0)
+        soakers = [p for p in host.kernel.processes if p.nice == 19]
+        assert len(soakers) == 1
+        assert soakers[0].cpu_demand == float("inf")
+
+    def test_kongo_has_full_priority_hog(self):
+        host = build_host("kongo", seed=0)
+        host.run_until(60.0)
+        hogs = [
+            p
+            for p in host.kernel.processes
+            if p.nice == 0 and p.cpu_demand == float("inf")
+        ]
+        assert len(hogs) == 1
+
+    def test_busy_hosts_carry_load(self):
+        host = build_host("thing2", seed=3)
+        host.run_until(4 * 3600.0)
+        busy = host.kernel.cum_user + host.kernel.cum_sys
+        assert busy / (4 * 3600.0) > 0.1  # thing2 is never near-idle
+
+    def test_servers_lighter_than_workstations(self):
+        loads = {}
+        for name in ("thing2", "gremlin"):
+            host = build_host(name, seed=3)
+            host.run_until(4 * 3600.0)
+            loads[name] = host.kernel.cum_user + host.kernel.cum_sys
+        assert loads["gremlin"] < loads["thing2"]
