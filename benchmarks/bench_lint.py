@@ -1,0 +1,30 @@
+"""Benchmark guard: a full-tree domain lint stays under the CI budget.
+
+The lint pass runs on every ``scripts/check.sh`` invocation and inside
+tier-1 via ``tests/test_lint_self.py``; this bench keeps it cheap enough
+to stay there.  Budget: < 2 s for all of ``src/repro`` (in practice the
+stdlib-``ast`` walk over ~80 files lands well under half that).
+"""
+
+from __future__ import annotations
+
+from pathlib import Path
+
+from benchmarks.conftest import run_once
+from repro.lint import lint_paths
+
+SRC = Path(__file__).resolve().parents[1] / "src" / "repro"
+
+#: Wall-time budget for one full-tree pass, in seconds.
+BUDGET_SECONDS = 2.0
+
+
+def test_bench_full_tree_lint(benchmark):
+    result = run_once(benchmark, lint_paths, [SRC])
+
+    assert result.ok, [finding.render() for finding in result.findings]
+    assert result.files_checked > 50
+    assert benchmark.stats.stats.max < BUDGET_SECONDS, (
+        f"full-tree lint took {benchmark.stats.stats.max:.2f}s, "
+        f"budget is {BUDGET_SECONDS}s"
+    )

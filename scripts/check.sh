@@ -1,0 +1,24 @@
+#!/bin/sh
+# One-shot quality gate: ruff (if installed) + domain lint + tests.
+#
+# Usage: scripts/check.sh            (from the repository root)
+# Exits non-zero on the first failing stage.
+
+set -e
+
+cd "$(dirname "$0")/.."
+
+if command -v ruff >/dev/null 2>&1; then
+    echo "==> ruff check"
+    ruff check src tests benchmarks examples
+else
+    echo "==> ruff not installed; skipping (pip install ruff to enable)"
+fi
+
+echo "==> nws-repro lint src/repro"
+PYTHONPATH="src${PYTHONPATH:+:$PYTHONPATH}" python -m repro.cli lint src/repro
+
+echo "==> pytest"
+PYTHONPATH="src${PYTHONPATH:+:$PYTHONPATH}" python -m pytest -q
+
+echo "==> all checks passed"

@@ -14,6 +14,10 @@ Commands
 ``nws-repro report OUT_DIR [--seed S] [--hours H] [--figure3-days D]``
     Write every table (CSV + text, with the paper's values) and every
     figure (CSV panels + ASCII render) plus a REPORT.txt summary.
+``nws-repro lint [PATHS] [--format text|json] [--select/--ignore RULE]``
+    Run the domain-aware static-analysis pass (determinism, unit safety,
+    forecaster protocol, ...) over the given files or directories.
+    Exits 1 when unsuppressed findings remain, 2 on unknown rule ids.
 """
 
 from __future__ import annotations
@@ -64,6 +68,40 @@ def build_parser() -> argparse.ArgumentParser:
     p_report.add_argument("--hours", type=float, default=24.0)
     p_report.add_argument(
         "--figure3-days", type=float, default=7.0, help="Figure 3 trace length"
+    )
+
+    p_lint = sub.add_parser(
+        "lint", help="domain-aware static analysis (determinism, units, protocol)"
+    )
+    p_lint.add_argument(
+        "paths",
+        nargs="*",
+        default=None,
+        help="files or directories to lint (default: src/repro, else cwd)",
+    )
+    p_lint.add_argument(
+        "--format",
+        choices=("text", "json"),
+        default="text",
+        dest="output_format",
+        help="report format (default: text)",
+    )
+    p_lint.add_argument(
+        "--select",
+        action="append",
+        default=None,
+        metavar="RULE",
+        help="run only these rule ids (repeatable or comma-separated)",
+    )
+    p_lint.add_argument(
+        "--ignore",
+        action="append",
+        default=None,
+        metavar="RULE",
+        help="skip these rule ids (repeatable or comma-separated)",
+    )
+    p_lint.add_argument(
+        "--list-rules", action="store_true", help="list registered rules and exit"
     )
 
     return parser
@@ -207,6 +245,48 @@ def _cmd_report(args) -> int:
     return 0
 
 
+def _split_rule_args(values: list[str] | None) -> list[str] | None:
+    """Flatten repeated / comma-separated ``--select``/``--ignore`` values."""
+    if not values:
+        return None
+    return [token.strip() for value in values for token in value.split(",") if token.strip()]
+
+
+def _cmd_lint(args) -> int:
+    from pathlib import Path
+
+    from repro.lint import (
+        UnknownRuleError,
+        all_rules,
+        lint_paths,
+        render_json,
+        render_text,
+    )
+
+    if args.list_rules:
+        for rule in all_rules():
+            scope = ", ".join(rule.scope) if rule.scope else "all modules"
+            print(f"{rule.rule_id}  {rule.title}  [{scope}]")
+        return 0
+
+    paths = args.paths
+    if not paths:
+        default = Path("src") / "repro"
+        paths = [str(default)] if default.is_dir() else ["."]
+    try:
+        result = lint_paths(
+            paths,
+            select=_split_rule_args(args.select),
+            ignore=_split_rule_args(args.ignore),
+        )
+    except (UnknownRuleError, FileNotFoundError) as exc:
+        print(f"nws-repro lint: {exc}", file=sys.stderr)
+        return 2
+    render = render_json if args.output_format == "json" else render_text
+    print(render(result))
+    return result.exit_code
+
+
 def main(argv: list[str] | None = None) -> int:
     """CLI entry point; returns the process exit code."""
     args = build_parser().parse_args(argv)
@@ -216,6 +296,7 @@ def main(argv: list[str] | None = None) -> int:
         "live": _cmd_live,
         "sched-demo": _cmd_sched_demo,
         "report": _cmd_report,
+        "lint": _cmd_lint,
     }
     return handlers[args.command](args)
 

@@ -46,6 +46,8 @@ class AR1Forecaster(Forecaster):
         Forgetting factor in (0, 1]; 1.0 keeps all history equally.
     """
 
+    __slots__ = ("_lam", "_prev", "_n", "_sx", "_sy", "_sxx", "_sxy", "name")
+
     def __init__(self, discount: float = 0.999):
         if not 0.0 < discount <= 1.0:
             raise ValueError(f"discount must be in (0, 1], got {discount}")
@@ -99,6 +101,8 @@ class TrendForecaster(Forecaster):
         Smoothing gains in (0, 1].
     """
 
+    __slots__ = ("_alpha", "_beta", "_level", "_trend", "name")
+
     def __init__(self, level_gain: float = 0.3, trend_gain: float = 0.1):
         for gain, label in ((level_gain, "level_gain"), (trend_gain, "trend_gain")):
             if not 0.0 < gain <= 1.0:
@@ -142,6 +146,8 @@ class MedianOfMeans(Forecaster):
     groups:
         Number of sub-windows (odd keeps the median a real sample).
     """
+
+    __slots__ = ("_size", "_groups", "_window", "name")
 
     def __init__(self, group_size: int = 5, groups: int = 5):
         if group_size < 1 or groups < 1:
@@ -192,6 +198,8 @@ class TimeOfDayForecaster(Forecaster):
     bins:
         Number of time-of-day bins (default 24 -- hourly).
     """
+
+    __slots__ = ("_period", "_day", "_bins", "_tick", "_sums", "_counts", "_total", "_n", "name")
 
     def __init__(
         self,

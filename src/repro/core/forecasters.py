@@ -52,7 +52,13 @@ class Forecaster(ABC):
     -----
     ``forecast()`` before any ``update()`` raises :class:`ValueError`; the
     NWS likewise reports no prediction until it has one measurement.
+
+    Subclasses declare ``__slots__`` (lint rule PROTO001): batteries hold
+    dozens of live instances on the per-measurement hot path, and slotted
+    instances keep that footprint flat.
     """
+
+    __slots__ = ()
 
     #: Short machine-readable identifier; subclasses override.
     name: str = "base"
@@ -82,6 +88,8 @@ class LastValue(Forecaster):
 
     name = "last_value"
 
+    __slots__ = ("_last",)
+
     def __init__(self):
         self._last: float | None = None
 
@@ -101,6 +109,8 @@ class RunningMean(Forecaster):
     """Predict the mean of *all* measurements seen so far."""
 
     name = "running_mean"
+
+    __slots__ = ("_sum", "_count")
 
     def __init__(self):
         self._sum = 0.0
@@ -123,6 +133,8 @@ class RunningMean(Forecaster):
 class SlidingMean(Forecaster):
     """Predict the mean of the last ``window`` measurements."""
 
+    __slots__ = ("_ring", "name")
+
     def __init__(self, window: int):
         self._ring = RingMean(window)
         self.name = f"sliding_mean_{window}"
@@ -141,6 +153,8 @@ class SlidingMean(Forecaster):
 
 class SlidingMedian(Forecaster):
     """Predict the median of the last ``window`` measurements."""
+
+    __slots__ = ("_ring", "name")
 
     def __init__(self, window: int):
         self._ring = RingMedian(window)
@@ -174,6 +188,8 @@ class TrimmedMeanWindow(Forecaster):
         :class:`repro.core.windows.RingTrimmedMean`).
     """
 
+    __slots__ = ("_ring", "_trim", "name")
+
     def __init__(self, window: int, trim: int):
         self._ring = RingTrimmedMean(window, trim)
         self._trim = trim
@@ -200,6 +216,8 @@ class _AdaptiveWindowBase(Forecaster):
     an absolute error above ``tolerance`` (availability is in [0, 1], so the
     default 0.1 mirrors the paper's 10 %-is-useful threshold).
     """
+
+    __slots__ = ("_min", "_max", "_tolerance", "_shrink", "_window", "_history")
 
     def __init__(
         self,
@@ -254,6 +272,8 @@ class _AdaptiveWindowBase(Forecaster):
 class AdaptiveWindowMean(_AdaptiveWindowBase):
     """Mean over a window whose length adapts to recent forecast error."""
 
+    __slots__ = ("name",)
+
     def __init__(self, **kwargs):
         super().__init__(**kwargs)
         self.name = f"adaptive_mean_{self._min}_{self._max}"
@@ -265,6 +285,8 @@ class AdaptiveWindowMean(_AdaptiveWindowBase):
 
 class AdaptiveWindowMedian(_AdaptiveWindowBase):
     """Median over a window whose length adapts to recent forecast error."""
+
+    __slots__ = ("name",)
 
     def __init__(self, **kwargs):
         super().__init__(**kwargs)
@@ -291,6 +313,8 @@ class ExponentialSmoothing(Forecaster):
         Smoothing gain in (0, 1].  Gain 1.0 degenerates to
         :class:`LastValue`.
     """
+
+    __slots__ = ("_gain", "_state", "name")
 
     def __init__(self, gain: float):
         if not 0.0 < gain <= 1.0:
@@ -329,6 +353,8 @@ class GradientTracker(Forecaster):
         Fixed step size (> 0); availability lives in [0, 1], so steps of
         0.01-0.1 are sensible.
     """
+
+    __slots__ = ("_step", "_state", "name")
 
     def __init__(self, step: float = 0.05):
         if step <= 0.0:

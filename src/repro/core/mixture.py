@@ -128,6 +128,8 @@ class AdaptiveForecaster(Forecaster):
 
     name = "nws_adaptive"
 
+    __slots__ = ("_bank", "_error_window")
+
     def __init__(
         self,
         forecasters: list[Forecaster] | None = None,

@@ -14,6 +14,7 @@ import numpy as np
 
 from repro.core.forecasters import Forecaster
 from repro.core.mixture import AdaptiveForecaster
+from repro.lint.contracts import ensure_fraction
 
 __all__ = ["NWSPredictor"]
 
@@ -81,12 +82,12 @@ class NWSPredictor:
     def observe(self, availability: float) -> None:
         """Absorb one availability measurement (fraction in [0, 1]).
 
-        Values outside [0, 1] are rejected: they indicate a broken sensor,
-        and silently clamping inputs would hide that.
+        Values outside [0, 1] are rejected (via :func:`~repro.lint.
+        contracts.ensure_fraction`, a :class:`ValueError` subclass): they
+        indicate a broken sensor, and silently clamping inputs would hide
+        that.
         """
-        value = float(availability)
-        if not 0.0 <= value <= 1.0:
-            raise ValueError(f"availability must be in [0, 1], got {value}")
+        value = ensure_fraction(float(availability))
         self._short.update(value)
         self._n_measurements += 1
         self._block.append(value)

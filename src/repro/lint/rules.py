@@ -1,0 +1,539 @@
+"""The domain rules.
+
+Each rule guards an invariant the test suite cannot see directly but the
+paper's results depend on:
+
+``DET001``
+    Simulations must be bit-reproducible.  Inside ``repro.sim``,
+    ``repro.core`` and ``repro.analysis`` nothing may read the wall clock
+    or draw from global RNG state; randomness and time arrive as injected
+    ``numpy.random.Generator`` / simulated-clock objects.
+``UNIT001``
+    Availability is a fraction in [0, 1]; percentages, fractions,
+    seconds and milliseconds must never be added, subtracted or compared
+    across units, and fraction-valued names must not be compared against
+    literals outside [0, 1].
+``PROTO001``
+    Every :class:`repro.core.forecasters.Forecaster` subclass is a cheap
+    streaming estimator: it provides ``update`` and ``forecast``,
+    ``forecast`` takes no positional arguments (the paper's Section 3
+    protocol), and declares ``__slots__`` so per-measurement allocation
+    stays flat across a battery of dozens of instances.
+``MUT001``
+    No mutable default arguments anywhere -- shared-state defaults break
+    both determinism and re-entrancy.
+``HEAP001``
+    ``heapq.heappush`` call sites must push a tuple with a tie-breaker
+    counter; heap order among equal deadlines is otherwise unstable and
+    simulations stop being reproducible (the :class:`repro.sim.engine.
+    EventQueue` FIFO promise).
+``EXC001``
+    No bare ``except`` or swallowed exceptions in the service layer
+    (``repro.nws``, ``repro.live``): a sensor that eats its own errors
+    reports stale availability instead of dying visibly.
+"""
+
+from __future__ import annotations
+
+import ast
+from typing import Iterator
+
+from repro.lint.findings import Finding
+from repro.lint.registry import ModuleContext, Rule, register
+
+__all__ = [
+    "DeterminismRule",
+    "UnitSafetyRule",
+    "ForecasterProtocolRule",
+    "MutableDefaultRule",
+    "HeapStabilityRule",
+    "SwallowedErrorRule",
+]
+
+
+# --------------------------------------------------------------------------
+# Shared AST helpers
+# --------------------------------------------------------------------------
+
+def _dotted(node: ast.AST) -> str | None:
+    """``a.b.c`` attribute chain as a string, or None if not a plain chain."""
+    parts: list[str] = []
+    while isinstance(node, ast.Attribute):
+        parts.append(node.attr)
+        node = node.value
+    if isinstance(node, ast.Name):
+        parts.append(node.id)
+        return ".".join(reversed(parts))
+    return None
+
+
+def _import_aliases(tree: ast.Module) -> dict[str, str]:
+    """Map local names to the full dotted names they were imported as.
+
+    ``import numpy as np`` maps ``np -> numpy``; ``from datetime import
+    datetime as dt`` maps ``dt -> datetime.datetime``.
+    """
+    aliases: dict[str, str] = {}
+    for node in ast.walk(tree):
+        if isinstance(node, ast.Import):
+            for name in node.names:
+                local = name.asname or name.name.split(".")[0]
+                full = name.name if name.asname else name.name.split(".")[0]
+                aliases[local] = full
+        elif isinstance(node, ast.ImportFrom) and node.module and node.level == 0:
+            for name in node.names:
+                if name.name == "*":
+                    continue
+                aliases[name.asname or name.name] = f"{node.module}.{name.name}"
+    return aliases
+
+
+def _resolve(dotted: str, aliases: dict[str, str]) -> str:
+    """Expand the leading component of a dotted chain via the import map."""
+    head, _, rest = dotted.partition(".")
+    full_head = aliases.get(head, head)
+    return f"{full_head}.{rest}" if rest else full_head
+
+
+# --------------------------------------------------------------------------
+# DET001 -- determinism
+# --------------------------------------------------------------------------
+
+_WALL_CLOCK = {
+    "time.time",
+    "time.time_ns",
+    "time.monotonic",
+    "time.monotonic_ns",
+    "time.perf_counter",
+    "time.perf_counter_ns",
+    "time.process_time",
+    "time.process_time_ns",
+    "datetime.datetime.now",
+    "datetime.datetime.utcnow",
+    "datetime.datetime.today",
+    "datetime.date.today",
+}
+
+#: numpy.random attributes that *construct* injectable RNG state rather
+#: than touching the global generator.
+_NP_RANDOM_OK = {
+    "default_rng",
+    "Generator",
+    "BitGenerator",
+    "SeedSequence",
+    "RandomState",
+    "PCG64",
+    "PCG64DXSM",
+    "Philox",
+    "MT19937",
+    "SFC64",
+}
+
+#: stdlib ``random`` attributes that are injectable instances, not the
+#: module-level generator.
+_STDLIB_RANDOM_OK = {"Random"}
+
+
+@register
+class DeterminismRule(Rule):
+    rule_id = "DET001"
+    title = "no wall clocks or global RNG state in deterministic packages"
+    rationale = (
+        "simulations must be bit-reproducible; time and randomness are "
+        "injected as simulated clocks and numpy Generators"
+    )
+    scope = ("repro.sim", "repro.core", "repro.analysis")
+
+    def check(self, ctx: ModuleContext) -> Iterator[Finding]:
+        aliases = _import_aliases(ctx.tree)
+        for node in ast.walk(ctx.tree):
+            if not isinstance(node, ast.Call):
+                continue
+            dotted = _dotted(node.func)
+            if dotted is None:
+                continue
+            full = _resolve(dotted, aliases)
+            if full in _WALL_CLOCK:
+                yield ctx.finding(
+                    node,
+                    self.rule_id,
+                    f"wall-clock call {full}() is nondeterministic; "
+                    "use the simulated kernel clock instead",
+                )
+            elif full.startswith("random.") and full.split(".")[1] not in _STDLIB_RANDOM_OK:
+                yield ctx.finding(
+                    node,
+                    self.rule_id,
+                    f"{full}() draws from the module-level random state; "
+                    "inject a numpy.random.Generator instead",
+                )
+            elif (
+                full.startswith("numpy.random.")
+                and full.split(".")[2] not in _NP_RANDOM_OK
+            ):
+                yield ctx.finding(
+                    node,
+                    self.rule_id,
+                    f"{full}() mutates numpy's global RNG state; "
+                    "inject a numpy.random.Generator instead",
+                )
+            elif full.endswith(".default_rng") and not node.args and not node.keywords:
+                yield ctx.finding(
+                    node,
+                    self.rule_id,
+                    "default_rng() without a seed draws OS entropy; "
+                    "thread a seed or SeedSequence through instead",
+                )
+
+
+# --------------------------------------------------------------------------
+# UNIT001 -- unit safety
+# --------------------------------------------------------------------------
+
+_UNIT_SUFFIXES = (
+    ("_pct", "pct"),
+    ("_percent", "pct"),
+    ("_frac", "frac"),
+    ("_fraction", "frac"),
+    ("_seconds", "seconds"),
+    ("_secs", "seconds"),
+    ("_sec", "seconds"),
+    ("_ms", "ms"),
+    ("_millis", "ms"),
+)
+
+
+def _unit_of(node: ast.AST) -> str | None:
+    if isinstance(node, ast.Name):
+        name = node.id
+    elif isinstance(node, ast.Attribute):
+        name = node.attr
+    else:
+        return None
+    for suffix, unit in _UNIT_SUFFIXES:
+        if name.endswith(suffix):
+            return unit
+    return None
+
+
+def _is_fraction_like(node: ast.AST) -> bool:
+    """Name that by convention holds an availability fraction."""
+    if isinstance(node, ast.Name):
+        name = node.id
+    elif isinstance(node, ast.Attribute):
+        name = node.attr
+    else:
+        return False
+    return "availability" in name or _unit_of(node) == "frac"
+
+
+@register
+class UnitSafetyRule(Rule):
+    rule_id = "UNIT001"
+    title = "no cross-unit arithmetic; availability literals stay in [0, 1]"
+    rationale = (
+        "percent/fraction and seconds/milliseconds mix-ups survive every "
+        "test that only checks shapes; catch them at the identifier level"
+    )
+
+    def check(self, ctx: ModuleContext) -> Iterator[Finding]:
+        for node in ast.walk(ctx.tree):
+            if isinstance(node, ast.BinOp) and isinstance(node.op, (ast.Add, ast.Sub)):
+                left, right = _unit_of(node.left), _unit_of(node.right)
+                if left and right and left != right:
+                    yield ctx.finding(
+                        node,
+                        self.rule_id,
+                        f"arithmetic mixes units: {left} and {right}; "
+                        "convert explicitly before combining",
+                    )
+            elif isinstance(node, ast.Compare):
+                operands = [node.left, *node.comparators]
+                for a, b in zip(operands, operands[1:]):
+                    ua, ub = _unit_of(a), _unit_of(b)
+                    if ua and ub and ua != ub:
+                        yield ctx.finding(
+                            node,
+                            self.rule_id,
+                            f"comparison mixes units: {ua} and {ub}; "
+                            "convert explicitly before comparing",
+                        )
+                for a, b in zip(operands, operands[1:]):
+                    for named, literal in ((a, b), (b, a)):
+                        if (
+                            _is_fraction_like(named)
+                            and isinstance(literal, ast.Constant)
+                            and isinstance(literal.value, (int, float))
+                            and not isinstance(literal.value, bool)
+                            and not 0.0 <= float(literal.value) <= 1.0
+                        ):
+                            yield ctx.finding(
+                                node,
+                                self.rule_id,
+                                f"availability fraction compared against "
+                                f"{literal.value!r}, outside [0, 1]; "
+                                "availability is a fraction, not a percent",
+                            )
+
+
+# --------------------------------------------------------------------------
+# PROTO001 -- forecaster protocol
+# --------------------------------------------------------------------------
+
+def _base_names(cls: ast.ClassDef) -> list[str]:
+    names = []
+    for base in cls.bases:
+        if isinstance(base, ast.Name):
+            names.append(base.id)
+        elif isinstance(base, ast.Attribute):
+            names.append(base.attr)
+    return names
+
+
+def _is_abstract(func: ast.FunctionDef) -> bool:
+    for deco in func.decorator_list:
+        name = deco.id if isinstance(deco, ast.Name) else getattr(deco, "attr", None)
+        if name in ("abstractmethod", "abstractproperty"):
+            return True
+    return False
+
+
+def _own_methods(cls: ast.ClassDef) -> dict[str, ast.FunctionDef]:
+    return {
+        stmt.name: stmt
+        for stmt in cls.body
+        if isinstance(stmt, (ast.FunctionDef, ast.AsyncFunctionDef))
+    }
+
+
+def _declares_slots(cls: ast.ClassDef) -> bool:
+    for stmt in cls.body:
+        targets = []
+        if isinstance(stmt, ast.Assign):
+            targets = stmt.targets
+        elif isinstance(stmt, ast.AnnAssign) and stmt.value is not None:
+            targets = [stmt.target]
+        for target in targets:
+            if isinstance(target, ast.Name) and target.id == "__slots__":
+                return True
+    return False
+
+
+@register
+class ForecasterProtocolRule(Rule):
+    rule_id = "PROTO001"
+    title = "Forecaster subclasses honour the update/forecast protocol"
+    rationale = (
+        "the battery calls update() then forecast() once per measurement "
+        "for every member; a missing method, a forecast that needs "
+        "arguments, or __dict__-bearing instances break or bloat the "
+        "whole mixture"
+    )
+
+    def check(self, ctx: ModuleContext) -> Iterator[Finding]:
+        classes = {
+            node.name: node
+            for node in ast.walk(ctx.tree)
+            if isinstance(node, ast.ClassDef)
+        }
+
+        def is_forecaster(cls: ast.ClassDef, seen: frozenset[str]) -> bool:
+            for base in _base_names(cls):
+                if base == "Forecaster":
+                    return True
+                if base in classes and base not in seen:
+                    if is_forecaster(classes[base], seen | {base}):
+                        return True
+            return False
+
+        def chain(cls: ast.ClassDef) -> list[ast.ClassDef]:
+            """The class plus its in-module ancestors (excluding Forecaster)."""
+            out, todo, seen = [], [cls], set()
+            while todo:
+                current = todo.pop(0)
+                if current.name in seen or current.name == "Forecaster":
+                    continue
+                seen.add(current.name)
+                out.append(current)
+                todo.extend(
+                    classes[base]
+                    for base in _base_names(current)
+                    if base in classes
+                )
+            return out
+
+        for cls in classes.values():
+            if cls.name == "Forecaster" or not is_forecaster(cls, frozenset()):
+                continue
+            provided: set[str] = set()
+            for ancestor in chain(cls):
+                provided.update(
+                    name
+                    for name, func in _own_methods(ancestor).items()
+                    if not _is_abstract(func)
+                )
+            for required in ("update", "forecast"):
+                if required not in provided:
+                    yield ctx.finding(
+                        cls,
+                        self.rule_id,
+                        f"Forecaster subclass {cls.name!r} does not provide "
+                        f"{required}(); the battery protocol requires it",
+                    )
+            own = _own_methods(cls)
+            forecast = own.get("forecast")
+            if forecast is not None and not _is_abstract(forecast):
+                args = forecast.args
+                extra = len(args.posonlyargs) + len(args.args) - 1
+                if extra > 0 or args.vararg is not None:
+                    yield ctx.finding(
+                        forecast,
+                        self.rule_id,
+                        f"{cls.name}.forecast() must take no positional "
+                        "arguments: it predicts the next frame from "
+                        "internal state only",
+                    )
+            if not _declares_slots(cls):
+                yield ctx.finding(
+                    cls,
+                    self.rule_id,
+                    f"Forecaster subclass {cls.name!r} must declare "
+                    "__slots__; batteries hold dozens of instances on the "
+                    "per-measurement hot path",
+                )
+
+
+# --------------------------------------------------------------------------
+# MUT001 -- mutable default arguments
+# --------------------------------------------------------------------------
+
+_MUTABLE_CALLS = {"list", "dict", "set", "bytearray", "defaultdict", "deque", "Counter"}
+
+
+@register
+class MutableDefaultRule(Rule):
+    rule_id = "MUT001"
+    title = "no mutable default arguments"
+    rationale = (
+        "a mutable default is shared across calls: state leaks between "
+        "simulations and breaks re-entrancy"
+    )
+
+    def check(self, ctx: ModuleContext) -> Iterator[Finding]:
+        for node in ast.walk(ctx.tree):
+            if not isinstance(node, (ast.FunctionDef, ast.AsyncFunctionDef, ast.Lambda)):
+                continue
+            defaults = [*node.args.defaults, *node.args.kw_defaults]
+            for default in defaults:
+                if default is None:
+                    continue
+                mutable = isinstance(default, (ast.List, ast.Dict, ast.Set))
+                if isinstance(default, ast.Call):
+                    name = _dotted(default.func)
+                    mutable = name is not None and name.split(".")[-1] in _MUTABLE_CALLS
+                if mutable:
+                    label = getattr(node, "name", "<lambda>")
+                    yield ctx.finding(
+                        default,
+                        self.rule_id,
+                        f"mutable default argument in {label}(); "
+                        "default to None and create inside the function",
+                    )
+
+
+# --------------------------------------------------------------------------
+# HEAP001 -- heap stability
+# --------------------------------------------------------------------------
+
+_COUNTERISH = ("counter", "count", "seq", "tiebreak", "serial")
+
+
+def _is_tiebreaker(node: ast.AST) -> bool:
+    if isinstance(node, ast.Call):
+        name = _dotted(node.func)
+        if name is None:
+            return False
+        last = name.split(".")[-1]
+        return last in ("next", "count") or any(
+            token in last.lower() for token in _COUNTERISH
+        )
+    name = _dotted(node)
+    if name is not None:
+        return any(token in name.split(".")[-1].lower() for token in _COUNTERISH)
+    return False
+
+
+@register
+class HeapStabilityRule(Rule):
+    rule_id = "HEAP001"
+    title = "heappush entries carry a tie-breaker counter"
+    rationale = (
+        "equal-deadline events must pop FIFO or simulations are not "
+        "reproducible; tuples need a monotonic sequence number"
+    )
+
+    def check(self, ctx: ModuleContext) -> Iterator[Finding]:
+        aliases = _import_aliases(ctx.tree)
+        for node in ast.walk(ctx.tree):
+            if not isinstance(node, ast.Call):
+                continue
+            dotted = _dotted(node.func)
+            if dotted is None or _resolve(dotted, aliases) != "heapq.heappush":
+                continue
+            if len(node.args) < 2:
+                continue
+            item = node.args[1]
+            if (
+                isinstance(item, ast.Tuple)
+                and len(item.elts) >= 2
+                and any(_is_tiebreaker(elt) for elt in item.elts)
+            ):
+                continue
+            yield ctx.finding(
+                node,
+                self.rule_id,
+                "heappush entry has no tie-breaker: push "
+                "(key, next(counter), payload) so equal keys pop FIFO",
+            )
+
+
+# --------------------------------------------------------------------------
+# EXC001 -- bare except / swallowed errors in the service layer
+# --------------------------------------------------------------------------
+
+@register
+class SwallowedErrorRule(Rule):
+    rule_id = "EXC001"
+    title = "no bare except or swallowed exceptions in services"
+    rationale = (
+        "a sensor that eats its own errors keeps publishing stale "
+        "availability; failures must propagate or be logged deliberately"
+    )
+    scope = ("repro.nws", "repro.live")
+
+    def check(self, ctx: ModuleContext) -> Iterator[Finding]:
+        for node in ast.walk(ctx.tree):
+            if not isinstance(node, ast.ExceptHandler):
+                continue
+            if node.type is None:
+                yield ctx.finding(
+                    node,
+                    self.rule_id,
+                    "bare except catches SystemExit/KeyboardInterrupt too; "
+                    "name the exception type",
+                )
+            swallowed = all(
+                isinstance(stmt, ast.Pass)
+                or (
+                    isinstance(stmt, ast.Expr)
+                    and isinstance(stmt.value, ast.Constant)
+                )
+                for stmt in node.body
+            )
+            if swallowed:
+                yield ctx.finding(
+                    node,
+                    self.rule_id,
+                    "exception handler swallows the error; re-raise, "
+                    "return a sentinel, or record the failure",
+                )

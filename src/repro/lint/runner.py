@@ -1,0 +1,218 @@
+"""Lint driver: walk paths, parse, run rules, apply suppressions.
+
+Suppression syntax
+------------------
+A finding is suppressed by a comment on its own line::
+
+    t = time.time()          # lint: ignore[DET001] -- live wall clock OK here
+    value = risky()          # lint: ignore         (silences every rule)
+
+Suppressed findings are counted (and reported in JSON) but do not affect
+the exit code; unknown rule ids inside ``ignore[...]`` are simply inert.
+"""
+
+from __future__ import annotations
+
+import ast
+import re
+from dataclasses import dataclass, field
+from pathlib import Path
+
+from repro.lint.findings import Finding
+from repro.lint.registry import ModuleContext, Rule, all_rules
+
+__all__ = [
+    "LintResult",
+    "UnknownRuleError",
+    "check_source",
+    "lint_paths",
+    "module_name_for",
+    "select_rules",
+]
+
+#: Rule id used for files that cannot be read or parsed.
+PARSE_RULE_ID = "LINT000"
+
+_SUPPRESS_RE = re.compile(
+    r"#\s*lint:\s*ignore(?:\[(?P<rules>[A-Za-z0-9_,\s]*)\])?"
+)
+
+
+class UnknownRuleError(ValueError):
+    """``--select`` / ``--ignore`` named a rule id that does not exist."""
+
+
+@dataclass
+class LintResult:
+    """Outcome of one lint run."""
+
+    findings: list[Finding] = field(default_factory=list)
+    suppressed: list[Finding] = field(default_factory=list)
+    files_checked: int = 0
+    rules_run: list[str] = field(default_factory=list)
+
+    @property
+    def ok(self) -> bool:
+        """True when no unsuppressed findings remain."""
+        return not self.findings
+
+    @property
+    def exit_code(self) -> int:
+        return 0 if self.ok else 1
+
+
+def module_name_for(path: Path) -> str:
+    """Dotted module name from the package layout, or ``""``.
+
+    Walks up through directories containing ``__init__.py``; the topmost
+    such directory is the package root (``src/repro/sim/engine.py`` ->
+    ``repro.sim.engine``).
+    """
+    path = path.resolve()
+    parts = [] if path.stem == "__init__" else [path.stem]
+    directory = path.parent
+    while (directory / "__init__.py").exists():
+        parts.insert(0, directory.name)
+        parent = directory.parent
+        if parent == directory:
+            break
+        directory = parent
+    return ".".join(parts) if len(parts) > (0 if path.stem == "__init__" else 1) else ""
+
+
+def select_rules(
+    select: list[str] | None = None, ignore: list[str] | None = None
+) -> list[Rule]:
+    """Resolve ``--select`` / ``--ignore`` ids against the registry."""
+    rules = all_rules()
+    known = {rule.rule_id for rule in rules}
+    for requested in (select or []) + (ignore or []):
+        if requested not in known:
+            raise UnknownRuleError(
+                f"unknown rule id {requested!r}; known: {sorted(known)}"
+            )
+    if select:
+        rules = [rule for rule in rules if rule.rule_id in set(select)]
+    if ignore:
+        rules = [rule for rule in rules if rule.rule_id not in set(ignore)]
+    return rules
+
+
+def _suppressions(source_lines: tuple[str, ...]) -> dict[int, set[str] | None]:
+    """Map 1-based line number -> suppressed rule ids (None = all rules)."""
+    out: dict[int, set[str] | None] = {}
+    for lineno, line in enumerate(source_lines, start=1):
+        match = _SUPPRESS_RE.search(line)
+        if not match:
+            continue
+        rules = match.group("rules")
+        if rules is None or not rules.strip():
+            out[lineno] = None
+        else:
+            out[lineno] = {token.strip() for token in rules.split(",") if token.strip()}
+    return out
+
+
+def _check_module(
+    ctx: ModuleContext, rules: list[Rule]
+) -> tuple[list[Finding], list[Finding]]:
+    suppressions = _suppressions(ctx.source_lines)
+    kept: list[Finding] = []
+    suppressed: list[Finding] = []
+    for rule in rules:
+        if not rule.applies_to(ctx.module):
+            continue
+        for finding in rule.check(ctx):
+            allowed = suppressions.get(finding.line, ...)
+            if allowed is None or (allowed is not ... and finding.rule_id in allowed):
+                suppressed.append(finding)
+            else:
+                kept.append(finding)
+    return kept, suppressed
+
+
+def check_source(
+    source: str,
+    *,
+    path: str = "<string>",
+    module: str = "",
+    select: list[str] | None = None,
+    ignore: list[str] | None = None,
+) -> LintResult:
+    """Lint one in-memory source string (the test-fixture entry point)."""
+    rules = select_rules(select, ignore)
+    result = LintResult(rules_run=[rule.rule_id for rule in rules], files_checked=1)
+    try:
+        tree = ast.parse(source)
+    except SyntaxError as exc:
+        result.findings.append(
+            Finding(path, exc.lineno or 1, exc.offset or 0, PARSE_RULE_ID,
+                    f"syntax error: {exc.msg}")
+        )
+        return result
+    ctx = ModuleContext(
+        path=path, module=module, tree=tree,
+        source_lines=tuple(source.splitlines()),
+    )
+    kept, suppressed = _check_module(ctx, rules)
+    result.findings.extend(kept)
+    result.suppressed.extend(suppressed)
+    result.findings.sort()
+    return result
+
+
+def _collect_files(paths: list[str | Path]) -> list[Path]:
+    files: set[Path] = set()
+    for raw in paths:
+        path = Path(raw)
+        if path.is_dir():
+            files.update(path.rglob("*.py"))
+        elif path.is_file():
+            if path.suffix == ".py":
+                files.add(path)
+        else:
+            # A mistyped path must not yield a green "clean: 0 files" gate.
+            raise FileNotFoundError(f"no such file or directory: {raw}")
+    return sorted(files)
+
+
+def lint_paths(
+    paths: list[str | Path],
+    *,
+    select: list[str] | None = None,
+    ignore: list[str] | None = None,
+) -> LintResult:
+    """Lint every ``*.py`` file under the given files/directories.
+
+    Raises
+    ------
+    UnknownRuleError
+        If ``select`` or ``ignore`` name a rule id not in the registry.
+    """
+    rules = select_rules(select, ignore)
+    result = LintResult(rules_run=[rule.rule_id for rule in rules])
+    for file_path in _collect_files(paths):
+        result.files_checked += 1
+        try:
+            source = file_path.read_text(encoding="utf-8")
+            tree = ast.parse(source, filename=str(file_path))
+        except (OSError, SyntaxError, ValueError) as exc:
+            message = getattr(exc, "msg", None) or str(exc)
+            line = getattr(exc, "lineno", None) or 1
+            result.findings.append(
+                Finding(str(file_path), line, 0, PARSE_RULE_ID,
+                        f"cannot lint file: {message}")
+            )
+            continue
+        ctx = ModuleContext(
+            path=str(file_path),
+            module=module_name_for(file_path),
+            tree=tree,
+            source_lines=tuple(source.splitlines()),
+        )
+        kept, suppressed = _check_module(ctx, rules)
+        result.findings.extend(kept)
+        result.suppressed.extend(suppressed)
+    result.findings.sort()
+    result.suppressed.sort()
+    return result

@@ -147,8 +147,9 @@ class SimGrid:
             idx = self.names.index(name)
             host = self.hosts[idx]
             chain_results: list[TaskResult] = []
+            queue = list(tasks)
 
-            def launch(queue=list(tasks), host=host, name=name, sink=chain_results):
+            def launch(queue=queue, host=host, name=name, sink=chain_results):
                 if not queue:
                     return
                 task = queue.pop(0)

@@ -1,0 +1,380 @@
+"""Per-rule positive/negative fixtures for the domain linter.
+
+Every rule gets at least one snippet that must fire and one that must
+stay silent; fixtures go through :func:`repro.lint.check_source`, i.e.
+the same ``ast.parse`` + scoping + suppression path as real files.
+"""
+
+from __future__ import annotations
+
+import textwrap
+
+from repro.lint import check_source
+from repro.lint.runner import PARSE_RULE_ID
+
+
+def findings(source: str, *, module: str = "", select: list[str] | None = None):
+    result = check_source(textwrap.dedent(source), module=module, select=select)
+    return result
+
+
+def rule_ids(source: str, *, module: str = "", select: list[str] | None = None):
+    return [f.rule_id for f in findings(source, module=module, select=select).findings]
+
+
+# -----------------------------------------------------------------------
+# DET001 -- determinism
+# -----------------------------------------------------------------------
+
+class TestDeterminism:
+    def test_wall_clock_flagged_in_sim(self):
+        src = """
+        import time
+
+        def stamp():
+            return time.time()
+        """
+        assert rule_ids(src, module="repro.sim.fake") == ["DET001"]
+
+    def test_from_import_alias_flagged(self):
+        src = """
+        from time import time as now
+
+        def stamp():
+            return now()
+        """
+        assert rule_ids(src, module="repro.core.fake") == ["DET001"]
+
+    def test_datetime_now_flagged(self):
+        src = """
+        from datetime import datetime
+
+        def stamp():
+            return datetime.now()
+        """
+        assert rule_ids(src, module="repro.analysis.fake") == ["DET001"]
+
+    def test_global_numpy_rng_flagged(self):
+        src = """
+        import numpy as np
+
+        def noise():
+            np.random.seed(3)
+            return np.random.uniform()
+        """
+        assert rule_ids(src, module="repro.sim.fake") == ["DET001", "DET001"]
+
+    def test_module_level_random_flagged(self):
+        src = """
+        import random
+
+        def pick():
+            return random.random()
+        """
+        assert rule_ids(src, module="repro.sim.fake") == ["DET001"]
+
+    def test_unseeded_default_rng_flagged(self):
+        src = """
+        import numpy as np
+
+        def make():
+            return np.random.default_rng()
+        """
+        assert rule_ids(src, module="repro.core.fake") == ["DET001"]
+
+    def test_injected_generator_ok(self):
+        src = """
+        import numpy as np
+
+        def draw(rng: np.random.Generator) -> float:
+            return rng.uniform()
+
+        def make(seed):
+            return np.random.default_rng(np.random.SeedSequence(seed))
+        """
+        assert rule_ids(src, module="repro.sim.fake") == []
+
+    def test_out_of_scope_module_not_flagged(self):
+        src = """
+        import time
+
+        def stamp():
+            return time.monotonic()
+        """
+        assert rule_ids(src, module="repro.live.probe2") == []
+        assert rule_ids(src, module="") == []
+
+
+# -----------------------------------------------------------------------
+# UNIT001 -- unit safety
+# -----------------------------------------------------------------------
+
+class TestUnitSafety:
+    def test_mixed_unit_addition_flagged(self):
+        src = """
+        def total(duration_seconds, timeout_ms):
+            return duration_seconds + timeout_ms
+        """
+        assert rule_ids(src) == ["UNIT001"]
+
+    def test_pct_vs_frac_comparison_flagged(self):
+        src = """
+        def busy(cpu_pct, idle_frac):
+            return cpu_pct > idle_frac
+        """
+        assert rule_ids(src) == ["UNIT001"]
+
+    def test_availability_literal_out_of_range_flagged(self):
+        src = """
+        def usable(availability):
+            return availability > 30
+        """
+        assert rule_ids(src) == ["UNIT001"]
+
+    def test_same_unit_and_conversion_ok(self):
+        src = """
+        def fine(run_seconds, wait_seconds, avail_frac):
+            total_seconds = run_seconds + wait_seconds
+            pct = avail_frac * 100.0
+            return total_seconds if avail_frac > 0.3 else pct
+        """
+        assert rule_ids(src) == []
+
+
+# -----------------------------------------------------------------------
+# PROTO001 -- forecaster protocol
+# -----------------------------------------------------------------------
+
+class TestForecasterProtocol:
+    def test_missing_forecast_flagged(self):
+        src = """
+        class Broken(Forecaster):
+            __slots__ = ("_x",)
+
+            def update(self, value):
+                self._x = value
+        """
+        ids = rule_ids(src)
+        assert ids == ["PROTO001"]
+        assert "forecast" in findings(src).findings[0].message
+
+    def test_forecast_with_positional_arg_flagged(self):
+        src = """
+        class Broken(Forecaster):
+            __slots__ = ()
+
+            def update(self, value):
+                pass
+
+            def forecast(self, horizon):
+                return 0.0
+        """
+        assert rule_ids(src) == ["PROTO001"]
+
+    def test_missing_slots_flagged(self):
+        src = """
+        class Broken(Forecaster):
+            def update(self, value):
+                pass
+
+            def forecast(self):
+                return 0.0
+        """
+        ids = rule_ids(src)
+        assert ids == ["PROTO001"]
+        assert "__slots__" in findings(src).findings[0].message
+
+    def test_complete_subclass_ok(self):
+        src = """
+        class Fine(Forecaster):
+            __slots__ = ("_last",)
+
+            def update(self, value):
+                self._last = value
+
+            def forecast(self):
+                return self._last
+        """
+        assert rule_ids(src) == []
+
+    def test_methods_inherited_from_intermediate_base_ok(self):
+        src = """
+        class _Base(Forecaster):
+            __slots__ = ("_v",)
+
+            def update(self, value):
+                self._v = value
+
+            def forecast(self):
+                return self._estimate()
+
+        class Leaf(_Base):
+            __slots__ = ()
+
+            def _estimate(self):
+                return self._v
+        """
+        assert rule_ids(src) == []
+
+    def test_unrelated_class_ignored(self):
+        src = """
+        class NotAForecaster:
+            def forecast(self, a, b):
+                return a + b
+        """
+        assert rule_ids(src) == []
+
+
+# -----------------------------------------------------------------------
+# MUT001 -- mutable default arguments
+# -----------------------------------------------------------------------
+
+class TestMutableDefaults:
+    def test_list_literal_default_flagged(self):
+        assert rule_ids("def f(x=[]):\n    return x\n") == ["MUT001"]
+
+    def test_constructor_call_default_flagged(self):
+        assert rule_ids("def f(*, x=dict()):\n    return x\n") == ["MUT001"]
+
+    def test_none_default_ok(self):
+        src = """
+        def f(x=None, y=(), z="s"):
+            return x, y, z
+        """
+        assert rule_ids(src) == []
+
+
+# -----------------------------------------------------------------------
+# HEAP001 -- heap stability
+# -----------------------------------------------------------------------
+
+class TestHeapStability:
+    def test_tuple_without_tiebreaker_flagged(self):
+        src = """
+        import heapq
+
+        def push(heap, deadline, callback):
+            heapq.heappush(heap, (deadline, callback))
+        """
+        assert rule_ids(src) == ["HEAP001"]
+
+    def test_non_tuple_push_flagged(self):
+        src = """
+        import heapq
+
+        def push(heap, deadline):
+            heapq.heappush(heap, deadline)
+        """
+        assert rule_ids(src) == ["HEAP001"]
+
+    def test_next_counter_tiebreaker_ok(self):
+        src = """
+        import heapq
+
+        def push(heap, deadline, counter, callback):
+            heapq.heappush(heap, (deadline, next(counter), callback))
+        """
+        assert rule_ids(src) == []
+
+    def test_from_import_with_counter_name_ok(self):
+        src = """
+        from heapq import heappush
+
+        def push(heap, deadline, seq, callback):
+            heappush(heap, (deadline, seq, callback))
+        """
+        assert rule_ids(src) == []
+
+
+# -----------------------------------------------------------------------
+# EXC001 -- bare except / swallowed errors
+# -----------------------------------------------------------------------
+
+class TestSwallowedErrors:
+    def test_bare_except_flagged_in_nws(self):
+        src = """
+        def publish(memory):
+            try:
+                memory.flush()
+            except:
+                raise RuntimeError("flush failed")
+        """
+        assert rule_ids(src, module="repro.nws.fake") == ["EXC001"]
+
+    def test_swallowing_handler_flagged_in_live(self):
+        src = """
+        def sample(path):
+            try:
+                return open(path).read()
+            except OSError:
+                pass
+        """
+        assert rule_ids(src, module="repro.live.fake") == ["EXC001"]
+
+    def test_handled_exception_ok(self):
+        src = """
+        def sample(path):
+            try:
+                return open(path).read()
+            except OSError as exc:
+                return f"unavailable: {exc}"
+        """
+        assert rule_ids(src, module="repro.nws.fake") == []
+
+    def test_out_of_scope_module_not_flagged(self):
+        src = """
+        def quiet():
+            try:
+                return 1
+            except ValueError:
+                pass
+        """
+        assert rule_ids(src, module="repro.sim.fake") == []
+
+
+# -----------------------------------------------------------------------
+# Suppressions, selection, parse errors
+# -----------------------------------------------------------------------
+
+class TestMachinery:
+    SRC = """
+    import time
+
+    def stamp():
+        return time.time()  # lint: ignore[DET001] -- fixture exercising suppression
+    """
+
+    def test_targeted_suppression(self):
+        result = findings(self.SRC, module="repro.sim.fake")
+        assert result.findings == []
+        assert [f.rule_id for f in result.suppressed] == ["DET001"]
+
+    def test_blanket_suppression(self):
+        src = self.SRC.replace("ignore[DET001]", "ignore")
+        result = findings(src, module="repro.sim.fake")
+        assert result.findings == []
+        assert len(result.suppressed) == 1
+
+    def test_wrong_rule_in_suppression_keeps_finding(self):
+        src = self.SRC.replace("ignore[DET001]", "ignore[MUT001]")
+        result = findings(src, module="repro.sim.fake")
+        assert [f.rule_id for f in result.findings] == ["DET001"]
+
+    def test_select_limits_rules(self):
+        src = """
+        def f(x=[]):
+            return x
+        """
+        assert rule_ids(src, select=["DET001"]) == []
+        assert rule_ids(src, select=["MUT001"]) == ["MUT001"]
+
+    def test_syntax_error_reported(self):
+        result = findings("def broken(:\n")
+        assert [f.rule_id for f in result.findings] == [PARSE_RULE_ID]
+
+    def test_findings_carry_location(self):
+        result = findings(self.SRC.replace("  # lint: ignore[DET001] -- fixture exercising suppression", ""), module="repro.sim.fake")
+        (finding,) = result.findings
+        assert finding.line == 5
+        assert finding.rule_id == "DET001"
+        assert "time.time" in finding.message

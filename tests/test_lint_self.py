@@ -1,0 +1,58 @@
+"""Meta-test: the shipped tree stays lint-clean.
+
+This is the tier-1 regression gate for the invariants the linter
+encodes: a PR that reintroduces wall clocks into the simulator, drops
+``__slots__`` from a forecaster, or pushes an unstable heap entry fails
+here with the exact file/line/rule in the assertion message.
+"""
+
+from __future__ import annotations
+
+from pathlib import Path
+
+import pytest
+
+from repro.lint import all_rules, lint_paths
+
+SRC = Path(__file__).resolve().parents[1] / "src" / "repro"
+
+pytestmark = pytest.mark.skipif(
+    not SRC.is_dir(), reason="src/repro layout not present"
+)
+
+
+def test_src_tree_is_lint_clean():
+    result = lint_paths([SRC])
+    report = "\n".join(finding.render() for finding in result.findings)
+    assert result.ok, f"lint regressions in src/repro:\n{report}"
+    assert result.files_checked > 50  # the walk really covered the tree
+
+
+def test_all_six_domain_rules_ran():
+    result = lint_paths([SRC])
+    assert set(result.rules_run) >= {
+        "DET001",
+        "UNIT001",
+        "PROTO001",
+        "MUT001",
+        "HEAP001",
+        "EXC001",
+    }
+
+
+def test_every_suppression_carries_a_justification():
+    """``# lint: ignore[...]`` must say *why* (a trailing comment)."""
+    for path in sorted(SRC.rglob("*.py")):
+        for lineno, line in enumerate(path.read_text().splitlines(), start=1):
+            if "lint: ignore" not in line:
+                continue
+            _, _, tail = line.partition("lint: ignore")
+            tail = tail.partition("]")[2] if "[" in tail else tail
+            assert tail.strip(), (
+                f"{path}:{lineno}: suppression without a justification comment"
+            )
+
+
+def test_registry_metadata_complete():
+    for rule in all_rules():
+        assert rule.rule_id and rule.title and rule.rationale, rule
