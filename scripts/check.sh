@@ -21,4 +21,8 @@ PYTHONPATH="src${PYTHONPATH:+:$PYTHONPATH}" python -m repro.cli lint src/repro
 echo "==> pytest"
 PYTHONPATH="src${PYTHONPATH:+:$PYTHONPATH}" python -m pytest -q
 
+echo "==> observability overhead benchmark"
+PYTHONPATH="src${PYTHONPATH:+:$PYTHONPATH}" python -m pytest -q -p no:cacheprovider \
+    --benchmark-disable-gc benchmarks/bench_obs.py
+
 echo "==> all checks passed"

@@ -7,8 +7,12 @@ Commands
 ``nws-repro figures [--figure N] [--seed S] [--out DIR]``
     ASCII-render reproduced Figures 1-4 and optionally export their data
     as CSV.
-``nws-repro live [--interval SEC] [--count N]``
-    Run the live /proc sensors on this machine and print readings.
+``nws-repro live [--interval SEC] [--count N] [--json]``
+    Run the live /proc sensors on this machine and print readings
+    (``--json`` emits JSON-lines matching the obs exporter format).
+``nws-repro obs [--hours H] [--seed S] [--profiles P,P,...] [--format F]``
+    Run an instrumented NWS deployment and render its observability
+    output: ``dashboard`` (default), ``prometheus`` or ``json``.
 ``nws-repro sched-demo [--tasks N] [--seed S]``
     Run the grid-scheduling demonstration (mapper comparison).
 ``nws-repro report OUT_DIR [--seed S] [--hours H] [--figure3-days D]``
@@ -55,6 +59,30 @@ def build_parser() -> argparse.ArgumentParser:
     p_live = sub.add_parser("live", help="live /proc sensing on this machine")
     p_live.add_argument("--interval", type=float, default=2.0)
     p_live.add_argument("--count", type=int, default=10)
+    p_live.add_argument(
+        "--json",
+        action="store_true",
+        help="emit JSON-lines (the obs exporter metric shape plus a time field)",
+    )
+
+    p_obs = sub.add_parser(
+        "obs", help="instrumented NWS run: metrics, spans, dashboard"
+    )
+    p_obs.add_argument("--hours", type=float, default=1.0)
+    p_obs.add_argument("--seed", type=int, default=7)
+    p_obs.add_argument(
+        "--profiles",
+        type=str,
+        default="thing1,conundrum",
+        help="comma-separated testbed profiles to monitor",
+    )
+    p_obs.add_argument(
+        "--format",
+        choices=("dashboard", "prometheus", "json"),
+        default="dashboard",
+        dest="output_format",
+        help="output format (default: dashboard)",
+    )
 
     p_sched = sub.add_parser("sched-demo", help="grid scheduling demonstration")
     p_sched.add_argument("--tasks", type=int, default=24)
@@ -148,6 +176,24 @@ def _cmd_live(args) -> int:
     except RuntimeError as exc:
         print(f"live sensing unavailable: {exc}", file=sys.stderr)
         return 1
+    if args.json:
+        import json
+
+        traces = monitor.run(args.count)
+        host = next(iter(traces.values())).host
+        for i in range(args.count):
+            for method in ("load_average", "vmstat", "nws_hybrid"):
+                trace = traces[method]
+                event = {
+                    "type": "metric",
+                    "kind": "gauge",
+                    "name": "repro_live_availability",
+                    "labels": {"host": host, "method": method},
+                    "time": float(trace.times[i]),
+                    "value": float(trace.values[i]),
+                }
+                print(json.dumps(event, sort_keys=True, separators=(",", ":")))
+        return 0
     print(f"sampling {args.count} readings every {args.interval:g}s ...")
     traces = monitor.run(args.count)
     la, vm, hy = (traces[m] for m in ("load_average", "vmstat", "nws_hybrid"))
@@ -157,6 +203,47 @@ def _cmd_live(args) -> int:
             f"{la.times[i]:8.1f} {la.values[i]:8.2f} "
             f"{vm.values[i]:8.2f} {hy.values[i]:8.2f}"
         )
+    return 0
+
+
+def _cmd_obs(args) -> int:
+    from repro.nws import NWSSystem
+    from repro.obs import (
+        MetricsRegistry,
+        Tracer,
+        installed,
+        render_jsonl,
+        render_prometheus,
+        traced,
+    )
+    from repro.obs.dashboard import render_dashboard
+
+    profiles = [p.strip() for p in args.profiles.split(",") if p.strip()]
+    if not profiles:
+        print("nws-repro obs: no profiles given", file=sys.stderr)
+        return 2
+    registry = MetricsRegistry()
+    with installed(registry):
+        # The registry must be live while the system is built: components
+        # bind their metric handles at construction time.
+        system = NWSSystem(profiles, seed=args.seed)
+        tracer = Tracer(clock=lambda: system.clock)
+        with traced(tracer):
+            system.advance(args.hours * 3600.0)
+            reports = system.forecaster.query_all()
+        if args.output_format == "prometheus":
+            print(render_prometheus(registry), end="")
+        elif args.output_format == "json":
+            print(render_jsonl(registry, tracer), end="")
+        else:
+            print(
+                render_dashboard(
+                    registry,
+                    tracer=tracer,
+                    memory=system.memory,
+                    reports=reports,
+                )
+            )
     return 0
 
 
@@ -294,6 +381,7 @@ def main(argv: list[str] | None = None) -> int:
         "tables": _cmd_tables,
         "figures": _cmd_figures,
         "live": _cmd_live,
+        "obs": _cmd_obs,
         "sched-demo": _cmd_sched_demo,
         "report": _cmd_report,
         "lint": _cmd_lint,

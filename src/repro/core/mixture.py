@@ -15,6 +15,7 @@ import numpy as np
 
 from repro.core.forecasters import Forecaster, default_battery
 from repro.core.windows import RingMean
+from repro.obs.metrics import get_registry
 
 __all__ = ["ForecasterBank", "AdaptiveForecaster", "forecast_series"]
 
@@ -53,6 +54,18 @@ class ForecasterBank:
         self._errors = [RingMean(error_window) for _ in self._forecasters]
         self._pending: list[float] | None = None
         self._count = 0
+        # Telemetry: cumulative absolute error, win counts, and the switch
+        # history, all per member.  ``_best`` caches the current winner's
+        # index so :meth:`best_name` is O(1) -- the scan happens once per
+        # update, where the rings are already hot.
+        self._cum_abs = [0.0 for _ in self._forecasters]
+        self._n_scored = 0
+        self._wins = [0 for _ in self._forecasters]
+        self._best = 0
+        self._switches: list[tuple[int, str, str]] = []
+        registry = get_registry()
+        self._obs_updates = registry.counter("repro_forecaster_updates_total")
+        self._obs_switches = registry.counter("repro_forecaster_switches_total")
 
     @property
     def forecasters(self) -> list[Forecaster]:
@@ -74,13 +87,36 @@ class ForecasterBank:
         each error is an honest out-of-sample one-step-ahead error.
         """
         value = float(value)
-        if self._pending is not None:
-            for ring, predicted in zip(self._errors, self._pending):
-                ring.push(abs(predicted - value))
+        scored = self._pending is not None
+        if scored:
+            for i, (ring, predicted) in enumerate(zip(self._errors, self._pending)):
+                err = abs(predicted - value)
+                ring.push(err)
+                self._cum_abs[i] += err
+            self._n_scored += 1
         for forecaster in self._forecasters:
             forecaster.update(value)
         self._pending = [f.forecast() for f in self._forecasters]
         self._count += 1
+        self._obs_updates.inc()
+        if scored:
+            best = 0
+            best_error = float("inf")
+            for i, ring in enumerate(self._errors):
+                if len(ring) and ring.mean < best_error:
+                    best_error = ring.mean
+                    best = i
+            self._wins[best] += 1
+            if best != self._best:
+                self._switches.append(
+                    (
+                        self._count,
+                        self._forecasters[self._best].name,
+                        self._forecasters[best].name,
+                    )
+                )
+                self._best = best
+                self._obs_switches.inc()
 
     def forecasts(self) -> dict[str, float]:
         """Current one-step-ahead forecast of every battery member."""
@@ -104,13 +140,36 @@ class ForecasterBank:
         """
         if self._pending is None:
             raise ValueError("no measurements yet")
-        best = 0
-        best_error = float("inf")
-        for i, ring in enumerate(self._errors):
-            if len(ring) and ring.mean < best_error:
-                best_error = ring.mean
-                best = i
-        return self._forecasters[best].name
+        return self._forecasters[self._best].name
+
+    @property
+    def switch_events(self) -> list[tuple[int, str, str]]:
+        """Winner changes so far, as ``(update_index, old, new)`` tuples."""
+        return list(self._switches)
+
+    def telemetry(self) -> dict[str, dict[str, float]]:
+        """Per-member accuracy standings.
+
+        Returns ``{member: {"cumulative_mae", "recent_mae", "wins",
+        "n_scored"}}``.  ``cumulative_mae`` averages *every* scored
+        one-step-ahead error since construction (NaN before any scoring);
+        ``recent_mae`` is the sliding-window view :meth:`best_name` ranks
+        by; ``wins`` counts how many updates each member finished on top.
+        """
+        recent = self.recent_errors()
+        out: dict[str, dict[str, float]] = {}
+        for i, forecaster in enumerate(self._forecasters):
+            out[forecaster.name] = {
+                "cumulative_mae": (
+                    self._cum_abs[i] / self._n_scored
+                    if self._n_scored
+                    else float("nan")
+                ),
+                "recent_mae": recent[forecaster.name],
+                "wins": self._wins[i],
+                "n_scored": self._n_scored,
+            }
+        return out
 
 
 class AdaptiveForecaster(Forecaster):
@@ -153,6 +212,15 @@ class AdaptiveForecaster(Forecaster):
     def chosen_name(self) -> str:
         """Which member the next :meth:`forecast` will come from."""
         return self._bank.best_name()
+
+    def telemetry(self) -> dict[str, dict[str, float]]:
+        """Per-member standings; see :meth:`ForecasterBank.telemetry`."""
+        return self._bank.telemetry()
+
+    @property
+    def switch_events(self) -> list[tuple[int, str, str]]:
+        """Winner changes; see :attr:`ForecasterBank.switch_events`."""
+        return self._bank.switch_events
 
     def forecast_with_error(self) -> tuple[float, float]:
         """Forecast plus an empirical error bar.

@@ -125,6 +125,21 @@ class NWSPredictor:
             return self.forecast_next()
         return self.forecast_block()
 
+    def telemetry(self) -> dict[str, dict[str, dict[str, float]]]:
+        """Per-horizon, per-member forecaster standings.
+
+        Returns ``{"short": {...}, "medium": {...}}`` with the inner dicts
+        from :meth:`~repro.core.mixture.ForecasterBank.telemetry`.  Horizons
+        whose forecaster does not expose telemetry (a custom
+        ``forecaster_factory``) are omitted.
+        """
+        out: dict[str, dict[str, dict[str, float]]] = {}
+        for horizon, forecaster in (("short", self._short), ("medium", self._medium)):
+            report = getattr(forecaster, "telemetry", None)
+            if callable(report):
+                out[horizon] = report()
+        return out
+
     def expansion_factor(self, horizon_frames: int = 1) -> float:
         """Predicted execution-time multiplier for a CPU-bound process.
 

@@ -15,6 +15,7 @@ from dataclasses import dataclass, field
 
 import numpy as np
 
+from repro.obs.instrument import observe_kernel
 from repro.sensors.suite import METHODS, MeasurementSuite, TestObservation
 from repro.sim.scheduler import (
     DecayUsageScheduler,
@@ -146,7 +147,9 @@ def run_host(name: str, config: TestbedConfig | None = None) -> HostRun:
         test_period=config.test_period,
         test_duration=config.test_duration,
         warmup=config.warmup,
+        host=name,
     ).attach(host)
+    observe_kernel(host.kernel, host=name)
     host.run_until(config.duration)
 
     series = {}

@@ -31,6 +31,12 @@ paper's results depend on:
     No bare ``except`` or swallowed exceptions in the service layer
     (``repro.nws``, ``repro.live``): a sensor that eats its own errors
     reports stale availability instead of dying visibly.
+``OBS001``
+    Observability discipline: ``tracer.span(...)`` must be used as a
+    ``with`` context expression (an unentered span never records and
+    silently loses its interval), and instrumented packages
+    (``repro.sim``, ``repro.nws``, ``repro.core``) must not ``print()``
+    -- output flows through the metrics registry and exporters.
 """
 
 from __future__ import annotations
@@ -48,6 +54,7 @@ __all__ = [
     "MutableDefaultRule",
     "HeapStabilityRule",
     "SwallowedErrorRule",
+    "ObservabilityRule",
 ]
 
 
@@ -536,4 +543,71 @@ class SwallowedErrorRule(Rule):
                     self.rule_id,
                     "exception handler swallows the error; re-raise, "
                     "return a sentinel, or record the failure",
+                )
+
+
+# --------------------------------------------------------------------------
+# OBS001 -- observability discipline
+# --------------------------------------------------------------------------
+
+#: Packages where print() is forbidden (presentation layers like
+#: repro.report / repro.cli legitimately print; instrumented domain
+#: packages must route output through the registry and exporters).
+_NO_PRINT_PREFIXES = ("repro.sim", "repro.nws", "repro.core")
+
+
+@register
+class ObservabilityRule(Rule):
+    rule_id = "OBS001"
+    title = "spans are context-managed; instrumented packages do not print"
+    rationale = (
+        "a span that is never entered records nothing and silently loses "
+        "its interval; print() in instrumented code bypasses the "
+        "deterministic exporters"
+    )
+    scope = (
+        "repro.sim",
+        "repro.nws",
+        "repro.core",
+        "repro.sensors",
+        "repro.schedapp",
+        "repro.obs",
+    )
+
+    def check(self, ctx: ModuleContext) -> Iterator[Finding]:
+        in_with: set[int] = set()
+        for node in ast.walk(ctx.tree):
+            if isinstance(node, (ast.With, ast.AsyncWith)):
+                for item in node.items:
+                    in_with.add(id(item.context_expr))
+        no_print = any(
+            ctx.module == prefix or ctx.module.startswith(prefix + ".")
+            for prefix in _NO_PRINT_PREFIXES
+        )
+        for node in ast.walk(ctx.tree):
+            if not isinstance(node, ast.Call):
+                continue
+            if (
+                isinstance(node.func, ast.Attribute)
+                and node.func.attr == "span"
+                and id(node) not in in_with
+            ):
+                yield ctx.finding(
+                    node,
+                    self.rule_id,
+                    ".span(...) outside a with statement never finishes; "
+                    "use 'with tracer.span(...):' so the interval records "
+                    "even on error",
+                )
+            elif (
+                no_print
+                and isinstance(node.func, ast.Name)
+                and node.func.id == "print"
+            ):
+                yield ctx.finding(
+                    node,
+                    self.rule_id,
+                    "print() in an instrumented package; emit through the "
+                    "metrics registry / exporters (or move presentation "
+                    "code to repro.report / repro.cli)",
                 )

@@ -19,7 +19,7 @@ Non-Linux platforms raise :class:`RuntimeError` at construction.
 
 from repro.live.proc import ProcStatReader, read_loadavg, read_proc_stat
 from repro.live.sensors import LiveLoadAverageSensor, LiveVmstatSensor
-from repro.live.probe import LiveMonitor, spin_probe
+from repro.live.probe import LiveMonitor, spin_probe, wall_tracer
 
 __all__ = [
     "LiveLoadAverageSensor",
@@ -29,4 +29,5 @@ __all__ = [
     "read_loadavg",
     "read_proc_stat",
     "spin_probe",
+    "wall_tracer",
 ]

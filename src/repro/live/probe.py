@@ -16,9 +16,20 @@ import time
 import numpy as np
 
 from repro.live.sensors import LiveLoadAverageSensor, LiveVmstatSensor
+from repro.obs.tracing import Tracer
 from repro.trace.series import TraceSeries
 
-__all__ = ["spin_probe", "LiveMonitor"]
+__all__ = ["spin_probe", "wall_tracer", "LiveMonitor"]
+
+
+def wall_tracer(**kwargs) -> Tracer:
+    """A :class:`~repro.obs.tracing.Tracer` stamped from the wall clock.
+
+    The only place wall-clock span timing belongs: live monitoring runs in
+    real time by nature.  Everything under ``repro.sim`` / ``repro.nws``
+    must use a sim-clock tracer instead, so traces stay deterministic.
+    """
+    return Tracer(clock=time.monotonic, **kwargs)
 
 
 def spin_probe(duration: float = 1.5) -> float:

@@ -14,6 +14,8 @@ from dataclasses import dataclass
 
 from repro.core.mixture import AdaptiveForecaster
 from repro.nws.memory import MemoryStore
+from repro.obs.metrics import get_registry
+from repro.obs.tracing import get_tracer
 
 __all__ = ["ForecasterService", "ForecastReport"]
 
@@ -68,6 +70,34 @@ class ForecasterService:
         self._mixtures: dict[str, AdaptiveForecaster] = {}
         self._consumed: dict[str, int] = {}
         self._last_time: dict[str, float] = {}
+        registry = get_registry()
+        self._obs_queries = registry.counter("repro_forecaster_queries_total")
+        # One collect-style callback for the whole service: per-series,
+        # per-member standings are pulled from the persistent mixtures at
+        # snapshot time, so the update path pays nothing for them.
+        registry.register_callback(self._collect_telemetry)
+
+    def _collect_telemetry(self, registry) -> None:
+        for series in sorted(self._mixtures):
+            mixture = self._mixtures[series]
+            report = getattr(mixture, "telemetry", None)
+            if not callable(report):
+                continue
+            for member, stats in report().items():
+                labels = {"series": series, "member": member}
+                registry.gauge("repro_forecaster_wins", **labels).set(stats["wins"])
+                for stat, metric in (
+                    ("cumulative_mae", "repro_forecaster_cumulative_mae"),
+                    ("recent_mae", "repro_forecaster_recent_mae"),
+                ):
+                    value = stats[stat]
+                    if value == value:  # skip NaN (nothing scored yet)
+                        registry.gauge(metric, **labels).set(value)
+            switches = getattr(mixture, "switch_events", None)
+            if switches is not None:
+                registry.gauge("repro_forecaster_switches", series=series).set(
+                    len(switches)
+                )
 
     def _advance(self, series: str) -> None:
         times, values = self.memory.fetch(series)
@@ -97,17 +127,19 @@ class ForecasterService:
         ValueError
             Series exists but holds no measurements yet.
         """
-        self._advance(series)
-        mixture = self._mixtures[series]
-        forecast, error = mixture.forecast_with_error()
-        return ForecastReport(
-            series=series,
-            forecast=forecast,
-            error=error,
-            method=mixture.chosen_name(),
-            n_measurements=self._consumed[series],
-            as_of=self._last_time.get(series, float("nan")),
-        )
+        with get_tracer().span("nws.query", series=series):
+            self._advance(series)
+            self._obs_queries.inc()
+            mixture = self._mixtures[series]
+            forecast, error = mixture.forecast_with_error()
+            return ForecastReport(
+                series=series,
+                forecast=forecast,
+                error=error,
+                method=mixture.chosen_name(),
+                n_measurements=self._consumed[series],
+                as_of=self._last_time.get(series, float("nan")),
+            )
 
     def query_all(self) -> dict[str, ForecastReport]:
         """Forecasts for every non-empty series in the memory."""

@@ -14,6 +14,7 @@ from pathlib import Path
 
 import numpy as np
 
+from repro.obs.metrics import get_registry
 from repro.trace.series import TraceSeries
 
 __all__ = ["MemoryStore"]
@@ -41,6 +42,19 @@ class MemoryStore:
             self.directory.mkdir(parents=True, exist_ok=True)
         self._times: dict[str, list[float]] = {}
         self._values: dict[str, list[float]] = {}
+        registry = get_registry()
+        self._registry = registry
+        self._obs_publishes: dict[str, object] = {}
+        self._obs_evictions = registry.counter("repro_memory_evictions_total")
+        self._obs_fetches = registry.counter("repro_memory_fetches_total")
+        self._obs_recoveries = registry.counter("repro_memory_recoveries_total")
+        self._obs_recovered = registry.counter("repro_memory_recovered_samples_total")
+        self._obs_corrupt = registry.counter(
+            "repro_memory_corrupt_journal_lines_total"
+        )
+        registry.register_callback(
+            lambda r: r.gauge("repro_memory_series").set(len(self._times))
+        )
 
     # ------------------------------------------------------------- publish
 
@@ -59,9 +73,18 @@ class MemoryStore:
             )
         times.append(float(time))
         values.append(float(value))
+        counter = self._obs_publishes.get(series)
+        if counter is None:
+            counter = self._registry.counter(
+                "repro_memory_publishes_total", series=series
+            )
+            self._obs_publishes[series] = counter
+        counter.inc()
         if len(times) > self.capacity:
-            del times[: len(times) - self.capacity]
-            del values[: len(values) - self.capacity]
+            dropped = len(times) - self.capacity
+            del times[:dropped]
+            del values[:dropped]
+            self._obs_evictions.inc(dropped)
         if self.directory is not None:
             path = self.directory / f"{_safe(series)}.jsonl"
             with path.open("a") as f:
@@ -89,6 +112,7 @@ class MemoryStore:
         """
         if series not in self._times:
             raise KeyError(f"no series {series!r}; have {self.series_names()}")
+        self._obs_fetches.inc()
         times = np.asarray(self._times[series])
         values = np.asarray(self._values[series])
         keep = times >= since
@@ -108,6 +132,11 @@ class MemoryStore:
         """Reload ``series`` from the persistence journal.
 
         Returns the number of samples recovered (bounded by capacity).
+        Truncated or otherwise unparsable journal lines -- the normal
+        aftermath of a crash mid-append -- are skipped and tallied in
+        ``repro_memory_corrupt_journal_lines_total`` rather than aborting
+        the recovery: a partial history is strictly more useful to the
+        forecasters than none.
 
         Raises
         ------
@@ -126,14 +155,24 @@ class MemoryStore:
                 line = line.strip()
                 if not line:
                     continue
-                sample = json.loads(line)
-                times.append(sample["t"])
-                values.append(sample["v"])
+                try:
+                    sample = json.loads(line)
+                    t = float(sample["t"])
+                    v = float(sample["v"])
+                except (json.JSONDecodeError, KeyError, TypeError, ValueError):
+                    # Journal corruption (torn write, bad field): count the
+                    # line and keep going -- recovery is best-effort.
+                    self._obs_corrupt.inc()
+                    continue
+                times.append(t)
+                values.append(v)
         if len(times) > self.capacity:
             times = times[-self.capacity :]
             values = values[-self.capacity :]
         self._times[series] = times
         self._values[series] = values
+        self._obs_recoveries.inc()
+        self._obs_recovered.inc(len(times))
         return len(times)
 
 

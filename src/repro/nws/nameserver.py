@@ -11,6 +11,8 @@ from __future__ import annotations
 
 from dataclasses import dataclass, field, replace
 
+from repro.obs.metrics import get_registry
+
 __all__ = ["NameServer", "Registration"]
 
 
@@ -52,6 +54,17 @@ class NameServer:
     def __init__(self, clock=None):
         self._clock = clock if clock is not None else (lambda: 0.0)
         self._entries: dict[str, Registration] = {}
+        registry = get_registry()
+        self._obs_registrations = registry.counter(
+            "repro_nameserver_registrations_total"
+        )
+        self._obs_lookups = registry.counter("repro_nameserver_lookups_total")
+        self._obs_expirations = registry.counter(
+            "repro_nameserver_expirations_total"
+        )
+        registry.register_callback(
+            lambda r: r.gauge("repro_nameserver_registrations_live").set(len(self))
+        )
 
     def register(
         self,
@@ -87,6 +100,7 @@ class NameServer:
             expires_at=expires,
         )
         self._entries[name] = entry
+        self._obs_registrations.inc()
         return entry
 
     def refresh(self, name: str, *, ttl: float) -> Registration:
@@ -121,9 +135,12 @@ class NameServer:
         garbage-collects lapsed registrations on search).
         """
         now = self._clock()
+        self._obs_lookups.inc()
         dead = [n for n, e in self._entries.items() if e.expires_at <= now]
         for n in dead:
             del self._entries[n]
+        if dead:
+            self._obs_expirations.inc(len(dead))
         out = []
         for entry in self._entries.values():
             if kind is not None and entry.kind != kind:

@@ -13,6 +13,8 @@ import numpy as np
 
 from repro.nws.memory import MemoryStore
 from repro.nws.nameserver import NameServer
+from repro.obs.instrument import observe_kernel
+from repro.obs.metrics import get_registry
 from repro.sensors.suite import METHODS, MeasurementSuite
 from repro.sim.host import SimHost
 from repro.workload.profiles import build_host
@@ -53,8 +55,12 @@ class SensorHost:
         self.memory = memory
         self.host: SimHost = build_host(profile, seed=seed)
         self.suite = MeasurementSuite(
-            measure_period=measure_period, test_period=None
+            measure_period=measure_period, test_period=None, host=profile
         ).attach(self.host)
+        observe_kernel(self.host.kernel, host=profile)
+        self._obs_rounds = get_registry().counter(
+            "repro_nws_publish_rounds_total", host=profile
+        )
         self._published = 0
         self._ttl = ttl if ttl is not None else 3.0 * measure_period
         self.sensor_name = f"sensor.cpu.{profile}"
@@ -85,6 +91,7 @@ class SensorHost:
             new_rounds += 1
         self._published = len(times)
         if new_rounds:
+            self._obs_rounds.inc(new_rounds)
             # Re-register rather than refresh: with coarse advance steps a
             # registration may have lapsed between pumps, and the sensor
             # coming back *is* the liveness signal.

@@ -16,6 +16,7 @@ from repro.nws.forecaster import ForecastReport, ForecasterService
 from repro.nws.memory import MemoryStore
 from repro.nws.nameserver import NameServer
 from repro.nws.sensorhost import SensorHost
+from repro.obs.tracing import get_tracer
 
 __all__ = ["NWSSystem"]
 
@@ -76,11 +77,12 @@ class NWSSystem:
         """Run every monitored host to simulated time ``until``."""
         if until < self.clock:
             raise ValueError(f"cannot go back in time: {until} < {self.clock}")
-        # Move the service clock first so registrations made while pumping
-        # are stamped with the current simulated time.
-        self.clock = until
-        for host in self.hosts:
-            host.pump(until)
+        with get_tracer().span("nws.advance", until=until):
+            # Move the service clock first so registrations made while
+            # pumping are stamped with the current simulated time.
+            self.clock = until
+            for host in self.hosts:
+                host.pump(until)
 
     # ------------------------------------------------------------- queries
 

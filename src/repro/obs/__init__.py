@@ -1,0 +1,166 @@
+"""``repro.obs``: deterministic observability for the sim + NWS stack.
+
+The paper's argument is entirely quantitative, and so is this layer: a
+running system can be asked how many measurements each sensor produced,
+which member of the adaptive forecaster battery is currently winning, and
+where simulated time goes.  All timestamps come from injected (simulated)
+clocks, so metrics snapshots and traces of a seeded run are
+bit-reproducible; wall-clock timing exists only in the ``repro.live``
+adapter.
+
+Pieces
+------
+* :mod:`repro.obs.metrics` -- :class:`~repro.obs.metrics.MetricsRegistry`
+  (counters / gauges / fixed-bucket histograms, labels,
+  ``snapshot() -> dict``) plus the no-op ``NullRegistry`` installed by
+  default so disabled instrumentation costs ~nothing.
+* :mod:`repro.obs.tracing` -- ``with tracer.span("nws.advance", ...)``
+  spans stamped from an injected clock; ``record()`` for event-driven
+  intervals.
+* :mod:`repro.obs.exporters` -- Prometheus text format and JSON-lines
+  event logs (byte-identical across same-seed runs).
+* :mod:`repro.obs.dashboard` -- ASCII dashboard over a snapshot.
+* :mod:`repro.obs.instrument` -- collect-style kernel gauges.
+
+Usage: install a registry (and optionally a tracer) *before* constructing
+the system -- handles bind at construction time::
+
+    from repro.obs import MetricsRegistry, installed
+
+    with installed(MetricsRegistry()) as registry:
+        system = NWSSystem(["thing1", "conundrum"], seed=7)
+        system.advance(3600.0)
+        system.forecaster.query_all()
+    print(render_prometheus(registry))
+
+Metrics inventory
+-----------------
+Naming scheme: ``repro_<layer>_<name>`` (``_total`` suffix on counters).
+
+Simulator (``repro.sim``, exported via
+:func:`~repro.obs.instrument.observe_kernel`; labels: ``host``):
+
+* ``repro_sim_time_seconds`` (gauge) -- simulated clock.
+* ``repro_sim_load_average`` (gauge) -- one-minute load average.
+* ``repro_sim_run_queue_length`` (gauge) -- currently runnable processes.
+* ``repro_sim_event_queue_depth`` (gauge) -- pending timed events.
+* ``repro_sim_events_scheduled_total`` / ``repro_sim_events_fired_total``
+  (counters) -- event-queue traffic.
+* ``repro_sim_dispatches_total`` (counter) -- contended quantum dispatches.
+* ``repro_sim_ticks_total`` (counter) -- accounting ticks.
+* ``repro_sim_processes_spawned_total`` /
+  ``repro_sim_processes_completed_total`` (counters).
+* ``repro_sim_cpu_seconds_total`` (counter; labels ``host``, ``mode`` in
+  ``user|sys|idle``) -- cumulative CPU accounting.
+
+Sensors (``repro.sensors``; labels: ``host``, ``method``):
+
+* ``repro_sensor_readings_total`` (counter) -- availability readings per
+  method.
+* ``repro_sensor_probes_total`` (counter) -- probes launched.
+* ``repro_sensor_probe_availability`` (histogram, buckets 0.1..1.0) --
+  what probes experienced.
+* ``repro_sensor_arbitrations_total`` (counter; label ``method``) -- which
+  cheap method each hybrid arbitration chose.
+* ``repro_sensor_tests_total`` (counter) -- ground-truth test processes.
+
+Forecasters (``repro.core`` / ``repro.nws.forecaster``):
+
+* ``repro_forecaster_updates_total`` (counter) -- measurements absorbed by
+  adaptive mixtures.
+* ``repro_forecaster_switches_total`` (counter) -- winner changes across
+  all batteries.
+* ``repro_forecaster_wins`` / ``repro_forecaster_cumulative_mae`` /
+  ``repro_forecaster_recent_mae`` (gauges; labels ``series``, ``member``)
+  -- per-member standings of every served series (the paper's "recently
+  most accurate method", inspectable).
+* ``repro_forecaster_switches`` (gauge; label ``series``) -- switch events
+  per served series.
+* ``repro_forecaster_queries_total`` (counter) -- forecast queries served.
+
+Memory (``repro.nws.memory``):
+
+* ``repro_memory_publishes_total`` (counter; label ``series``).
+* ``repro_memory_evictions_total`` (counter) -- samples dropped at the
+  capacity bound.
+* ``repro_memory_fetches_total`` (counter).
+* ``repro_memory_recoveries_total`` / ``repro_memory_recovered_samples_total``
+  (counters) -- journal recoveries.
+* ``repro_memory_corrupt_journal_lines_total`` (counter) -- truncated or
+  unparsable journal lines skipped during recovery.
+* ``repro_memory_series`` (gauge) -- live series count.
+
+Name server (``repro.nws.nameserver``):
+
+* ``repro_nameserver_registrations_total`` / ``repro_nameserver_lookups_total``
+  / ``repro_nameserver_expirations_total`` (counters).
+* ``repro_nameserver_registrations_live`` (gauge).
+
+Sensor hosts (``repro.nws.sensorhost``; label ``host``):
+
+* ``repro_nws_publish_rounds_total`` (counter) -- measurement rounds
+  published into the memory.
+
+Scheduling application (``repro.schedapp``):
+
+* ``repro_sched_assignments_total`` / ``repro_sched_tasks_assigned_total``
+  (counters; label ``mapper``).
+* ``repro_sched_tasks_completed_total`` (counter) -- grid task completions.
+* ``repro_sched_chunks_pulled_total`` (counter) -- work-queue pulls.
+* ``repro_sched_makespan_seconds`` (gauge) -- last executed plan.
+
+Spans: ``nws.advance``, ``nws.query``, ``sensor.probe``, ``sched.execute``
+(sim-clock timestamps; see :mod:`repro.obs.tracing`).
+"""
+
+from repro.obs.exporters import jsonl_events, render_jsonl, render_prometheus
+from repro.obs.instrument import observe_kernel
+from repro.obs.metrics import (
+    DEFAULT_BUCKETS,
+    NULL_REGISTRY,
+    Counter,
+    Gauge,
+    Histogram,
+    MetricsRegistry,
+    NullRegistry,
+    get_registry,
+    install,
+    installed,
+    uninstall,
+)
+from repro.obs.tracing import (
+    NULL_TRACER,
+    NullTracer,
+    SpanRecord,
+    Tracer,
+    get_tracer,
+    install_tracer,
+    traced,
+    uninstall_tracer,
+)
+
+__all__ = [
+    "Counter",
+    "DEFAULT_BUCKETS",
+    "Gauge",
+    "Histogram",
+    "MetricsRegistry",
+    "NULL_REGISTRY",
+    "NULL_TRACER",
+    "NullRegistry",
+    "NullTracer",
+    "SpanRecord",
+    "Tracer",
+    "get_registry",
+    "get_tracer",
+    "install",
+    "install_tracer",
+    "installed",
+    "jsonl_events",
+    "observe_kernel",
+    "render_jsonl",
+    "render_prometheus",
+    "traced",
+    "uninstall",
+    "uninstall_tracer",
+]

@@ -1,0 +1,70 @@
+"""Collect-style instrumentation for simulated kernels.
+
+:func:`observe_kernel` attaches one snapshot callback that copies a
+kernel's always-on tallies (plain integer attributes, incremented for free
+inside the dispatch loop) and derived state (clock, load average, queue
+depths) into the installed registry.  Nothing runs per quantum -- the sync
+happens only when a snapshot is taken, so enabling metrics costs the sim
+hot path nothing beyond the integer bumps it already performs.
+
+The helper is duck-typed on purpose: it reads attributes, it does not
+import :mod:`repro.sim`, so ``repro.obs`` stays dependency-free and every
+layer can import it without cycles.
+"""
+
+from __future__ import annotations
+
+from repro.obs.metrics import get_registry
+
+__all__ = ["observe_kernel"]
+
+
+def observe_kernel(kernel, *, host: str = "", registry=None) -> None:
+    """Export a kernel's state as ``repro_sim_*`` metrics.
+
+    Parameters
+    ----------
+    kernel:
+        A :class:`repro.sim.kernel.Kernel` (or anything with the same
+        counters and clock attributes).
+    host:
+        Label applied to every exported series (profile name).
+    registry:
+        Explicit registry; defaults to the installed one.  With the null
+        registry this is a no-op registration.
+    """
+    reg = registry if registry is not None else get_registry()
+
+    def _collect(r) -> None:
+        r.gauge("repro_sim_time_seconds", host=host).set(kernel.time)
+        r.gauge("repro_sim_load_average", host=host).set(kernel.load_average)
+        r.gauge("repro_sim_run_queue_length", host=host).set(
+            kernel.run_queue_length
+        )
+        r.gauge("repro_sim_event_queue_depth", host=host).set(len(kernel.events))
+        r.counter("repro_sim_events_scheduled_total", host=host).sync(
+            kernel.events.n_scheduled
+        )
+        r.counter("repro_sim_events_fired_total", host=host).sync(
+            kernel.n_events_fired
+        )
+        r.counter("repro_sim_dispatches_total", host=host).sync(
+            kernel.n_dispatches
+        )
+        r.counter("repro_sim_ticks_total", host=host).sync(kernel.n_ticks)
+        r.counter("repro_sim_processes_spawned_total", host=host).sync(
+            kernel.n_spawned
+        )
+        r.counter("repro_sim_processes_completed_total", host=host).sync(
+            kernel.n_completed
+        )
+        for mode, total in (
+            ("user", kernel.cum_user),
+            ("sys", kernel.cum_sys),
+            ("idle", kernel.cum_idle),
+        ):
+            r.counter("repro_sim_cpu_seconds_total", host=host, mode=mode).sync(
+                total
+            )
+
+    reg.register_callback(_collect)

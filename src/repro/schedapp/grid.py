@@ -20,6 +20,8 @@ from dataclasses import dataclass, field
 import numpy as np
 
 from repro.core.predictor import NWSPredictor
+from repro.obs.metrics import get_registry
+from repro.obs.tracing import get_tracer
 from repro.schedapp.tasks import GridTask, TaskResult
 from repro.sensors.suite import MeasurementSuite
 from repro.sim.process import Process
@@ -85,6 +87,9 @@ class SimGrid:
         if method not in ("load_average", "vmstat", "nws_hybrid"):
             raise ValueError(f"unknown sensor method {method!r}")
         self.method = method
+        registry = get_registry()
+        self._obs_completed = registry.counter("repro_sched_tasks_completed_total")
+        self._obs_makespan = registry.gauge("repro_sched_makespan_seconds")
         root = np.random.SeedSequence(seed)
         children = root.spawn(len(host_names))
         self.hosts = []
@@ -189,4 +194,10 @@ class SimGrid:
         horizon = start + (max(finish_times) if finish_times else 0.0)
         horizon = max([horizon] + [h.kernel.time for h in self.hosts])
         self.advance(horizon)
-        return GridRunResult(results=results, makespan=max(finish_times) if finish_times else 0.0)
+        makespan = max(finish_times) if finish_times else 0.0
+        self._obs_completed.inc(len(results))
+        self._obs_makespan.set(makespan)
+        get_tracer().record(
+            "sched.execute", start, start + makespan, tasks=len(results)
+        )
+        return GridRunResult(results=results, makespan=makespan)

@@ -18,6 +18,7 @@ from abc import ABC, abstractmethod
 
 import numpy as np
 
+from repro.obs.metrics import get_registry
 from repro.schedapp.tasks import GridTask
 
 __all__ = ["Mapper", "RandomMapper", "EqualSplitMapper", "PredictiveMapper"]
@@ -46,6 +47,19 @@ class Mapper(ABC):
         if not forecasts:
             raise ValueError("no hosts to assign to")
 
+    def _note_assignment(self, tasks: list[GridTask]) -> None:
+        """Record one completed :meth:`assign` call in the metrics registry.
+
+        Looked up per call rather than cached: mappers are tiny stateless
+        policy objects that tests construct freely, and ``assign`` runs
+        once per scheduling decision, not in a hot loop.
+        """
+        registry = get_registry()
+        registry.counter("repro_sched_assignments_total", mapper=self.name).inc()
+        registry.counter(
+            "repro_sched_tasks_assigned_total", mapper=self.name
+        ).inc(len(tasks))
+
 
 class RandomMapper(Mapper):
     """Uniformly random placement."""
@@ -59,6 +73,7 @@ class RandomMapper(Mapper):
         out: dict[str, list[GridTask]] = {h: [] for h in hosts}
         for task in tasks:
             out[hosts[int(gen.integers(len(hosts)))]].append(task)
+        self._note_assignment(tasks)
         return out
 
 
@@ -73,6 +88,7 @@ class EqualSplitMapper(Mapper):
         out: dict[str, list[GridTask]] = {h: [] for h in hosts}
         for i, task in enumerate(tasks):
             out[hosts[i % len(hosts)]].append(task)
+        self._note_assignment(tasks)
         return out
 
 
@@ -110,4 +126,5 @@ class PredictiveMapper(Mapper):
             best = min(rates, key=lambda h: finish[h] + task.work / rates[h])
             finish[best] += task.work / rates[best]
             out[best].append(task)
+        self._note_assignment(tasks)
         return out

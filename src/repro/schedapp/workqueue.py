@@ -12,6 +12,7 @@ from __future__ import annotations
 
 from dataclasses import dataclass, field
 
+from repro.obs.metrics import get_registry
 from repro.schedapp.grid import SimGrid
 from repro.schedapp.tasks import GridTask, TaskResult
 from repro.sim.process import Process
@@ -59,6 +60,7 @@ def self_schedule(grid: SimGrid, tasks: list[GridTask]) -> WorkQueueRun:
     start = grid.now
     results: list[TaskResult] = []
     busy: dict[str, bool] = {name: False for name in grid.names}
+    obs_pulls = get_registry().counter("repro_sched_chunks_pulled_total")
 
     def pull(idx: int) -> None:
         name = grid.names[idx]
@@ -66,6 +68,7 @@ def self_schedule(grid: SimGrid, tasks: list[GridTask]) -> WorkQueueRun:
             busy[name] = False
             return
         busy[name] = True
+        obs_pulls.inc()
         task = queue.pop(0)
         host = grid.hosts[idx]
         begun = host.kernel.time

@@ -23,6 +23,7 @@ when the truth for a 10 s process is much lower).
 
 from __future__ import annotations
 
+from repro.obs.metrics import get_registry
 from repro.sensors.base import CPUSensor, clamp_fraction
 from repro.sensors.loadavg import LoadAverageSensor
 from repro.sensors.probe import ProbeResult, ProbeRunner
@@ -68,6 +69,13 @@ class HybridSensor(CPUSensor):
         self._bias = 0.0
         #: (time, trusted method name, bias) per arbitration, for analysis.
         self.arbitrations: list[tuple[float, str, float]] = []
+        registry = get_registry()
+        self._obs_arbitrations = {
+            sensor.name: registry.counter(
+                "repro_sensor_arbitrations_total", method=sensor.name
+            )
+            for sensor in (self.loadavg, self.vmstat)
+        }
 
     @property
     def trusted_method(self) -> str:
@@ -94,6 +102,7 @@ class HybridSensor(CPUSensor):
                 method_value = vm
             self._bias = truth - method_value
             self.arbitrations.append((kernel.time, self._trusted.name, self._bias))
+            self._obs_arbitrations[self._trusted.name].inc()
 
         self.probe.launch(kernel, arbitrate)
 

@@ -14,6 +14,8 @@ from __future__ import annotations
 from dataclasses import dataclass
 from typing import Callable
 
+from repro.obs.metrics import get_registry
+from repro.obs.tracing import get_tracer
 from repro.sim.kernel import Kernel
 from repro.sim.process import Process
 
@@ -60,11 +62,21 @@ class ProbeRunner:
     describes.
     """
 
-    def __init__(self, *, duration: float = 1.5):
+    def __init__(self, *, duration: float = 1.5, host: str = ""):
         if duration <= 0.0:
             raise ValueError(f"duration must be positive, got {duration}")
         self.duration = float(duration)
+        self.host = host
         self.results: list[ProbeResult] = []
+        registry = get_registry()
+        self._obs_probes = registry.counter(
+            "repro_sensor_probes_total", host=host
+        )
+        self._obs_availability = registry.histogram(
+            "repro_sensor_probe_availability",
+            buckets=(0.1, 0.2, 0.3, 0.4, 0.5, 0.6, 0.7, 0.8, 0.9, 1.0),
+            host=host,
+        )
 
     def launch(
         self,
@@ -83,6 +95,15 @@ class ProbeRunner:
                 start_time=start, end_time=kernel.time, cpu_time=proc.cpu_time
             )
             self.results.append(result)
+            self._obs_probes.inc()
+            self._obs_availability.observe(result.availability)
+            get_tracer().record(
+                "sensor.probe",
+                start,
+                kernel.time,
+                host=self.host,
+                availability=result.availability,
+            )
             if on_result is not None:
                 on_result(result)
 

@@ -20,6 +20,7 @@ from dataclasses import dataclass
 
 import numpy as np
 
+from repro.obs.metrics import get_registry
 from repro.sensors.hybrid import HybridSensor
 from repro.sensors.loadavg import LoadAverageSensor
 from repro.sensors.probe import ProbeRunner
@@ -81,6 +82,9 @@ class MeasurementSuite:
         flagged; :meth:`series` and :attr:`test_observations` exclude them
         by default so the load-average EWMA and vmstat smoothing have
         settled.
+    host:
+        Label attached to this suite's metrics (``repro_sensor_*``);
+        defaults to the empty string for standalone suites.
     """
 
     def __init__(
@@ -92,6 +96,7 @@ class MeasurementSuite:
         test_period: float | None = 600.0,
         test_duration: float = 10.0,
         warmup: float = 600.0,
+        host: str = "",
     ):
         if measure_period <= 0.0:
             raise ValueError(f"measure_period must be positive, got {measure_period}")
@@ -109,12 +114,21 @@ class MeasurementSuite:
         self.test_duration = float(test_duration)
         self.warmup = float(warmup)
 
+        self.host = host
         self.loadavg = LoadAverageSensor()
         self.vmstat = VmstatSensor()
         self.hybrid = HybridSensor(
-            self.loadavg, self.vmstat, ProbeRunner(duration=probe_duration)
+            self.loadavg,
+            self.vmstat,
+            ProbeRunner(duration=probe_duration, host=host),
         )
         self.tester = TestProcessRunner(duration=test_duration)
+        registry = get_registry()
+        self._obs_readings = {
+            m: registry.counter("repro_sensor_readings_total", host=host, method=m)
+            for m in METHODS
+        }
+        self._obs_tests = registry.counter("repro_sensor_tests_total", host=host)
 
         self._times: list[float] = []
         self._values: dict[str, list[float]] = {m: [] for m in METHODS}
@@ -152,6 +166,8 @@ class MeasurementSuite:
         self._values["load_average"].append(self.loadavg.read(kernel).availability)
         self._values["vmstat"].append(self.vmstat.read(kernel).availability)
         self._values["nws_hybrid"].append(self.hybrid.read(kernel).availability)
+        for counter in self._obs_readings.values():
+            counter.inc()
         kernel.after(self.measure_period, self._measure_tick)
 
     def _probe_tick(self) -> None:
@@ -178,6 +194,7 @@ class MeasurementSuite:
             )
 
         self.tester.launch(kernel, record)
+        self._obs_tests.inc()
         kernel.after(self.test_period, self._test_tick)
 
     # -------------------------------------------------------------- output

@@ -11,6 +11,7 @@ from __future__ import annotations
 
 import heapq
 import itertools
+from math import isfinite
 from typing import Callable
 
 __all__ = ["EventQueue"]
@@ -20,14 +21,17 @@ class EventQueue:
     """Min-heap of timed callbacks.
 
     Events scheduled for the same instant fire in scheduling order (FIFO),
-    which keeps simulations deterministic.
+    which keeps simulations deterministic.  ``n_scheduled`` counts every
+    accepted event over the queue's lifetime (exported as
+    ``repro_sim_events_scheduled_total``).
     """
 
-    __slots__ = ("_counter", "_heap")
+    __slots__ = ("_counter", "_heap", "n_scheduled")
 
     def __init__(self):
         self._heap: list[tuple[float, int, Callable[[], None]]] = []
         self._counter = itertools.count()
+        self.n_scheduled = 0
 
     def __len__(self) -> int:
         return len(self._heap)
@@ -39,13 +43,20 @@ class EventQueue:
         ----------
         time:
             Absolute simulation time; must be finite and non-negative.
+            NaN, infinities and negative times are rejected -- NaN in
+            particular would silently corrupt the heap invariant (NaN
+            compares false against everything) and break FIFO ordering
+            for every later event.
         callback:
             Zero-argument callable.
         """
         time = float(time)
-        if not time >= 0.0 or time != time or time == float("inf"):
-            raise ValueError(f"event time must be finite and >= 0, got {time}")
+        if not (isfinite(time) and time >= 0.0):
+            raise ValueError(
+                f"event time must be finite and >= 0, got {time!r}"
+            )
         heapq.heappush(self._heap, (time, next(self._counter), callback))
+        self.n_scheduled += 1
 
     def next_time(self) -> float:
         """Deadline of the earliest pending event, or ``inf`` if empty."""

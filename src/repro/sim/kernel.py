@@ -107,6 +107,15 @@ class Kernel:
         # the interval-averaged number of runnable processes, which is what
         # vmstat's "r" column effectively reports.
         self.cum_nrun_time = 0.0
+        # Always-on tallies for the observability layer (plain ints; the
+        # registry reads them at snapshot time via
+        # repro.obs.instrument.observe_kernel, so the dispatch loop never
+        # touches a metrics handle).
+        self.n_events_fired = 0
+        self.n_dispatches = 0
+        self.n_ticks = 0
+        self.n_spawned = 0
+        self.n_completed = 0
         self._live: list[Process] = []
         self._next_pid = 1
         self._next_tick = self.config.tick
@@ -135,6 +144,7 @@ class Kernel:
         process.start_time = self.time
         process.state = ProcessState.RUNNABLE
         self._live.append(process)
+        self.n_spawned += 1
         return process
 
     def sleep(self, process: Process, duration: float) -> None:
@@ -190,6 +200,7 @@ class Kernel:
         process.state = ProcessState.DONE
         process.end_time = at_time
         self._live.remove(process)
+        self.n_completed += 1
         if process.on_done is not None:
             process.on_done(process)
 
@@ -205,6 +216,7 @@ class Kernel:
         n = self.run_queue_length
         decay = self._tick_decay
         self.load_average = self.load_average * decay + n * (1.0 - decay)
+        self.n_ticks += 1
         self.scheduler.decay(self._live, self.load_average)
         for listener in self._tick_listeners:
             listener(self)
@@ -225,7 +237,9 @@ class Kernel:
 
         while self.time < t_end - _EPS:
             # 1. Fire everything due at (or before) the current instant.
-            for callback in self.events.pop_due(self.time + _EPS):
+            due = self.events.pop_due(self.time + _EPS)
+            self.n_events_fired += len(due)
+            for callback in due:
                 callback()
 
             # 2. Run accounting ticks whose boundary we have reached.
@@ -276,6 +290,7 @@ class Kernel:
                     chosen.append(pick)
                     pool = [p for p in pool if p is not pick]
                 used = 0.0
+                self.n_dispatches += len(chosen)
                 for p in chosen:
                     run = min(dur, p.remaining)
                     self._charge_run(p, run)
@@ -291,5 +306,7 @@ class Kernel:
         while self._next_tick <= self.time + _EPS:
             self._tick()
             self._next_tick += self.config.tick
-        for callback in self.events.pop_due(self.time + _EPS):
+        due = self.events.pop_due(self.time + _EPS)
+        self.n_events_fired += len(due)
+        for callback in due:
             callback()

@@ -1,5 +1,6 @@
 """Tests for the nws-repro command-line interface."""
 
+import json
 import os
 import sys
 
@@ -24,6 +25,16 @@ class TestParser:
     def test_figures_args(self):
         args = build_parser().parse_args(["figures", "--figure", "2", "--out", "/tmp/x"])
         assert args.figure == 2 and args.out == "/tmp/x"
+
+    def test_obs_defaults(self):
+        args = build_parser().parse_args(["obs"])
+        assert args.hours == 1.0 and args.seed == 7
+        assert args.profiles == "thing1,conundrum"
+        assert args.output_format == "dashboard"
+
+    def test_obs_format_validated(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args(["obs", "--format", "xml"])
 
 
 class TestCommands:
@@ -59,6 +70,52 @@ class TestCommands:
         out = capsys.readouterr().out
         assert rc == 0
         assert "loadavg" in out
+
+    @pytest.mark.skipif(
+        not (sys.platform.startswith("linux") and os.path.exists("/proc/stat")),
+        reason="live sensing requires Linux /proc",
+    )
+    def test_live_json(self, capsys):
+        rc = main(["live", "--interval", "0.1", "--count", "2", "--json"])
+        out = capsys.readouterr().out
+        assert rc == 0
+        events = [json.loads(line) for line in out.strip().splitlines()]
+        assert events, "expected at least one JSON event"
+        for event in events:
+            assert event["type"] == "metric"
+            assert event["name"] == "repro_live_availability"
+            assert set(event) == {
+                "type", "kind", "name", "labels", "time", "value",
+            }
+        methods = {e["labels"]["method"] for e in events}
+        assert "load_average" in methods
+
+    def test_obs_prometheus(self, capsys):
+        rc = main(
+            ["obs", "--hours", "0.1", "--profiles", "thing1",
+             "--format", "prometheus"]
+        )
+        out = capsys.readouterr().out
+        assert rc == 0
+        assert "# TYPE repro_sim_time_seconds gauge" in out
+        assert "repro_sensor_readings_total" in out
+        assert "repro_memory_publishes_total" in out
+
+    def test_obs_json_lines(self, capsys):
+        rc = main(
+            ["obs", "--hours", "0.1", "--profiles", "thing1",
+             "--format", "json"]
+        )
+        out = capsys.readouterr().out
+        assert rc == 0
+        types = {json.loads(line)["type"] for line in out.strip().splitlines()}
+        assert types == {"metric", "span"}
+
+    def test_obs_dashboard(self, capsys):
+        rc = main(["obs", "--hours", "0.1", "--profiles", "thing1"])
+        out = capsys.readouterr().out
+        assert rc == 0
+        assert "OBSERVABILITY DASHBOARD" in out
 
     def test_sched_demo(self, capsys):
         rc = main(["sched-demo", "--tasks", "6", "--seed", "2"])

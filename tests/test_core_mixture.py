@@ -109,6 +109,63 @@ class TestAdaptiveForecaster:
         assert late_choice != "running_mean"
 
 
+class TestTelemetry:
+    def test_keys_and_nan_before_scoring(self):
+        bank = ForecasterBank([LastValue(), RunningMean()])
+        bank.update(0.5)  # one value: members predicted but never scored
+        t = bank.telemetry()
+        assert set(t) == {"last_value", "running_mean"}
+        for row in t.values():
+            assert set(row) == {
+                "cumulative_mae", "recent_mae", "wins", "n_scored",
+            }
+            assert np.isnan(row["cumulative_mae"])
+            assert row["wins"] == 0 and row["n_scored"] == 0
+
+    def test_cumulative_mae_averages_all_scored_errors(self):
+        bank = ForecasterBank([LastValue()])
+        for v in (0.0, 1.0, 0.0):  # last_value errs by 1.0 on each scoring
+            bank.update(v)
+        row = bank.telemetry()["last_value"]
+        assert row["n_scored"] == 2
+        assert row["cumulative_mae"] == pytest.approx(1.0)
+
+    def test_wins_accumulate_to_scored_updates(self):
+        bank = ForecasterBank([LastValue(), RunningMean()])
+        rng = np.random.default_rng(3)
+        for _ in range(50):
+            bank.update(float(rng.uniform()))
+        t = bank.telemetry()
+        assert sum(row["wins"] for row in t.values()) == 49  # first not scored
+
+    def test_switch_events_record_transition(self):
+        bank = ForecasterBank([LastValue(), RunningMean()], error_window=5)
+        # Constant series: running_mean and last_value tie, earliest wins.
+        for _ in range(10):
+            bank.update(0.5)
+        assert bank.best_name() == "last_value"
+        assert bank.switch_events == []
+        # A square wave makes last_value err by the full step each time
+        # while running_mean sits near the middle: the winner must change
+        # and the event must record (update_index, old, new).
+        for i in range(30):
+            bank.update(0.05 if i % 2 == 0 else 0.95)
+        assert bank.best_name() == "running_mean"
+        assert len(bank.switch_events) >= 1
+        index, old, new = bank.switch_events[0]
+        assert (old, new) == ("last_value", "running_mean")
+        assert 10 < index <= 40
+
+    def test_adaptive_forecaster_delegates(self):
+        f = AdaptiveForecaster()
+        f.update(0.2)
+        f.update(0.4)
+        t = f.telemetry()
+        assert f.chosen_name() in t
+        assert all(row["n_scored"] == 1 for row in t.values())
+        assert f.switch_events == f._bank.switch_events
+
+
 class TestForecastSeries:
     def test_first_is_nan_rest_finite(self):
         out = forecast_series([0.1, 0.2, 0.3], LastValue())

@@ -333,6 +333,60 @@ class TestSwallowedErrors:
 
 
 # -----------------------------------------------------------------------
+# OBS001 -- observability hygiene
+# -----------------------------------------------------------------------
+
+class TestObservability:
+    def test_unmanaged_span_flagged(self):
+        src = """
+        def query(tracer):
+            span = tracer.span("nws.query")
+            span.__enter__()
+            return 1
+        """
+        assert rule_ids(src, module="repro.nws.fake") == ["OBS001"]
+
+    def test_context_managed_span_ok(self):
+        src = """
+        def query(tracer):
+            with tracer.span("nws.query") as span:
+                span.annotate(hit=True)
+        """
+        assert rule_ids(src, module="repro.nws.fake") == []
+
+    def test_span_in_multi_item_with_ok(self):
+        src = """
+        def query(tracer, lock):
+            with lock, tracer.span("nws.query"):
+                return 1
+        """
+        assert rule_ids(src, module="repro.nws.fake") == []
+
+    def test_print_flagged_in_instrumented_layers(self):
+        src = """
+        def debug(x):
+            print(x)
+        """
+        for module in ("repro.sim.fake", "repro.nws.fake", "repro.core.fake"):
+            assert rule_ids(src, module=module) == ["OBS001"], module
+
+    def test_print_allowed_outside_instrumented_layers(self):
+        src = """
+        def show(x):
+            print(x)
+        """
+        assert rule_ids(src, module="repro.report.fake") == []
+        assert rule_ids(src, module="repro.sensors.fake") == []
+
+    def test_non_span_attribute_calls_ignored(self):
+        src = """
+        def f(obj):
+            return obj.spawn("x")
+        """
+        assert rule_ids(src, module="repro.nws.fake") == []
+
+
+# -----------------------------------------------------------------------
 # Suppressions, selection, parse errors
 # -----------------------------------------------------------------------
 

@@ -1,0 +1,102 @@
+"""Exporter tests: Prometheus text format and JSON-lines event logs."""
+
+import json
+
+from repro.obs.exporters import jsonl_events, render_jsonl, render_prometheus
+from repro.obs.metrics import MetricsRegistry
+from repro.obs.tracing import Tracer
+
+
+def _clock():
+    return 5.0
+
+
+class TestPrometheus:
+    def test_counter_and_gauge_lines(self):
+        registry = MetricsRegistry()
+        registry.counter("repro_x_total", host="a").inc(3)
+        registry.gauge("repro_depth").set(1.5)
+        text = render_prometheus(registry)
+        assert "# TYPE repro_x_total counter" in text
+        assert 'repro_x_total{host="a"} 3' in text
+        assert "# TYPE repro_depth gauge" in text
+        assert "repro_depth 1.5" in text
+        assert text.endswith("\n")
+
+    def test_accepts_a_frozen_snapshot(self):
+        registry = MetricsRegistry()
+        registry.counter("repro_x_total").inc()
+        assert render_prometheus(registry.snapshot()) == render_prometheus(
+            registry
+        )
+
+    def test_histogram_exposition(self):
+        registry = MetricsRegistry()
+        h = registry.histogram("repro_h", buckets=(0.5, 1.0))
+        for v in (0.2, 0.7, 3.0):
+            h.observe(v)
+        text = render_prometheus(registry)
+        assert 'repro_h_bucket{le="0.5"} 1' in text
+        assert 'repro_h_bucket{le="1"} 2' in text
+        assert 'repro_h_bucket{le="+Inf"} 3' in text
+        assert "repro_h_sum 3.9" in text
+        assert "repro_h_count 3" in text
+
+    def test_label_values_are_escaped(self):
+        registry = MetricsRegistry()
+        registry.counter("repro_x_total", path='we"ird\\val').inc()
+        text = render_prometheus(registry)
+        assert 'path="we\\"ird\\\\val"' in text
+
+    def test_labels_sorted_within_a_line(self):
+        registry = MetricsRegistry()
+        registry.counter("repro_x_total", zeta="z", alpha="a").inc()
+        assert 'repro_x_total{alpha="a",zeta="z"} 1' in render_prometheus(registry)
+
+
+class TestJsonLines:
+    def test_metric_then_span_events(self):
+        registry = MetricsRegistry()
+        registry.counter("repro_x_total").inc(2)
+        tracer = Tracer(clock=_clock)
+        tracer.record("probe", 1.0, 2.0, host="a")
+        events = jsonl_events(registry, tracer)
+        assert events[0] == {
+            "type": "metric",
+            "kind": "counter",
+            "name": "repro_x_total",
+            "labels": {},
+            "value": 2.0,
+        }
+        assert events[-1]["type"] == "span"
+        assert events[-1]["attrs"] == {"host": "a"}
+
+    def test_every_line_is_valid_json(self):
+        registry = MetricsRegistry()
+        registry.histogram("repro_h", buckets=(0.5,)).observe(0.1)
+        registry.gauge("repro_nan").set(float("nan"))
+        text = render_jsonl(registry)
+        for line in text.strip().splitlines():
+            json.loads(line)
+
+    def test_nonfinite_values_round_trip_as_strings(self):
+        registry = MetricsRegistry()
+        registry.histogram("repro_h", buckets=(0.5,)).observe(0.1)
+        registry.gauge("repro_nan").set(float("nan"))
+        registry.gauge("repro_inf").set(float("inf"))
+        lines = render_jsonl(registry).strip().splitlines()
+        parsed = [json.loads(line) for line in lines]
+        by_name = {e["name"]: e for e in parsed}
+        assert by_name["repro_nan"]["value"] == "NaN"
+        assert by_name["repro_inf"]["value"] == "+Inf"
+        assert by_name["repro_h"]["buckets"][-1][0] == "+Inf"
+
+    def test_output_is_deterministic(self):
+        def build():
+            registry = MetricsRegistry()
+            registry.counter("repro_b_total", host="b").inc()
+            registry.counter("repro_b_total", host="a").inc(2)
+            registry.gauge("repro_a").set(0.25)
+            return render_jsonl(registry)
+
+        assert build() == build()

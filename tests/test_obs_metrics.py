@@ -1,0 +1,169 @@
+"""Unit tests for the metrics registry: handles, labels, snapshots."""
+
+import pytest
+
+from repro.obs.metrics import (
+    DEFAULT_BUCKETS,
+    NULL_REGISTRY,
+    Counter,
+    Gauge,
+    Histogram,
+    MetricsRegistry,
+    get_registry,
+    install,
+    installed,
+    uninstall,
+)
+
+
+class TestCounter:
+    def test_starts_at_zero_and_accumulates(self):
+        c = Counter("x_total", ())
+        c.inc()
+        c.inc(2.5)
+        assert c.value == 3.5
+
+    def test_negative_increment_rejected(self):
+        c = Counter("x_total", ())
+        with pytest.raises(ValueError, match="decrease"):
+            c.inc(-1.0)
+
+    def test_sync_sets_absolute_total(self):
+        c = Counter("x_total", ())
+        c.sync(10)
+        c.sync(17)
+        assert c.value == 17.0
+
+    def test_sync_backwards_rejected(self):
+        c = Counter("x_total", ())
+        c.sync(10)
+        with pytest.raises(ValueError, match="backwards"):
+            c.sync(9)
+
+
+class TestGauge:
+    def test_set_inc_dec(self):
+        g = Gauge("depth", ())
+        g.set(5.0)
+        g.inc()
+        g.dec(2.0)
+        assert g.value == 4.0
+
+
+class TestHistogram:
+    def test_buckets_must_be_sorted_unique_nonempty(self):
+        for bad in ((), (2.0, 1.0), (1.0, 1.0)):
+            with pytest.raises(ValueError, match="sorted"):
+                Histogram("h", (), bad)
+
+    def test_observe_places_values_inclusively(self):
+        h = Histogram("h", (), (0.5, 1.0))
+        h.observe(0.5)   # == upper bound -> le=0.5 bucket
+        h.observe(0.51)  # -> le=1.0 bucket
+        h.observe(7.0)   # -> overflow
+        assert h.counts == [1, 1, 1]
+        assert h.sum == pytest.approx(8.01)
+        assert h.count == 3
+
+    def test_cumulative_buckets_end_with_inf_total(self):
+        h = Histogram("h", (), (0.5, 1.0))
+        for v in (0.1, 0.7, 2.0):
+            h.observe(v)
+        assert h.cumulative_buckets() == [
+            (0.5, 1),
+            (1.0, 2),
+            (float("inf"), 3),
+        ]
+
+
+class TestRegistry:
+    def test_same_name_and_labels_share_a_handle(self):
+        registry = MetricsRegistry()
+        a = registry.counter("repro_x_total", host="a")
+        b = registry.counter("repro_x_total", host="a")
+        assert a is b
+
+    def test_label_order_is_irrelevant(self):
+        registry = MetricsRegistry()
+        a = registry.counter("repro_x_total", host="a", method="m")
+        b = registry.counter("repro_x_total", method="m", host="a")
+        assert a is b
+
+    def test_distinct_labels_are_distinct_series(self):
+        registry = MetricsRegistry()
+        a = registry.counter("repro_x_total", host="a")
+        b = registry.counter("repro_x_total", host="b")
+        assert a is not b
+        a.inc(3)
+        samples = registry.snapshot()["repro_x_total"]["samples"]
+        assert [s["value"] for s in samples] == [3.0, 0.0]
+
+    def test_kind_conflict_raises(self):
+        registry = MetricsRegistry()
+        registry.counter("repro_x_total")
+        with pytest.raises(ValueError, match="already registered"):
+            registry.gauge("repro_x_total")
+
+    def test_invalid_metric_and_label_names_rejected(self):
+        registry = MetricsRegistry()
+        with pytest.raises(ValueError, match="invalid metric name"):
+            registry.counter("bad name")
+        with pytest.raises(ValueError, match="invalid label name"):
+            registry.counter("repro_ok_total", **{"bad-label": "x"})
+
+    def test_histogram_defaults(self):
+        registry = MetricsRegistry()
+        h = registry.histogram("repro_h")
+        assert h.buckets == DEFAULT_BUCKETS
+
+    def test_snapshot_is_sorted_and_plain(self):
+        registry = MetricsRegistry()
+        registry.counter("repro_b_total").inc()
+        registry.gauge("repro_a").set(2.0)
+        snap = registry.snapshot()
+        assert list(snap) == ["repro_a", "repro_b_total"]
+        assert snap["repro_a"] == {
+            "type": "gauge",
+            "samples": [{"labels": {}, "value": 2.0}],
+        }
+
+    def test_callbacks_run_at_snapshot_time(self):
+        registry = MetricsRegistry()
+        state = {"n": 0}
+        registry.register_callback(
+            lambda r: r.gauge("repro_live").set(state["n"])
+        )
+        state["n"] = 42
+        assert registry.snapshot()["repro_live"]["samples"][0]["value"] == 42.0
+
+
+class TestInstall:
+    def test_default_is_null_registry(self):
+        assert get_registry() is NULL_REGISTRY
+
+    def test_null_registry_is_inert(self):
+        NULL_REGISTRY.counter("x").inc()
+        NULL_REGISTRY.gauge("x").set(1.0)
+        NULL_REGISTRY.histogram("x").observe(1.0)
+        NULL_REGISTRY.register_callback(lambda r: None)
+        assert NULL_REGISTRY.snapshot() == {}
+
+    def test_null_handles_are_shared_singletons(self):
+        assert NULL_REGISTRY.counter("a") is NULL_REGISTRY.counter("b")
+
+    def test_installed_scopes_and_restores(self):
+        registry = MetricsRegistry()
+        with installed(registry) as got:
+            assert got is registry
+            assert get_registry() is registry
+        assert get_registry() is NULL_REGISTRY
+
+    def test_installed_restores_previous_not_null(self):
+        outer = MetricsRegistry()
+        install(outer)
+        try:
+            with installed(MetricsRegistry()):
+                pass
+            assert get_registry() is outer
+        finally:
+            uninstall()

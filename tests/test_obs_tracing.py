@@ -1,0 +1,88 @@
+"""Unit tests for the span/trace API over an injected clock."""
+
+import pytest
+
+from repro.obs.tracing import (
+    NULL_TRACER,
+    NullTracer,
+    SpanRecord,
+    Tracer,
+    get_tracer,
+    traced,
+)
+
+
+class FakeClock:
+    def __init__(self):
+        self.t = 0.0
+
+    def __call__(self):
+        return self.t
+
+
+class TestSpans:
+    def test_span_records_clock_endpoints(self):
+        clock = FakeClock()
+        tracer = Tracer(clock=clock)
+        with tracer.span("work", host="a"):
+            clock.t = 3.5
+        (span,) = tracer.spans
+        assert span == SpanRecord(
+            name="work", start=0.0, end=3.5, status="ok", attrs={"host": "a"}
+        )
+        assert span.duration == 3.5
+
+    def test_span_marks_error_status_and_reraises(self):
+        clock = FakeClock()
+        tracer = Tracer(clock=clock)
+        with pytest.raises(RuntimeError):
+            with tracer.span("work"):
+                clock.t = 1.0
+                raise RuntimeError("boom")
+        (span,) = tracer.spans
+        assert span.status == "error"
+        assert span.end == 1.0
+
+    def test_annotate_from_inside_the_block(self):
+        tracer = Tracer(clock=FakeClock())
+        with tracer.span("work") as span:
+            span.annotate(result=7)
+        assert tracer.spans[0].attrs == {"result": 7}
+
+    def test_record_for_event_driven_intervals(self):
+        tracer = Tracer(clock=FakeClock())
+        tracer.record("probe", 10.0, 11.5, availability=0.8)
+        (span,) = tracer.spans
+        assert (span.start, span.end) == (10.0, 11.5)
+        assert span.attrs == {"availability": 0.8}
+
+    def test_retention_drops_oldest(self):
+        tracer = Tracer(clock=FakeClock(), max_spans=3)
+        for i in range(5):
+            tracer.record("s", float(i), float(i))
+        assert tracer.dropped == 2
+        assert [s.start for s in tracer.spans] == [2.0, 3.0, 4.0]
+
+    def test_max_spans_must_be_positive(self):
+        with pytest.raises(ValueError, match="max_spans"):
+            Tracer(clock=FakeClock(), max_spans=0)
+
+
+class TestNullTracer:
+    def test_default_tracer_is_null(self):
+        assert get_tracer() is NULL_TRACER
+        assert isinstance(get_tracer(), NullTracer)
+
+    def test_null_tracer_is_inert(self):
+        with NULL_TRACER.span("anything", k=1) as span:
+            span.annotate(x=2)
+        NULL_TRACER.record("x", 0.0, 1.0)
+        assert NULL_TRACER.spans == ()
+        assert NULL_TRACER.dropped == 0
+
+    def test_traced_scopes_and_restores(self):
+        tracer = Tracer(clock=FakeClock())
+        with traced(tracer) as got:
+            assert got is tracer
+            assert get_tracer() is tracer
+        assert get_tracer() is NULL_TRACER

@@ -44,10 +44,24 @@ class TestEventQueue:
         assert len(q) == 0
 
     def test_invalid_times_rejected(self):
+        # NaN in particular would silently corrupt the heap invariant (it
+        # compares false against everything), so schedule() must refuse it
+        # loudly rather than let later events pop out of order.
         q = EventQueue()
-        for bad in (-1.0, float("nan"), float("inf")):
-            with pytest.raises(ValueError):
+        for bad in (-1.0, float("nan"), float("inf"), float("-inf")):
+            with pytest.raises(ValueError, match="finite"):
                 q.schedule(bad, lambda: None)
+            assert len(q) == 0
+
+    def test_n_scheduled_counts_accepted_events_only(self):
+        q = EventQueue()
+        q.schedule(1.0, lambda: None)
+        q.schedule(2.0, lambda: None)
+        with pytest.raises(ValueError):
+            q.schedule(float("nan"), lambda: None)
+        assert q.n_scheduled == 2
+        q.pop_due(5.0)
+        assert q.n_scheduled == 2  # lifetime tally, not queue depth
 
     def test_len(self):
         q = EventQueue()
