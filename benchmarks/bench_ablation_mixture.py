@@ -13,13 +13,14 @@ from benchmarks.conftest import run_once
 from repro.core.errors import one_step_prediction_errors
 from repro.core.forecasters import default_battery
 from repro.core.mixture import AdaptiveForecaster, forecast_series
-from repro.experiments.testbed import TestbedConfig, run_host
+from repro.experiments.testbed import TestbedConfig
+from repro.runner import default_runner
 
 HOURS6 = 6 * 3600.0
 
 
 def _scores(host: str, seed: int) -> dict[str, float]:
-    run = run_host(host, TestbedConfig(duration=HOURS6, seed=seed))
+    run = default_runner().run_one(host, TestbedConfig(duration=HOURS6, seed=seed))
     values = run.values("load_average")
     scores = {}
     for member in default_battery():

@@ -16,7 +16,8 @@ erase them:
 import numpy as np
 
 from benchmarks.conftest import run_once
-from repro.experiments.testbed import TestbedConfig, run_host
+from repro.experiments.testbed import TestbedConfig
+from repro.runner import default_runner
 
 HOURS6 = 6 * 3600.0
 
@@ -29,7 +30,7 @@ def _collect(scheduler: str, seed: int):
     config = TestbedConfig(duration=HOURS6, seed=seed, scheduler=scheduler)
     out = {}
     for host in ("conundrum", "kongo"):
-        run = run_host(host, config)
+        run = default_runner().run_one(host, config)
         out[host] = {
             "load_average": _mae(run, "load_average"),
             "nws_hybrid": _mae(run, "nws_hybrid"),

@@ -14,7 +14,8 @@ import numpy as np
 
 from benchmarks.conftest import run_once
 from repro.core.horizon import horizon_error_profile
-from repro.experiments.testbed import TestbedConfig, run_host
+from repro.experiments.testbed import TestbedConfig
+from repro.runner import default_runner
 
 HORIZONS = (1, 6, 30, 90, 180)  # 10 s ... 30 min
 
@@ -22,7 +23,7 @@ HORIZONS = (1, 6, 30, 90, 180)  # 10 s ... 30 min
 def test_horizon_extension(benchmark, seed):
     def run():
         config = TestbedConfig(duration=24 * 3600.0, seed=seed)
-        values = run_host("thing2", config).values("load_average")
+        values = default_runner().run_one("thing2", config).values("load_average")
         return horizon_error_profile(values, horizons=HORIZONS)
 
     profile = run_once(benchmark, run)

@@ -18,12 +18,13 @@ import numpy as np
 from benchmarks.conftest import run_once
 from repro.analysis.residuals import compare_residuals
 from repro.core.mixture import forecast_series
-from repro.experiments.testbed import TestbedConfig, run_host
+from repro.experiments.testbed import TestbedConfig
+from repro.runner import default_runner
 from repro.workload.profiles import profile_names
 
 
 def _host_comparison(host: str, config: TestbedConfig):
-    run = run_host(host, config)
+    run = default_runner().run_one(host, config)
     series = run.series["load_average"]
     forecasts = forecast_series(series.values)
     fc, pre, truth = [], [], []

@@ -23,7 +23,8 @@ from repro.core import (
     forecast_series,
     one_step_prediction_errors,
 )
-from repro.experiments.testbed import TestbedConfig, run_host
+from repro.experiments.testbed import TestbedConfig
+from repro.runner import default_runner
 
 
 def score(values: np.ndarray) -> dict[str, float]:
@@ -42,8 +43,8 @@ def main() -> None:
     config = TestbedConfig(duration=6 * 3600.0, seed=7)
     print("Simulating 6 hours of thing2 and kongo ...")
     series = {
-        "thing2 (bursty)": run_host("thing2", config).values("load_average"),
-        "kongo (static)": run_host("kongo", config).values("load_average"),
+        "thing2 (bursty)": default_runner().run_one("thing2", config).values("load_average"),
+        "kongo (static)": default_runner().run_one("kongo", config).values("load_average"),
         "fGn H=0.8 (synthetic)": np.clip(
             0.6 + 0.1 * fgn(2000, 0.8, rng=1), 0.0, 1.0
         ),

@@ -2,11 +2,20 @@
 
 Commands
 --------
+``nws-repro run [--hosts H,H|all] [--seed S] [--hours H] [--jobs N] ...``
+    Run (or warm the result cache for) testbed simulations and print a
+    per-host summary plus the runner's cache statistics.
 ``nws-repro tables [--table N] [--seed S] [--hours H] [--with-paper]``
     Print reproduced Tables 1-6 (all by default).
 ``nws-repro figures [--figure N] [--seed S] [--out DIR]``
     ASCII-render reproduced Figures 1-4 and optionally export their data
     as CSV.
+
+``run``, ``tables``, ``figures`` and ``report`` all accept ``--jobs N``
+(simulate cache misses across N worker processes; output is byte-identical
+to ``--jobs 1``), ``--cache-dir DIR`` (content-addressed on-disk result
+cache, default ``artifacts/cache``) and ``--no-cache``.  Cache statistics
+go to stderr so stdout stays byte-stable.
 ``nws-repro live [--interval SEC] [--count N] [--json]``
     Run the live /proc sensors on this machine and print readings
     (``--json`` emits JSON-lines matching the obs exporter format).
@@ -32,6 +41,44 @@ import sys
 __all__ = ["main", "build_parser"]
 
 
+def _add_runner_args(parser: argparse.ArgumentParser) -> None:
+    """Attach the shared execution flags (``--jobs``/``--cache-dir``/...)."""
+    parser.add_argument(
+        "--jobs",
+        type=int,
+        default=1,
+        metavar="N",
+        help="worker processes for simulations (results identical to --jobs 1)",
+    )
+    parser.add_argument(
+        "--cache-dir",
+        type=str,
+        default="artifacts/cache",
+        metavar="DIR",
+        help="on-disk result cache directory (default: artifacts/cache)",
+    )
+    parser.add_argument(
+        "--no-cache",
+        action="store_true",
+        help="skip the on-disk result cache (memory memoization only)",
+    )
+
+
+def _make_runner(args):
+    """A Runner configured from the shared execution flags."""
+    from repro.runner import Runner
+
+    return Runner(jobs=args.jobs, cache=None if args.no_cache else args.cache_dir)
+
+
+def _print_runner_stats(runner, *, file=None) -> None:
+    stats = runner.stats
+    print(
+        f"runner: jobs={runner.jobs} {stats.summary()}",
+        file=file if file is not None else sys.stderr,
+    )
+
+
 def build_parser() -> argparse.ArgumentParser:
     parser = argparse.ArgumentParser(
         prog="nws-repro",
@@ -43,6 +90,25 @@ def build_parser() -> argparse.ArgumentParser:
     )
     sub = parser.add_subparsers(dest="command", required=True)
 
+    p_run = sub.add_parser(
+        "run", help="run (or warm the cache for) testbed simulations"
+    )
+    p_run.add_argument(
+        "--hosts",
+        type=str,
+        default="all",
+        help="comma-separated testbed hosts, or 'all' (default)",
+    )
+    p_run.add_argument("--seed", type=int, default=7)
+    p_run.add_argument("--hours", type=float, default=24.0)
+    p_run.add_argument(
+        "--test-period", type=float, default=600.0, help="seconds between test processes"
+    )
+    p_run.add_argument(
+        "--test-duration", type=float, default=10.0, help="test process length (s)"
+    )
+    _add_runner_args(p_run)
+
     p_tables = sub.add_parser("tables", help="regenerate paper tables")
     p_tables.add_argument("--table", type=int, choices=range(1, 7), default=None)
     p_tables.add_argument("--seed", type=int, default=7)
@@ -50,11 +116,13 @@ def build_parser() -> argparse.ArgumentParser:
     p_tables.add_argument(
         "--with-paper", action="store_true", help="also print the paper's values"
     )
+    _add_runner_args(p_tables)
 
     p_figures = sub.add_parser("figures", help="regenerate paper figures")
     p_figures.add_argument("--figure", type=int, choices=range(1, 5), default=None)
     p_figures.add_argument("--seed", type=int, default=7)
     p_figures.add_argument("--out", type=str, default=None, help="CSV output dir")
+    _add_runner_args(p_figures)
 
     p_live = sub.add_parser("live", help="live /proc sensing on this machine")
     p_live.add_argument("--interval", type=float, default=2.0)
@@ -97,6 +165,7 @@ def build_parser() -> argparse.ArgumentParser:
     p_report.add_argument(
         "--figure3-days", type=float, default=7.0, help="Figure 3 trace length"
     )
+    _add_runner_args(p_report)
 
     p_lint = sub.add_parser(
         "lint", help="domain-aware static analysis (determinism, units, protocol)"
@@ -135,16 +204,55 @@ def build_parser() -> argparse.ArgumentParser:
     return parser
 
 
+def _cmd_run(args) -> int:
+    from repro.experiments.testbed import TestbedConfig
+    from repro.sensors.suite import METHODS
+    from repro.workload.profiles import profile_names
+
+    if args.hosts.strip().lower() == "all":
+        hosts = profile_names()
+    else:
+        hosts = [h.strip() for h in args.hosts.split(",") if h.strip()]
+    if not hosts:
+        print("nws-repro run: no hosts given", file=sys.stderr)
+        return 2
+    unknown = sorted(set(hosts) - set(profile_names()))
+    if unknown:
+        print(
+            f"nws-repro run: unknown hosts {unknown}; "
+            f"choose from {profile_names()}",
+            file=sys.stderr,
+        )
+        return 2
+    config = TestbedConfig(
+        duration=args.hours * 3600.0,
+        seed=args.seed,
+        test_period=args.test_period,
+        test_duration=args.test_duration,
+    )
+    runner = _make_runner(args)
+    runs = runner.run(hosts, config)
+    print(f"{'host':12s} {'samples':>8s} {'tests':>6s} " + " ".join(f"{m:>12s}" for m in METHODS))
+    for run in runs:
+        means = " ".join(f"{run.values(m).mean():12.3f}" for m in METHODS)
+        print(f"{run.host:12s} {len(run.values(METHODS[0])):8d} {len(run.observations):6d} {means}")
+    _print_runner_stats(runner, file=sys.stdout)
+    return 0
+
+
 def _cmd_tables(args) -> int:
     from repro.experiments import table1, table2, table3, table4, table5, table6
+    from repro.experiments.testbed import TestbedConfig
 
     generators = {1: table1, 2: table2, 3: table3, 4: table4, 5: table5, 6: table6}
     wanted = [args.table] if args.table else sorted(generators)
-    duration = args.hours * 3600.0
+    config = TestbedConfig(duration=args.hours * 3600.0, seed=args.seed)
+    runner = _make_runner(args)
     for n in wanted:
-        table = generators[n](seed=args.seed, duration=duration)
+        table = generators[n](runner, config)
         print(table.render(with_paper=args.with_paper))
         print()
+    _print_runner_stats(runner)
     return 0
 
 
@@ -154,14 +262,16 @@ def _cmd_figures(args) -> int:
 
     generators = {1: figure1, 2: figure2, 3: figure3, 4: figure4}
     wanted = [args.figure] if args.figure else sorted(generators)
+    runner = _make_runner(args)
     for n in wanted:
-        figure = generators[n](seed=args.seed)
+        figure = generators[n](runner, seed=args.seed)
         print(figure.render())
         print()
         if args.out:
             paths = export_figure_csv(figure, args.out)
             for path in paths:
                 print(f"wrote {path}")
+    _print_runner_stats(runner)
     return 0
 
 
@@ -295,31 +405,33 @@ def _cmd_report(args) -> int:
         table5,
         table6,
     )
+    from repro.experiments.testbed import TestbedConfig
     from repro.report.export import export_figure_csv, export_table_csv
 
     out = Path(args.out)
     out.mkdir(parents=True, exist_ok=True)
-    duration = args.hours * 3600.0
+    config = TestbedConfig(duration=args.hours * 3600.0, seed=args.seed)
+    runner = _make_runner(args)
 
     summary_lines = []
     for n, fn in enumerate(
         (table1, table2, table3, table4, table5, table6), start=1
     ):
-        table = fn(seed=args.seed, duration=duration)
+        table = fn(runner, config)
         export_table_csv(table, out / f"table{n}.csv")
         text = table.render(with_paper=True)
         (out / f"table{n}.txt").write_text(text + "\n")
         summary_lines.append(text)
         print(f"wrote table{n}.csv / table{n}.txt")
 
-    figure_args = {
-        1: dict(seed=args.seed, duration=duration),
-        2: dict(seed=args.seed, duration=duration),
-        3: dict(seed=args.seed, duration=args.figure3_days * 86400.0),
-        4: dict(seed=args.seed, duration=duration),
+    figure_configs = {
+        1: config,
+        2: config,
+        3: config.derive(duration=args.figure3_days * 86400.0),
+        4: config,
     }
     for n, fn in ((1, figure1), (2, figure2), (3, figure3), (4, figure4)):
-        figure = fn(**figure_args[n])
+        figure = fn(runner, figure_configs[n])
         for path in export_figure_csv(figure, out):
             print(f"wrote {path.name}")
         (out / f"figure{n}.txt").write_text(figure.render() + "\n")
@@ -329,6 +441,7 @@ def _cmd_report(args) -> int:
 
     (out / "REPORT.txt").write_text("\n\n".join(summary_lines) + "\n")
     print(f"wrote REPORT.txt -- all artifacts in {out}/")
+    _print_runner_stats(runner)
     return 0
 
 
@@ -378,6 +491,7 @@ def main(argv: list[str] | None = None) -> int:
     """CLI entry point; returns the process exit code."""
     args = build_parser().parse_args(argv)
     handlers = {
+        "run": _cmd_run,
         "tables": _cmd_tables,
         "figures": _cmd_figures,
         "live": _cmd_live,

@@ -16,6 +16,7 @@ The measured error gap quantifies how badly a grid scheduler using the
 
 from __future__ import annotations
 
+import functools
 from dataclasses import dataclass
 
 import numpy as np
@@ -27,7 +28,7 @@ from repro.sim.kernel import KernelConfig
 from repro.workload.distributions import BoundedPareto, Pareto
 from repro.workload.sessions import OnOffSession
 
-__all__ = ["SmpResult", "smp_study"]
+__all__ = ["SmpResult", "smp_study", "smp_sweep"]
 
 
 @dataclass(frozen=True)
@@ -129,3 +130,30 @@ def smp_study(
         mean_truth=float(arr[:, 2].mean()),
         n=arr.shape[0],
     )
+
+
+def smp_sweep(
+    ncpus,
+    *,
+    seed: int = 7,
+    duration: float = 6 * 3600.0,
+    test_period: float = 600.0,
+    warmup: float = 600.0,
+    jobs: int = 1,
+) -> list[SmpResult]:
+    """Run :func:`smp_study` for each CPU count, optionally in parallel.
+
+    Each configuration is an independent simulation with its own
+    ``(seed, ncpu)``-derived RNG, so fanning out over worker processes
+    (``jobs > 1``) returns bit-identical results in the input order.
+    """
+    study = functools.partial(
+        smp_study,
+        seed=seed,
+        duration=duration,
+        test_period=test_period,
+        warmup=warmup,
+    )
+    from repro.runner import parallel_map
+
+    return parallel_map(study, [int(n) for n in ncpus], jobs=jobs)

@@ -3,9 +3,14 @@
 Every function returns a :class:`~repro.experiments.results.TableResult`
 whose ``rows`` hold this reproduction's numbers and whose ``paper`` field
 holds the values published in the paper for side-by-side comparison.
-Tables 1-5 share one memoized 24-hour testbed run (10 s test process every
-10 minutes); Table 6 uses its own 24-hour run with the paper's 5-minute
-test process launched hourly.
+
+Every generator shares one uniform signature, ``tableN(runner=None,
+config=None, *, seed=7, duration=DAY)``: simulations flow through a
+:class:`repro.runner.Runner` (the process-wide default when none is
+given), so Tables 1-5 share one 24-hour testbed run, Table 6 derives its
+medium-term variant (5-minute test process hourly) from the same base
+config via :meth:`TestbedConfig.derive`, and a parallel or disk-cached
+runner accelerates every table at once.
 """
 
 from __future__ import annotations
@@ -16,7 +21,7 @@ from repro.analysis.aggregate import aggregate_series
 from repro.analysis.hurst import hurst_rs
 from repro.core.mixture import forecast_series
 from repro.experiments.results import TableResult
-from repro.experiments.testbed import DAY, HostRun, TestbedConfig, run_host
+from repro.experiments.testbed import DAY, HostRun, TestbedConfig
 from repro.sensors.suite import METHODS
 from repro.workload.profiles import profile_names
 
@@ -87,15 +92,25 @@ _PAPER_TABLE6 = {
 }
 
 
-def _short_config(seed: int, duration: float) -> TestbedConfig:
-    return TestbedConfig(duration=duration, seed=seed)
+def _resolve(runner, config, *, seed: int, duration: float):
+    """Fill in the defaults of the uniform ``(runner, config)`` signature.
+
+    ``config`` wins over the legacy ``seed``/``duration`` keywords; a
+    missing runner resolves to the process-wide default (memoized, so
+    generators sharing a config share simulations).
+    """
+    if runner is None:
+        from repro.runner import default_runner
+
+        runner = default_runner()
+    if config is None:
+        config = TestbedConfig(duration=duration, seed=seed)
+    return runner, config
 
 
-def _medium_config(seed: int, duration: float) -> TestbedConfig:
-    """Table 6 setup: 5-minute test process, once per hour."""
-    return TestbedConfig(
-        duration=duration, seed=seed, test_period=3600.0, test_duration=300.0
-    )
+def _medium(config: TestbedConfig) -> TestbedConfig:
+    """Table 6 setup derived from a base config: 5-minute test, hourly."""
+    return config.derive(test_period=3600.0, test_duration=300.0)
 
 
 def _paper_rows(table: dict, fmt=lambda v: f"{v:.1f}%") -> list[list]:
@@ -128,19 +143,20 @@ def _forecasts_for_observations(run: HostRun, method: str) -> tuple[np.ndarray, 
     return np.asarray(forecasts), np.asarray(truths)
 
 
-def table1(*, seed: int = 7, duration: float = DAY) -> TableResult:
+def table1(
+    runner=None, config: TestbedConfig | None = None, *, seed: int = 7, duration: float = DAY
+) -> TableResult:
     """Mean absolute measurement errors (24-hour period).
 
     For each host and method: mean |sensor reading immediately before a
     test process - availability observed by the test process|, as a
     percentage (paper Equation 3).
     """
-    config = _short_config(seed, duration)
+    runner, config = _resolve(runner, config, seed=seed, duration=duration)
     rows = []
-    for host in profile_names():
-        run = run_host(host, config)
+    for run in runner.run(None, config):
         truth = run.observed()
-        row = [host]
+        row = [run.host]
         for method in METHODS:
             pre = run.premeasurements(method)
             row.append(f"{100 * np.abs(pre - truth).mean():.1f}%")
@@ -154,19 +170,20 @@ def table1(*, seed: int = 7, duration: float = DAY) -> TableResult:
     )
 
 
-def table2(*, seed: int = 7, duration: float = DAY) -> TableResult:
+def table2(
+    runner=None, config: TestbedConfig | None = None, *, seed: int = 7, duration: float = DAY
+) -> TableResult:
     """Mean true forecasting errors, with measurement errors in parens.
 
     True forecasting error (paper Equation 4) is |NWS one-step-ahead
     forecast for the test frame - what the test process observed|: the
     error a scheduler would actually experience.
     """
-    config = _short_config(seed, duration)
+    runner, config = _resolve(runner, config, seed=seed, duration=duration)
     rows = []
-    for host in profile_names():
-        run = run_host(host, config)
+    for run in runner.run(None, config):
         truth_all = run.observed()
-        row = [host]
+        row = [run.host]
         for method in METHODS:
             forecasts, truths = _forecasts_for_observations(run, method)
             true_err = 100 * np.abs(forecasts - truths).mean()
@@ -190,18 +207,19 @@ def table2(*, seed: int = 7, duration: float = DAY) -> TableResult:
     )
 
 
-def table3(*, seed: int = 7, duration: float = DAY) -> TableResult:
+def table3(
+    runner=None, config: TestbedConfig | None = None, *, seed: int = 7, duration: float = DAY
+) -> TableResult:
     """Mean absolute one-step-ahead prediction errors.
 
     Paper Equation 5: |forecast for frame t - measurement at t|, i.e. the
     intrinsic predictability of each measurement series.  The paper's
     headline: less than 5 % everywhere.
     """
-    config = _short_config(seed, duration)
+    runner, config = _resolve(runner, config, seed=seed, duration=duration)
     rows = []
-    for host in profile_names():
-        run = run_host(host, config)
-        row = [host]
+    for run in runner.run(None, config):
+        row = [run.host]
         for method in METHODS:
             values = run.values(method)
             f = forecast_series(values)
@@ -216,7 +234,9 @@ def table3(*, seed: int = 7, duration: float = DAY) -> TableResult:
     )
 
 
-def table4(*, seed: int = 7, duration: float = DAY) -> TableResult:
+def table4(
+    runner=None, config: TestbedConfig | None = None, *, seed: int = 7, duration: float = DAY
+) -> TableResult:
     """Hurst estimate and variance of original vs 5-minute-averaged series.
 
     The Hurst column uses R/S pox-plot regression on the load-average
@@ -225,13 +245,12 @@ def table4(*, seed: int = 7, duration: float = DAY) -> TableResult:
     non-overlapping means: self-similarity predicts the aggregated variance
     decays like ``m**(2H-2)``, much slower than ``1/m``.
     """
-    config = _short_config(seed, duration)
+    runner, config = _resolve(runner, config, seed=seed, duration=duration)
     rows = []
-    for host in profile_names():
-        run = run_host(host, config)
+    for run in runner.run(None, config):
         la = run.values("load_average")
         hurst = hurst_rs(la).value if la.std() > 0 else float("nan")
-        row = [host, f"{hurst:.2f}"]
+        row = [run.host, f"{hurst:.2f}"]
         for method in METHODS:
             values = run.values(method)
             agg = aggregate_series(values, AGG)
@@ -254,7 +273,9 @@ def table4(*, seed: int = 7, duration: float = DAY) -> TableResult:
     )
 
 
-def table5(*, seed: int = 7, duration: float = DAY) -> TableResult:
+def table5(
+    runner=None, config: TestbedConfig | None = None, *, seed: int = 7, duration: float = DAY
+) -> TableResult:
     """One-step-ahead prediction errors for 5-minute aggregated series.
 
     The aggregated series' one-step-ahead (i.e. 5-minutes-ahead) NWS
@@ -262,11 +283,10 @@ def table5(*, seed: int = 7, duration: float = DAY) -> TableResult:
     cells where the aggregated prediction is *more* accurate, the paper's
     curiosity about smoothing at certain time scales.
     """
-    config = _short_config(seed, duration)
+    runner, config = _resolve(runner, config, seed=seed, duration=duration)
     rows = []
-    for host in profile_names():
-        run = run_host(host, config)
-        row = [host]
+    for run in runner.run(None, config):
+        row = [run.host]
         for method in METHODS:
             values = run.values(method)
             f = forecast_series(values)
@@ -290,19 +310,22 @@ def table5(*, seed: int = 7, duration: float = DAY) -> TableResult:
     )
 
 
-def table6(*, seed: int = 7, duration: float = DAY) -> TableResult:
+def table6(
+    runner=None, config: TestbedConfig | None = None, *, seed: int = 7, duration: float = DAY
+) -> TableResult:
     """Mean true forecasting errors for 5-minute average CPU availability.
 
     The paper's medium-term experiment: the availability series is averaged
     over 5-minute blocks; a one-block-ahead NWS forecast is compared
     against a 5-minute test process launched once per hour (sparse, to
-    avoid driving contention away).
+    avoid driving contention away).  The given ``config`` is treated as
+    the *base* setup; the medium-term variant is derived from it.
     """
-    config = _medium_config(seed, duration)
+    runner, config = _resolve(runner, config, seed=seed, duration=duration)
+    config = _medium(config)
     rows = []
-    for host in profile_names():
-        run = run_host(host, config)
-        row = [host]
+    for run in runner.run(None, config):
+        row = [run.host]
         for method in METHODS:
             series = run.series[method]
             agg_values = aggregate_series(series.values, AGG)

@@ -2,15 +2,21 @@
 
 A :class:`TestbedConfig` pins down everything an experiment depends on:
 duration, sensor cadences, test-process configuration, scheduler choice and
-the root seed.  :func:`run_host` executes one host under one config and
-returns a :class:`HostRun` bundling the measurement series and ground-truth
-observations; results are memoized in-process so that the six table
-generators and four figure generators share simulations instead of
-re-running them.
+the root seed.  :func:`simulate_host` executes one host under one config
+and returns a :class:`HostRun` bundling the measurement series and
+ground-truth observations.
+
+Execution, memoization and on-disk caching live in :mod:`repro.runner`:
+:class:`repro.runner.Runner` is the one entry point for running hosts
+(optionally in parallel, optionally persisted).  The historical entry
+points -- :func:`run_host`, :meth:`Testbed.run`, :meth:`Testbed.runs` --
+remain as thin deprecated shims over the default runner.
 """
 
 from __future__ import annotations
 
+import dataclasses
+import warnings
 from dataclasses import dataclass, field
 
 import numpy as np
@@ -30,6 +36,7 @@ __all__ = [
     "TestbedConfig",
     "HostRun",
     "Testbed",
+    "simulate_host",
     "run_host",
     "clear_run_cache",
     "DAY",
@@ -45,9 +52,18 @@ _SCHEDULERS = {
 }
 
 
-@dataclass(frozen=True)
+@dataclass(frozen=True, kw_only=True)
 class TestbedConfig:
     """Everything a monitored run depends on.
+
+    Construction is keyword-only: every field names itself at the call
+    site, and adding fields never silently re-binds positional callers
+    (the config is hashed field-by-name into cache keys, so call-site
+    clarity is part of the caching contract).  Derive variants with
+    :meth:`derive`::
+
+        base = TestbedConfig(duration=DAY, seed=7)
+        medium = base.derive(test_period=3600.0, test_duration=300.0)
 
     Attributes mirror the paper's setup: 24 hours of monitoring, sensors
     every 10 s, hybrid probe once a minute, a 10 s ground-truth test
@@ -74,6 +90,15 @@ class TestbedConfig:
                 f"unknown scheduler {self.scheduler!r}; "
                 f"choose from {sorted(_SCHEDULERS)}"
             )
+
+    def derive(self, **overrides) -> "TestbedConfig":
+        """A copy with ``overrides`` applied, re-validated.
+
+        The standard way to build experiment variants from a base config
+        (e.g. the Table 6 medium-term setup) without repeating the
+        unchanged fields.
+        """
+        return dataclasses.replace(self, **overrides)
 
 
 @dataclass(frozen=True)
@@ -112,16 +137,14 @@ class HostRun:
         return self.series[method].values
 
 
-_RUN_CACHE: dict[tuple[str, TestbedConfig], HostRun] = {}
+def simulate_host(name: str, config: TestbedConfig | None = None) -> HostRun:
+    """Monitor one testbed host under ``config`` (pure, uncached).
 
-
-def clear_run_cache() -> None:
-    """Drop all memoized runs (tests use this to force re-simulation)."""
-    _RUN_CACHE.clear()
-
-
-def run_host(name: str, config: TestbedConfig | None = None) -> HostRun:
-    """Monitor one testbed host under ``config`` (memoized).
+    This is the simulation engine itself: no memoization, no disk cache,
+    deterministic given ``(name, config)``.  Production callers go
+    through :class:`repro.runner.Runner`, which layers the in-process
+    memo and the content-addressed on-disk cache on top and can fan
+    multiple hosts out across worker processes.
 
     Parameters
     ----------
@@ -131,10 +154,6 @@ def run_host(name: str, config: TestbedConfig | None = None) -> HostRun:
         Run configuration; default :class:`TestbedConfig`.
     """
     config = config if config is not None else TestbedConfig()
-    key = (name, config)
-    cached = _RUN_CACHE.get(key)
-    if cached is not None:
-        return cached
 
     # Derive a distinct, stable seed per host so hosts evolve independently.
     host_index = profile_names().index(name) if name in profile_names() else 97
@@ -156,20 +175,81 @@ def run_host(name: str, config: TestbedConfig | None = None) -> HostRun:
     for method in METHODS:
         times, values = suite.series(method)
         series[method] = TraceSeries(name, method, times, values)
-    run = HostRun(
+    return HostRun(
         host=name,
         config=config,
         series=series,
         observations=suite.test_observations,
     )
-    _RUN_CACHE[key] = run
-    return run
+
+
+# ---------------------------------------------------------------------------
+# Deprecated shims (one release of grace; use repro.runner.Runner instead)
+# ---------------------------------------------------------------------------
+
+
+def clear_run_cache(*, disk: bool = False, cache_dir=None) -> int:
+    """Drop memoized runs; optionally also the on-disk cache.
+
+    Two distinct stores exist:
+
+    * the **in-process memo** of the default runner (what historical
+      ``run_host`` callers shared) -- always cleared, costs nothing to
+      rebuild but one simulation per key;
+    * the **on-disk cache** (``artifacts/cache/`` by default) that
+      persists results across interpreters -- only touched when
+      ``disk=True``.
+
+    Note that explicitly constructed :class:`repro.runner.Runner`
+    instances keep their own memos; clear those via
+    ``runner.clear_memory()`` / ``runner.clear_disk()``.
+
+    Parameters
+    ----------
+    disk:
+        Also delete every on-disk entry under ``cache_dir``.
+    cache_dir:
+        On-disk cache root (default ``artifacts/cache``).
+
+    Returns
+    -------
+    int
+        Number of on-disk entries removed (0 when ``disk`` is False).
+    """
+    from repro.runner import DEFAULT_CACHE_DIR, ResultCache, default_runner
+
+    default_runner().clear_memory()
+    if disk:
+        return ResultCache(cache_dir if cache_dir is not None else DEFAULT_CACHE_DIR).clear()
+    return 0
+
+
+def run_host(name: str, config: TestbedConfig | None = None) -> HostRun:
+    """Deprecated: use :meth:`repro.runner.Runner.run`.
+
+    Delegates to the process-wide default runner, preserving the
+    historical memoization semantics (same config -> same object back).
+    """
+    warnings.warn(
+        "run_host() is deprecated; use repro.runner.Runner.run(hosts, config) "
+        "(or repro.runner.default_runner().run(...) for the shared memo)",
+        DeprecationWarning,
+        stacklevel=2,
+    )
+    from repro.runner import default_runner
+
+    return default_runner().run_one(name, config)
 
 
 class Testbed:
-    """The full six-host testbed under one config.
+    """Deprecated facade over the full six-host testbed under one config.
 
-    Iterating yields :class:`HostRun` objects in the paper's table order.
+    Use :class:`repro.runner.Runner` instead::
+
+        runs = Runner().run(None, config)   # all hosts, table order
+
+    Iterating still yields :class:`HostRun` objects in the paper's table
+    order, via the default runner.
     """
 
     __test__ = False  # not a pytest test class
@@ -182,12 +262,28 @@ class Testbed:
         return profile_names()
 
     def run(self, name: str) -> HostRun:
-        """Run (or fetch) one host."""
-        return run_host(name, self.config)
+        """Deprecated: run (or fetch) one host via the default runner."""
+        warnings.warn(
+            "Testbed.run() is deprecated; use repro.runner.Runner.run(host, config)",
+            DeprecationWarning,
+            stacklevel=2,
+        )
+        from repro.runner import default_runner
+
+        return default_runner().run_one(name, self.config)
 
     def runs(self) -> list[HostRun]:
-        """Run (or fetch) every host, in table order."""
-        return [self.run(name) for name in self.host_names]
+        """Deprecated: run (or fetch) every host via the default runner."""
+        warnings.warn(
+            "Testbed.runs() is deprecated; use repro.runner.Runner.run(None, config)",
+            DeprecationWarning,
+            stacklevel=2,
+        )
+        from repro.runner import default_runner
+
+        result = default_runner().run(None, self.config)
+        assert isinstance(result, list)
+        return result
 
     def __iter__(self):
         return iter(self.runs())

@@ -37,6 +37,12 @@ paper's results depend on:
     silently loses its interval), and instrumented packages
     (``repro.sim``, ``repro.nws``, ``repro.core``) must not ``print()``
     -- output flows through the metrics registry and exporters.
+``CACHE001``
+    Runner discipline: monitored runs go through
+    :class:`repro.runner.Runner`, which layers memoization, the
+    content-addressed on-disk cache and parallel execution.  Importing
+    or calling ``run_host`` directly (outside ``repro.runner`` and the
+    deprecated shims themselves) silently bypasses all three.
 """
 
 from __future__ import annotations
@@ -55,6 +61,7 @@ __all__ = [
     "HeapStabilityRule",
     "SwallowedErrorRule",
     "ObservabilityRule",
+    "CacheBypassRule",
 ]
 
 
@@ -611,3 +618,62 @@ class ObservabilityRule(Rule):
                     "metrics registry / exporters (or move presentation "
                     "code to repro.report / repro.cli)",
                 )
+
+
+# --------------------------------------------------------------------------
+# CACHE001 -- runner discipline (no direct run_host use)
+# --------------------------------------------------------------------------
+
+#: Modules that legitimately define or re-export run_host (the shims).
+_RUN_HOST_HOMES = ("repro.experiments.testbed", "repro.experiments")
+
+#: Package allowed to reach the simulation layer directly.
+_RUNNER_PREFIX = "repro.runner"
+
+
+@register
+class CacheBypassRule(Rule):
+    rule_id = "CACHE001"
+    title = "monitored runs go through repro.runner, not run_host directly"
+    rationale = (
+        "direct run_host() use bypasses the parallel runner and the "
+        "content-addressed result cache; call Runner.run (or "
+        "repro.runner.default_runner().run) instead"
+    )
+
+    def _allowed(self, module: str) -> bool:
+        return module in _RUN_HOST_HOMES or (
+            module == _RUNNER_PREFIX or module.startswith(_RUNNER_PREFIX + ".")
+        )
+
+    def check(self, ctx: ModuleContext) -> Iterator[Finding]:
+        if self._allowed(ctx.module):
+            return
+        aliases = _import_aliases(ctx.tree)
+        for node in ast.walk(ctx.tree):
+            if (
+                isinstance(node, ast.ImportFrom)
+                and node.level == 0
+                and node.module in _RUN_HOST_HOMES
+            ):
+                for name in node.names:
+                    if name.name == "run_host":
+                        yield ctx.finding(
+                            node,
+                            self.rule_id,
+                            "direct run_host import bypasses the runner's "
+                            "memo, disk cache and parallelism; use "
+                            "repro.runner.Runner.run instead",
+                        )
+            elif isinstance(node, ast.Call):
+                dotted = _dotted(node.func)
+                if dotted is None or "." not in dotted:
+                    continue  # bare run_host() is caught at its import
+                full = _resolve(dotted, aliases)
+                if full in tuple(f"{home}.run_host" for home in _RUN_HOST_HOMES):
+                    yield ctx.finding(
+                        node,
+                        self.rule_id,
+                        f"{full}() bypasses the runner's memo, disk cache "
+                        "and parallelism; use repro.runner.Runner.run instead",
+                    )

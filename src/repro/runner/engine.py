@@ -1,0 +1,287 @@
+"""The parallel experiment runner.
+
+:class:`Runner` is the single entry point for monitored testbed runs.  It
+layers three result stores in front of the simulator:
+
+1. an in-process memo (same object back, free),
+2. the content-addressed on-disk :class:`~repro.runner.cache.ResultCache`
+   (survives interpreter restarts; optional),
+3. :func:`~repro.experiments.testbed.simulate_host`, fanned out across
+   worker processes when ``jobs > 1``.
+
+Results are byte-identical regardless of ``jobs`` because every host's
+seed is derived from ``(config.seed, host index)`` inside the simulation
+itself -- workers share nothing and inherit no RNG state.  Every lookup
+and simulation is tallied both on :attr:`Runner.stats` (plain ints, for
+programmatic checks) and on the installed metrics registry
+(``repro_runner_*`` series) so cache behaviour is observable.
+"""
+
+from __future__ import annotations
+
+import time
+from concurrent.futures import FIRST_COMPLETED, ProcessPoolExecutor, wait
+from dataclasses import dataclass, field
+from pathlib import Path
+from typing import Callable, Iterable, TypeVar
+
+from repro.experiments.testbed import HostRun, TestbedConfig, simulate_host
+from repro.obs.metrics import get_registry
+from repro.runner.cache import ResultCache
+from repro.runner.keys import config_digest
+from repro.workload.profiles import profile_names
+
+__all__ = ["Runner", "RunnerStats", "default_runner", "parallel_map"]
+
+_T = TypeVar("_T")
+_R = TypeVar("_R")
+
+#: Bucket bounds for per-host simulation wall time (seconds, real clock).
+_WALL_BUCKETS = (0.01, 0.05, 0.1, 0.25, 0.5, 1.0, 2.5, 5.0, 15.0, 60.0)
+
+
+@dataclass
+class RunnerStats:
+    """Cumulative tallies of one runner's cache and simulation activity.
+
+    ``misses`` counts distinct simulations actually performed;
+    ``sim_seconds`` sums per-host wall time (CPU-side, so with ``jobs > 1``
+    it exceeds elapsed wall time -- the ratio is worker utilisation).
+    """
+
+    memory_hits: int = 0
+    disk_hits: int = 0
+    misses: int = 0
+    corrupt: int = 0
+    sim_seconds: float = 0.0
+    host_seconds: dict[str, float] = field(default_factory=dict)
+
+    def summary(self) -> str:
+        """One-line human-readable rendering (the CLI's stats line)."""
+        return (
+            f"memory_hits={self.memory_hits} disk_hits={self.disk_hits} "
+            f"misses={self.misses} corrupt={self.corrupt} "
+            f"sim_seconds={self.sim_seconds:.3f}"
+        )
+
+
+def _simulate_job(name: str, config: TestbedConfig) -> tuple[HostRun, float]:
+    """Worker body: simulate one host, report its wall time.
+
+    Module-level so it pickles into :class:`ProcessPoolExecutor` workers.
+    """
+    start = time.perf_counter()
+    run = simulate_host(name, config)
+    return run, time.perf_counter() - start
+
+
+def parallel_map(
+    fn: Callable[[_T], _R], items: Iterable[_T], *, jobs: int = 1
+) -> list[_R]:
+    """Map ``fn`` over ``items``, optionally across worker processes.
+
+    Order is preserved.  ``fn`` and the items must pickle (top-level
+    functions and ``functools.partial`` of them are fine).  With ``jobs
+    <= 1`` or fewer than two items this is a plain list comprehension --
+    no pool, no overhead.
+    """
+    work = list(items)
+    if jobs <= 1 or len(work) <= 1:
+        return [fn(item) for item in work]
+    with ProcessPoolExecutor(max_workers=min(jobs, len(work))) as pool:
+        return list(pool.map(fn, work))
+
+
+class Runner:
+    """Unified facade over memoization, the disk cache, and simulation.
+
+    Parameters
+    ----------
+    jobs:
+        Maximum worker processes for cache misses (1 = simulate in
+        process; results are identical either way).
+    cache:
+        On-disk cache: a :class:`ResultCache`, a directory path, or None
+        to keep results in memory only.
+    """
+
+    def __init__(
+        self,
+        *,
+        jobs: int = 1,
+        cache: ResultCache | str | Path | None = None,
+    ):
+        if jobs < 1:
+            raise ValueError(f"jobs must be >= 1, got {jobs}")
+        self.jobs = int(jobs)
+        if cache is None or isinstance(cache, ResultCache):
+            self.cache = cache
+        else:
+            self.cache = ResultCache(cache)
+        self.stats = RunnerStats()
+        self._memo: dict[str, HostRun] = {}
+        registry = get_registry()
+        self._obs_hits = {
+            layer: registry.counter("repro_runner_cache_hits_total", layer=layer)
+            for layer in ("memory", "disk")
+        }
+        self._obs_misses = registry.counter("repro_runner_cache_misses_total")
+        self._obs_corrupt = registry.counter("repro_runner_cache_corrupt_total")
+        self._obs_sims = {
+            mode: registry.counter("repro_runner_simulations_total", mode=mode)
+            for mode in ("serial", "parallel")
+        }
+        self._obs_jobs = registry.gauge("repro_runner_jobs")
+        self._obs_utilization = registry.gauge("repro_runner_worker_utilization")
+        self._obs_jobs.set(float(self.jobs))
+        self._registry = registry
+
+    # ------------------------------------------------------------ running
+
+    def run(
+        self,
+        hosts: str | Iterable[str] | None = None,
+        config: TestbedConfig | None = None,
+    ) -> HostRun | list[HostRun]:
+        """Run (or fetch) monitored simulations.
+
+        Parameters
+        ----------
+        hosts:
+            A single host name (returns one :class:`HostRun`), an iterable
+            of names (returns a list in the same order), or None for the
+            full testbed in the paper's table order.
+        config:
+            Run configuration; default :class:`TestbedConfig`.
+        """
+        config = config if config is not None else TestbedConfig()
+        single = isinstance(hosts, str)
+        if single:
+            names = [hosts]
+        elif hosts is None:
+            names = profile_names()
+        else:
+            names = [str(name) for name in hosts]
+
+        results: dict[int, HostRun] = {}
+        pending: dict[str, list[int]] = {}  # digest -> indices wanting it
+        pending_names: dict[str, str] = {}
+        for i, name in enumerate(names):
+            digest = config_digest(name, config)
+            if digest in pending:
+                pending[digest].append(i)
+                continue
+            run = self._lookup(digest)
+            if run is not None:
+                results[i] = run
+            else:
+                self.stats.misses += 1
+                self._obs_misses.inc()
+                pending[digest] = [i]
+                pending_names[digest] = name
+
+        if pending:
+            for digest, run in self._simulate(pending_names, config).items():
+                self._memo[digest] = run
+                if self.cache is not None:
+                    self.cache.store(digest, run)
+                for i in pending[digest]:
+                    results[i] = run
+
+        ordered = [results[i] for i in range(len(names))]
+        return ordered[0] if single else ordered
+
+    def run_one(self, host: str, config: TestbedConfig | None = None) -> HostRun:
+        """Convenience: :meth:`run` for exactly one host."""
+        result = self.run(host, config)
+        assert isinstance(result, HostRun)
+        return result
+
+    # ----------------------------------------------------------- internals
+
+    def _lookup(self, digest: str) -> HostRun | None:
+        run = self._memo.get(digest)
+        if run is not None:
+            self.stats.memory_hits += 1
+            self._obs_hits["memory"].inc()
+            return run
+        if self.cache is None:
+            return None
+        run, outcome = self.cache.lookup(digest)
+        if outcome == "corrupt":
+            self.stats.corrupt += 1
+            self._obs_corrupt.inc()
+        if run is not None:
+            self.stats.disk_hits += 1
+            self._obs_hits["disk"].inc()
+            self._memo[digest] = run
+        return run
+
+    def _simulate(
+        self, jobs_by_digest: dict[str, str], config: TestbedConfig
+    ) -> dict[str, HostRun]:
+        """Simulate every ``digest -> host`` pair, in-process or pooled."""
+        digests = list(jobs_by_digest)
+        workers = min(self.jobs, len(digests))
+        use_pool = workers > 1
+        batch_start = time.perf_counter()
+        out: dict[str, HostRun] = {}
+        if use_pool:
+            with ProcessPoolExecutor(max_workers=workers) as pool:
+                futures = {
+                    pool.submit(_simulate_job, jobs_by_digest[d], config): d
+                    for d in digests
+                }
+                remaining = set(futures)
+                while remaining:
+                    done, remaining = wait(remaining, return_when=FIRST_COMPLETED)
+                    for future in done:
+                        digest = futures[future]
+                        run, wall = future.result()
+                        self._record_sim(jobs_by_digest[digest], wall, "parallel")
+                        out[digest] = run
+        else:
+            for digest in digests:
+                run, wall = _simulate_job(jobs_by_digest[digest], config)
+                self._record_sim(jobs_by_digest[digest], wall, "serial")
+                out[digest] = run
+        batch_wall = time.perf_counter() - batch_start
+        if use_pool and batch_wall > 0.0:
+            busy = sum(self.stats.host_seconds[jobs_by_digest[d]] for d in digests)
+            self._obs_utilization.set(min(1.0, busy / (batch_wall * workers)))
+        return out
+
+    def _record_sim(self, host: str, wall: float, mode: str) -> None:
+        self.stats.sim_seconds += wall
+        self.stats.host_seconds[host] = wall
+        self._obs_sims[mode].inc()
+        self._registry.histogram(
+            "repro_runner_host_seconds", buckets=_WALL_BUCKETS, host=host
+        ).observe(wall)
+
+    # ------------------------------------------------------------ hygiene
+
+    def clear_memory(self) -> None:
+        """Drop the in-process memo (the disk cache is untouched)."""
+        self._memo.clear()
+
+    def clear_disk(self) -> int:
+        """Delete every on-disk entry; returns entries removed (0 if no cache)."""
+        return self.cache.clear() if self.cache is not None else 0
+
+
+_default: Runner | None = None
+
+
+def default_runner() -> Runner:
+    """The process-wide runner used by the deprecated shims and the
+    table/figure generators when no runner is passed explicitly.
+
+    Memory-memoized only (``jobs=1``, no disk cache), matching the
+    historical ``run_host`` semantics; build an explicit :class:`Runner`
+    for parallelism or persistence.
+    """
+    global _default
+    if _default is None:
+        _default = Runner()
+    return _default

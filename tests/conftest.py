@@ -5,7 +5,8 @@ from __future__ import annotations
 import numpy as np
 import pytest
 
-from repro.experiments.testbed import TestbedConfig, run_host
+from repro.experiments.testbed import TestbedConfig
+from repro.runner import default_runner
 
 
 @pytest.fixture
@@ -15,8 +16,8 @@ def rng() -> np.random.Generator:
 
 #: A short config shared by experiment-level tests: 4 simulated hours is
 #: enough for ~23 ground-truth samples and ~1200 measurements per host,
-#: while keeping the whole suite fast.  run_host memoizes, so every test
-#: using this config shares one simulation per host.
+#: while keeping the whole suite fast.  The default runner memoizes, so
+#: every test using this config shares one simulation per host.
 SHORT = TestbedConfig(duration=4 * 3600.0, seed=7)
 
 #: Medium-term (Table 6 style) short config.
@@ -32,19 +33,19 @@ def short_config() -> TestbedConfig:
 
 @pytest.fixture(scope="session")
 def thing1_run():
-    return run_host("thing1", SHORT)
+    return default_runner().run_one("thing1", SHORT)
 
 
 @pytest.fixture(scope="session")
 def thing2_run():
-    return run_host("thing2", SHORT)
+    return default_runner().run_one("thing2", SHORT)
 
 
 @pytest.fixture(scope="session")
 def conundrum_run():
-    return run_host("conundrum", SHORT)
+    return default_runner().run_one("conundrum", SHORT)
 
 
 @pytest.fixture(scope="session")
 def kongo_run():
-    return run_host("kongo", SHORT)
+    return default_runner().run_one("kongo", SHORT)

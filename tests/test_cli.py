@@ -36,8 +36,78 @@ class TestParser:
         with pytest.raises(SystemExit):
             build_parser().parse_args(["obs", "--format", "xml"])
 
+    def test_run_defaults(self):
+        args = build_parser().parse_args(["run"])
+        assert args.hosts == "all" and args.hours == 24.0
+        assert args.jobs == 1 and not args.no_cache
+        assert args.cache_dir == "artifacts/cache"
+
+    def test_runner_flags_shared_across_commands(self):
+        for command in ("run", "tables", "figures"):
+            args = build_parser().parse_args(
+                [command, "--jobs", "4", "--cache-dir", "/tmp/c", "--no-cache"]
+            )
+            assert args.jobs == 4 and args.cache_dir == "/tmp/c" and args.no_cache
+
+
+class TestRunCommand:
+    def test_run_prints_host_summary_and_stats(self, capsys, tmp_path):
+        rc = main(
+            ["run", "--hosts", "thing1", "--hours", "0.5", "--seed", "3",
+             "--cache-dir", str(tmp_path / "cache")]
+        )
+        out = capsys.readouterr().out
+        assert rc == 0
+        assert "thing1" in out
+        assert "misses=1" in out
+
+    def test_run_second_invocation_hits_disk(self, capsys, tmp_path):
+        argv = ["run", "--hosts", "thing1,conundrum", "--hours", "0.5",
+                "--seed", "3", "--cache-dir", str(tmp_path / "cache")]
+        main(argv)
+        capsys.readouterr()
+        rc = main(argv)
+        out = capsys.readouterr().out
+        assert rc == 0
+        assert "disk_hits=2" in out and "misses=0" in out
+
+    def test_run_rejects_unknown_host(self, capsys):
+        rc = main(["run", "--hosts", "nonesuch", "--no-cache"])
+        err = capsys.readouterr().err
+        assert rc == 2
+        assert "unknown hosts" in err
+
+    def test_run_rejects_empty_host_list(self, capsys):
+        rc = main(["run", "--hosts", ",", "--no-cache"])
+        assert rc == 2
+
 
 class TestCommands:
+    def test_tables_jobs_output_byte_identical(self, capsys):
+        argv = ["tables", "--table", "1", "--hours", "2", "--seed", "3", "--no-cache"]
+        assert main(argv + ["--jobs", "1"]) == 0
+        serial = capsys.readouterr().out
+        assert main(argv + ["--jobs", "4"]) == 0
+        parallel = capsys.readouterr().out
+        assert parallel == serial
+
+    def test_tables_warm_cache_runs_without_misses(self, capsys, tmp_path):
+        argv = ["tables", "--table", "2", "--hours", "2", "--seed", "5",
+                "--cache-dir", str(tmp_path / "cache")]
+        assert main(argv) == 0
+        cold = capsys.readouterr()
+        assert "misses=6" in cold.err
+        assert main(argv) == 0
+        warm = capsys.readouterr()
+        assert "misses=0" in warm.err
+        assert warm.out == cold.out
+
+    def test_stats_go_to_stderr_not_stdout(self, capsys):
+        main(["tables", "--table", "1", "--hours", "2", "--seed", "3", "--no-cache"])
+        captured = capsys.readouterr()
+        assert "runner:" in captured.err
+        assert "runner:" not in captured.out
+
     def test_tables_prints_table(self, capsys):
         rc = main(["tables", "--table", "3", "--hours", "2", "--seed", "3"])
         out = capsys.readouterr().out

@@ -1,4 +1,4 @@
-"""Tests for repro.experiments.testbed (runs, memoization, determinism)."""
+"""Tests for repro.experiments.testbed (config, simulation, shims)."""
 
 import numpy as np
 import pytest
@@ -8,7 +8,9 @@ from repro.experiments.testbed import (
     TestbedConfig,
     clear_run_cache,
     run_host,
+    simulate_host,
 )
+from repro.runner import default_runner
 from repro.sensors.suite import METHODS
 
 from tests.conftest import SHORT
@@ -23,17 +25,35 @@ class TestConfigValidation:
         with pytest.raises(ValueError, match="unknown scheduler"):
             TestbedConfig(scheduler="fifo")
 
+    def test_construction_is_keyword_only(self):
+        with pytest.raises(TypeError):
+            TestbedConfig(3600.0)
 
-class TestRunHost:
-    def test_memoization_returns_same_object(self):
-        a = run_host("thing1", SHORT)
-        b = run_host("thing1", SHORT)
+    def test_derive_overrides_and_preserves(self):
+        base = TestbedConfig(duration=8 * 3600.0, seed=11)
+        medium = base.derive(test_period=3600.0, test_duration=300.0)
+        assert medium.test_period == 3600.0
+        assert medium.test_duration == 300.0
+        assert medium.duration == base.duration
+        assert medium.seed == base.seed
+        assert base.test_period == 600.0  # base untouched
+
+    def test_derive_revalidates(self):
+        base = TestbedConfig(duration=8 * 3600.0)
+        with pytest.raises(ValueError):
+            base.derive(duration=10.0)
+
+
+class TestSimulateHost:
+    def test_memoization_via_default_runner(self):
+        a = default_runner().run_one("thing1", SHORT)
+        b = default_runner().run_one("thing1", SHORT)
         assert a is b
 
     def test_distinct_configs_not_shared(self):
-        a = run_host("thing1", SHORT)
-        other = TestbedConfig(duration=SHORT.duration, seed=SHORT.seed + 1)
-        b = run_host("thing1", other)
+        a = default_runner().run_one("thing1", SHORT)
+        other = SHORT.derive(seed=SHORT.seed + 1)
+        b = default_runner().run_one("thing1", other)
         assert a is not b
         clear_run_cache()
 
@@ -54,10 +74,17 @@ class TestRunHost:
         assert pre.shape == thing1_run.observed().shape
 
     def test_determinism_across_cache_clears(self):
-        first = run_host("gremlin", SHORT).values("load_average").copy()
+        first = default_runner().run_one("gremlin", SHORT).values("load_average").copy()
         clear_run_cache()
-        second = run_host("gremlin", SHORT).values("load_average")
+        second = default_runner().run_one("gremlin", SHORT).values("load_average")
         np.testing.assert_array_equal(first, second)
+
+    def test_pure_simulate_matches_runner(self, thing1_run):
+        fresh = simulate_host("thing1", SHORT)
+        assert fresh is not thing1_run
+        np.testing.assert_array_equal(
+            fresh.values("load_average"), thing1_run.values("load_average")
+        )
 
     def test_hosts_evolve_independently(self, thing1_run, thing2_run):
         n = min(len(thing1_run.values("load_average")), len(thing2_run.values("load_average")))
@@ -67,13 +94,37 @@ class TestRunHost:
         )
 
 
-class TestTestbed:
-    def test_iterates_in_table_order(self):
+class TestClearRunCache:
+    def test_memory_only_returns_zero(self):
+        assert clear_run_cache() == 0
+
+    def test_disk_mode_reports_removed_entries(self, tmp_path):
+        from repro.runner import Runner
+
+        runner = Runner(cache=tmp_path / "cache")
+        runner.run("thing1", SHORT)
+        assert clear_run_cache(disk=True, cache_dir=tmp_path / "cache") == 1
+        assert clear_run_cache(disk=True, cache_dir=tmp_path / "cache") == 0
+
+
+class TestDeprecatedShims:
+    def test_run_host_warns_and_shares_memo(self):
+        with pytest.warns(DeprecationWarning, match="run_host"):
+            shimmed = run_host("thing1", SHORT)
+        assert shimmed is default_runner().run_one("thing1", SHORT)
+
+    def test_testbed_iterates_in_table_order(self):
         testbed = Testbed(SHORT)
         assert testbed.host_names[0] == "thing2"
         assert testbed.host_names[-1] == "kongo"
 
-    def test_runs_all_hosts(self):
+    def test_testbed_runs_all_hosts(self):
         testbed = Testbed(SHORT)
-        runs = testbed.runs()
+        with pytest.warns(DeprecationWarning, match="Testbed.runs"):
+            runs = testbed.runs()
         assert [r.host for r in runs] == testbed.host_names
+
+    def test_testbed_run_warns(self):
+        with pytest.warns(DeprecationWarning, match="Testbed.run"):
+            shimmed = Testbed(SHORT).run("thing2")
+        assert shimmed is default_runner().run_one("thing2", SHORT)

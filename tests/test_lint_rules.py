@@ -387,6 +387,66 @@ class TestObservability:
 
 
 # -----------------------------------------------------------------------
+# CACHE001 -- runner discipline
+# -----------------------------------------------------------------------
+
+class TestCacheBypass:
+    def test_direct_import_flagged(self):
+        src = """
+        from repro.experiments.testbed import run_host
+
+        def go():
+            return run_host("thing1")
+        """
+        assert rule_ids(src, module="repro.report.fake") == ["CACHE001"]
+
+    def test_package_import_flagged(self):
+        src = """
+        from repro.experiments import run_host
+        """
+        assert rule_ids(src, module="repro.analysis.fake") == ["CACHE001"]
+
+    def test_attribute_call_flagged(self):
+        src = """
+        import repro.experiments.testbed as tb
+
+        def go():
+            return tb.run_host("thing1")
+        """
+        assert rule_ids(src, module="repro.report.fake") == ["CACHE001"]
+
+    def test_allowed_inside_runner_package(self):
+        src = """
+        from repro.experiments.testbed import run_host
+        """
+        assert rule_ids(src, module="repro.runner.engine") == []
+        assert rule_ids(src, module="repro.runner") == []
+
+    def test_allowed_inside_shim_modules(self):
+        src = """
+        def run_host(name):
+            return name
+        """
+        assert rule_ids(src, module="repro.experiments.testbed") == []
+        assert rule_ids(src, module="repro.experiments") == []
+
+    def test_runner_use_stays_silent(self):
+        src = """
+        from repro.runner import Runner
+
+        def go(config):
+            return Runner(jobs=4).run(None, config)
+        """
+        assert rule_ids(src, module="repro.report.fake") == []
+
+    def test_other_imports_from_testbed_ok(self):
+        src = """
+        from repro.experiments.testbed import TestbedConfig, simulate_host
+        """
+        assert rule_ids(src, module="repro.report.fake") == []
+
+
+# -----------------------------------------------------------------------
 # Suppressions, selection, parse errors
 # -----------------------------------------------------------------------
 

@@ -1,0 +1,137 @@
+"""Tests for repro.runner: facade forms, parallelism, layering, metrics."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.experiments.testbed import HostRun, TestbedConfig
+from repro.obs.metrics import MetricsRegistry, installed
+from repro.runner import Runner, default_runner, parallel_map
+from repro.workload.profiles import profile_names
+
+#: Tiny config for tests that must actually simulate (not hit the shared
+#: memo): half an hour past warmup keeps each run well under 100 ms.
+TINY = TestbedConfig(duration=1800.0, seed=31)
+
+
+def same_run(a: HostRun, b: HostRun) -> None:
+    assert a.host == b.host
+    assert a.config == b.config
+    assert set(a.series) == set(b.series)
+    for method in a.series:
+        np.testing.assert_array_equal(a.series[method].times, b.series[method].times)
+        np.testing.assert_array_equal(a.series[method].values, b.series[method].values)
+    assert len(a.observations) == len(b.observations)
+    np.testing.assert_array_equal(a.observed(), b.observed())
+    for method in a.series:
+        np.testing.assert_array_equal(
+            a.premeasurements(method), b.premeasurements(method)
+        )
+
+
+class TestFacadeForms:
+    def test_single_name_returns_hostrun(self):
+        run = Runner().run("thing1", TINY)
+        assert isinstance(run, HostRun)
+        assert run.host == "thing1"
+
+    def test_iterable_preserves_order(self):
+        runs = Runner().run(("conundrum", "thing1"), TINY)
+        assert [r.host for r in runs] == ["conundrum", "thing1"]
+
+    def test_none_means_full_testbed_in_table_order(self, short_config):
+        runs = default_runner().run(None, short_config)
+        assert [r.host for r in runs] == profile_names()
+
+    def test_duplicate_hosts_simulated_once(self):
+        runner = Runner()
+        runs = runner.run(("thing1", "thing1"), TINY)
+        assert runs[0] is runs[1]
+        assert runner.stats.misses == 1
+
+    def test_run_one(self):
+        runner = Runner()
+        assert runner.run_one("thing1", TINY).host == "thing1"
+
+    def test_jobs_must_be_positive(self):
+        with pytest.raises(ValueError):
+            Runner(jobs=0)
+
+
+class TestParallelIdentity:
+    def test_parallel_matches_serial_bitwise(self):
+        serial = Runner(jobs=1).run(("thing1", "conundrum"), TINY)
+        parallel = Runner(jobs=2).run(("thing1", "conundrum"), TINY)
+        for s, p in zip(serial, parallel):
+            same_run(s, p)
+
+    def test_parallel_map_preserves_order(self):
+        assert parallel_map(abs, [-3, 1, -2], jobs=2) == [3, 1, 2]
+
+    def test_parallel_map_serial_path(self):
+        assert parallel_map(abs, [-3], jobs=4) == [3]
+
+
+class TestLayering:
+    def test_memoization_returns_same_object(self):
+        runner = Runner()
+        a = runner.run("thing1", TINY)
+        b = runner.run("thing1", TINY)
+        assert a is b
+        assert runner.stats.memory_hits == 1
+        assert runner.stats.misses == 1
+
+    def test_disk_cache_shared_across_runners(self, tmp_path):
+        first = Runner(cache=tmp_path / "cache")
+        run = first.run("thing1", TINY)
+        second = Runner(cache=tmp_path / "cache")
+        again = second.run("thing1", TINY)
+        assert second.stats.disk_hits == 1
+        assert second.stats.misses == 0
+        same_run(run, again)
+
+    def test_clear_memory_forces_disk_hit(self, tmp_path):
+        runner = Runner(cache=tmp_path / "cache")
+        runner.run("thing1", TINY)
+        runner.clear_memory()
+        runner.run("thing1", TINY)
+        assert runner.stats.disk_hits == 1
+        assert runner.stats.misses == 1
+
+    def test_clear_disk_reports_removed(self, tmp_path):
+        runner = Runner(cache=tmp_path / "cache")
+        runner.run(("thing1", "conundrum"), TINY)
+        assert runner.clear_disk() == 2
+        assert runner.clear_disk() == 0
+
+    def test_no_cache_runner_clear_disk_is_zero(self):
+        assert Runner().clear_disk() == 0
+
+    def test_stats_summary_format(self):
+        runner = Runner()
+        runner.run("thing1", TINY)
+        summary = runner.stats.summary()
+        assert "misses=1" in summary
+        assert "sim_seconds=" in summary
+
+
+class TestRunnerMetrics:
+    def test_counters_track_cache_outcomes(self, tmp_path):
+        registry = MetricsRegistry()
+        with installed(registry):
+            runner = Runner(cache=tmp_path / "cache")
+            runner.run("thing1", TINY)
+            runner.run("thing1", TINY)
+        snap = registry.snapshot()
+        misses = snap["repro_runner_cache_misses_total"]["samples"]
+        assert misses[0]["value"] == 1.0
+        hits = {
+            s["labels"]["layer"]: s["value"]
+            for s in snap["repro_runner_cache_hits_total"]["samples"]
+        }
+        assert hits["memory"] == 1.0
+        assert snap["repro_runner_jobs"]["samples"][0]["value"] == 1.0
+        hist = snap["repro_runner_host_seconds"]["samples"][0]
+        assert hist["labels"]["host"] == "thing1"
+        assert hist["count"] == 1
