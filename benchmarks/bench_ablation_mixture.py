@@ -23,10 +23,12 @@ def _scores(host: str, seed: int) -> dict[str, float]:
     run = default_runner().run_one(host, TestbedConfig(duration=HOURS6, seed=seed))
     values = run.values("load_average")
     scores = {}
+    # Fresh members, so the vectorized batch engine serves every score
+    # (bit-identical to streaming; see repro.core.batch).
     for member in default_battery():
-        f = forecast_series(values, member)
+        f = forecast_series(values, member, engine="batch")
         scores[member.name] = one_step_prediction_errors(f[1:], values[1:]).mae
-    f = forecast_series(values, AdaptiveForecaster())
+    f = forecast_series(values, AdaptiveForecaster(), engine="batch")
     scores["nws_adaptive"] = one_step_prediction_errors(f[1:], values[1:]).mae
     return scores
 

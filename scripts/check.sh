@@ -29,4 +29,8 @@ echo "==> runner speedup / cache benchmark"
 PYTHONPATH="src${PYTHONPATH:+:$PYTHONPATH}" python -m pytest -q -p no:cacheprovider \
     --benchmark-disable-gc benchmarks/bench_runner.py
 
+echo "==> forecast engine speedup / parity benchmark"
+PYTHONPATH="src${PYTHONPATH:+:$PYTHONPATH}" python -m pytest -q -p no:cacheprovider \
+    --benchmark-disable-gc benchmarks/bench_forecast.py
+
 echo "==> all checks passed"

@@ -151,19 +151,24 @@ def pox_plot_data(
 
     for d in _dyadic_lengths(n, min_segment):
         count = n // d
-        indices = np.arange(count)
+        segments = arr[: count * d].reshape(count, d)
         if max_segments_per_length is not None and count > max_segments_per_length:
             indices = np.linspace(0, count - 1, max_segments_per_length).astype(int)
-        segment_logs = []
-        segments = arr[: count * d].reshape(count, d)
-        for i in indices:
-            seg = segments[i]
-            if seg.std() == 0.0:
-                continue
-            segment_logs.append(np.log10(rs_statistic(seg)))
-        if not segment_logs:
+            segments = segments[indices]
+        # All segments of this length at once: row-wise R/S.  Constant
+        # segments (zero variance, common in idle-machine traces) are
+        # masked out, matching rs_statistic's refusal to divide by S = 0.
+        means = segments.mean(axis=1)
+        stds = segments.std(axis=1)
+        valid = stds != 0.0
+        if not np.any(valid):
             continue
-        logs = np.asarray(segment_logs)
+        segments = segments[valid]
+        walk = np.cumsum(segments - means[valid, None], axis=1)
+        # W_0 = 0 is part of the adjusted range by convention.
+        high = np.maximum(walk.max(axis=1), 0.0)
+        low = np.minimum(walk.min(axis=1), 0.0)
+        logs = np.log10((high - low) / stds[valid])
         xs.extend([np.log10(d)] * logs.size)
         ys.extend(logs.tolist())
         lengths_out.append(int(d))

@@ -12,11 +12,21 @@ subpackage reimplements that design:
   windows, exponential smoothing family, stochastic-gradient tracker).
 * :mod:`repro.core.mixture` -- the adaptive "best recent forecaster"
   mixture, plus a static bank for head-to-head comparisons.
+* :mod:`repro.core.batch` -- the vectorized whole-series backtesting
+  engine behind ``forecast_series(..., engine="batch")`` (bit-identical
+  to streaming, >= 10x faster on day-long traces).
 * :mod:`repro.core.errors` -- the error metrics of paper Equations 3-5.
 * :mod:`repro.core.predictor` -- a high-level facade tying sensing,
   aggregation and forecasting together.
 """
 
+from repro.core.batch import (
+    BatchUnsupported,
+    MixtureBacktest,
+    member_forecasts,
+    mixture_backtest,
+    supports_batch,
+)
 from repro.core.errors import (
     ErrorSummary,
     mean_absolute_error,
@@ -53,6 +63,8 @@ from repro.core.predictor import NWSPredictor
 
 __all__ = [
     "AR1Forecaster",
+    "BatchUnsupported",
+    "MixtureBacktest",
     "AdaptiveForecaster",
     "AdaptiveWindowMean",
     "AdaptiveWindowMedian",
@@ -78,6 +90,9 @@ __all__ = [
     "horizon_error_profile",
     "forecast_series",
     "mean_absolute_error",
+    "member_forecasts",
+    "mixture_backtest",
+    "supports_batch",
     "mean_squared_error",
     "measurement_errors",
     "one_step_prediction_errors",

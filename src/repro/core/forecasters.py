@@ -71,9 +71,15 @@ class Forecaster(ABC):
     def forecast(self) -> float:
         """Predict the next measurement."""
 
+    @abstractmethod
     def reset(self) -> None:
-        """Forget all state.  Default: re-run ``__init__`` parameters."""
-        raise NotImplementedError
+        """Forget all measurement state, keeping constructor parameters.
+
+        After ``reset()`` the instance must be indistinguishable from a
+        freshly constructed one: the same ``update``/``forecast`` sequence
+        produces bit-identical outputs (the round-trip contract the batch
+        engine and the runner's memoization both rely on).
+        """
 
     def __repr__(self) -> str:  # pragma: no cover - cosmetic
         return f"<{type(self).__name__} {self.name!r}>"
@@ -139,6 +145,10 @@ class SlidingMean(Forecaster):
         self._ring = RingMean(window)
         self.name = f"sliding_mean_{window}"
 
+    @property
+    def window(self) -> int:
+        return self._ring.capacity
+
     def update(self, value: float) -> None:
         self._ring.push(float(value))
 
@@ -159,6 +169,10 @@ class SlidingMedian(Forecaster):
     def __init__(self, window: int):
         self._ring = RingMedian(window)
         self.name = f"sliding_median_{window}"
+
+    @property
+    def window(self) -> int:
+        return self._ring.capacity
 
     def update(self, value: float) -> None:
         self._ring.push(float(value))
@@ -195,6 +209,14 @@ class TrimmedMeanWindow(Forecaster):
         self._trim = trim
         self.name = f"trimmed_mean_{window}_{trim}"
 
+    @property
+    def window(self) -> int:
+        return self._ring.capacity
+
+    @property
+    def trim(self) -> int:
+        return self._trim
+
     def update(self, value: float) -> None:
         self._ring.push(float(value))
 
@@ -215,9 +237,15 @@ class _AdaptiveWindowBase(Forecaster):
     forecast misses badly (short memory tracks level shifts).  "Badly" means
     an absolute error above ``tolerance`` (availability is in [0, 1], so the
     default 0.1 mirrors the paper's 10 %-is-useful threshold).
+
+    The estimate computed by :meth:`forecast` is cached until the next
+    :meth:`update`, which reuses it for the error check (the window state
+    is unchanged in between, so the value is identical); the battery's
+    update-then-forecast cadence therefore pays for one estimate per
+    measurement instead of two.
     """
 
-    __slots__ = ("_min", "_max", "_tolerance", "_shrink", "_window", "_history")
+    __slots__ = ("_min", "_max", "_tolerance", "_shrink", "_window", "_history", "_cached")
 
     def __init__(
         self,
@@ -239,28 +267,56 @@ class _AdaptiveWindowBase(Forecaster):
         self._shrink = float(shrink)
         self._window = self._min
         self._history: list[float] = []
+        self._cached: float | None = None
+
+    @property
+    def min_window(self) -> int:
+        return self._min
+
+    @property
+    def max_window(self) -> int:
+        return self._max
+
+    @property
+    def tolerance(self) -> float:
+        return self._tolerance
+
+    @property
+    def shrink(self) -> float:
+        return self._shrink
 
     def update(self, value: float) -> None:
         value = float(value)
         if self._history:
-            error = abs(self._estimate() - value)
+            estimate = self._cached
+            if estimate is None:
+                estimate = self._estimate()
+            error = abs(estimate - value)
             if error > self._tolerance:
                 self._window = max(self._min, int(self._window * self._shrink))
             elif self._window < self._max:
                 self._window += 1
         self._history.append(value)
+        self._on_append(value)
         # Bound memory: never keep more than max_window samples.
         if len(self._history) > self._max:
-            del self._history[: len(self._history) - self._max]
+            drop = len(self._history) - self._max
+            del self._history[:drop]
+            self._on_trim(drop)
+        self._cached = None
 
     def forecast(self) -> float:
         if not self._history:
             raise ValueError("no measurements yet")
-        return self._estimate()
+        if self._cached is None:
+            self._cached = self._estimate()
+        return self._cached
 
     def reset(self) -> None:
         self._window = self._min
         self._history.clear()
+        self._cached = None
+        self._on_reset()
 
     def _tail(self) -> list[float]:
         return self._history[-self._window :]
@@ -268,19 +324,45 @@ class _AdaptiveWindowBase(Forecaster):
     def _estimate(self) -> float:
         raise NotImplementedError
 
+    def _on_append(self, value: float) -> None:
+        """Subclass hook: a value was appended to the history."""
+
+    def _on_trim(self, dropped: int) -> None:
+        """Subclass hook: ``dropped`` oldest history entries were removed."""
+
+    def _on_reset(self) -> None:
+        """Subclass hook: all history was discarded."""
+
 
 class AdaptiveWindowMean(_AdaptiveWindowBase):
-    """Mean over a window whose length adapts to recent forecast error."""
+    """Mean over a window whose length adapts to recent forecast error.
 
-    __slots__ = ("name",)
+    The window mean is computed from running prefix sums (``_cum[k]`` is
+    the left-to-right sum of the first ``k`` retained-or-evicted samples),
+    so each estimate is O(1) and bit-identical to the
+    ``(cumsum[t] - cumsum[t - w]) / w`` form the batch engine vectorizes.
+    """
+
+    __slots__ = ("name", "_cum")
 
     def __init__(self, **kwargs):
         super().__init__(**kwargs)
+        self._cum: list[float] = [0.0]
         self.name = f"adaptive_mean_{self._min}_{self._max}"
 
+    def _on_append(self, value: float) -> None:
+        self._cum.append(self._cum[-1] + value)
+
+    def _on_trim(self, dropped: int) -> None:
+        del self._cum[:dropped]
+
+    def _on_reset(self) -> None:
+        self._cum = [0.0]
+
     def _estimate(self) -> float:
-        tail = self._tail()
-        return sum(tail) / len(tail)
+        n = len(self._history)
+        k = self._window if self._window < n else n
+        return (self._cum[-1] - self._cum[-1 - k]) / k
 
 
 class AdaptiveWindowMedian(_AdaptiveWindowBase):
@@ -323,6 +405,10 @@ class ExponentialSmoothing(Forecaster):
         self._state: float | None = None
         self.name = f"exp_smooth_{gain:g}"
 
+    @property
+    def gain(self) -> float:
+        return self._gain
+
     def update(self, value: float) -> None:
         value = float(value)
         if self._state is None:
@@ -362,6 +448,10 @@ class GradientTracker(Forecaster):
         self._step = float(step)
         self._state: float | None = None
         self.name = f"gradient_{step:g}"
+
+    @property
+    def step(self) -> float:
+        return self._step
 
     def update(self, value: float) -> None:
         value = float(value)

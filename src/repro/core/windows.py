@@ -19,27 +19,38 @@ __all__ = ["RingMean", "RingMedian", "RingTrimmedMean"]
 class RingMean:
     """Fixed-capacity sliding window maintaining its mean in O(1).
 
+    The window sum is kept in *prefix form*: ``_total`` is the running sum
+    of every value ever pushed and ``_base`` the running sum of every value
+    ever evicted, so the window sum is ``_total - _base``.  Both are built
+    by the same left-to-right additions as ``numpy.cumsum`` over the full
+    input, which makes the mean bit-identical to the vectorized
+    ``(cumsum[t] - cumsum[t - w]) / w`` used by :mod:`repro.core.batch` --
+    the streaming/batch parity contract hinges on this formulation.
+
     Parameters
     ----------
     capacity:
         Maximum number of retained samples (>= 1).
     """
 
-    __slots__ = ("_buffer", "_capacity", "_sum")
+    __slots__ = ("_buffer", "_capacity", "_total", "_base")
 
     def __init__(self, capacity: int):
         if capacity < 1:
             raise ValueError(f"capacity must be >= 1, got {capacity}")
         self._capacity = int(capacity)
         self._buffer: deque[float] = deque()
-        self._sum = 0.0
+        self._total = 0.0
+        self._base = 0.0
 
     def push(self, value: float) -> None:
         """Append ``value``, evicting the oldest sample if full."""
         self._buffer.append(value)
-        self._sum += value
+        self._total += value
         if len(self._buffer) > self._capacity:
-            self._sum -= self._buffer.popleft()
+            # Replaying the prefix sum keeps _base on the exact float
+            # trajectory _total took when the evicted value was pushed.
+            self._base += self._buffer.popleft()
 
     @property
     def capacity(self) -> int:
@@ -59,9 +70,10 @@ class RingMean:
         """
         if not self._buffer:
             raise ValueError("window is empty")
-        # Re-sum occasionally would guard against float drift; window sizes
-        # here are tiny so drift is bounded by ~w * eps * max|x|.
-        return self._sum / len(self._buffer)
+        # Prefix differences carry bounded drift (~n * eps * max|x| over
+        # the whole stream); availability values are O(1) so this stays
+        # far below forecast resolution even on week-long traces.
+        return (self._total - self._base) / len(self._buffer)
 
     def values(self) -> list[float]:
         """Retained samples, oldest first."""

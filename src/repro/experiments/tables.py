@@ -5,12 +5,15 @@ whose ``rows`` hold this reproduction's numbers and whose ``paper`` field
 holds the values published in the paper for side-by-side comparison.
 
 Every generator shares one uniform signature, ``tableN(runner=None,
-config=None, *, seed=7, duration=DAY)``: simulations flow through a
-:class:`repro.runner.Runner` (the process-wide default when none is
-given), so Tables 1-5 share one 24-hour testbed run, Table 6 derives its
-medium-term variant (5-minute test process hourly) from the same base
+config=None, *, seed=7, duration=DAY, engine="auto")``: simulations flow
+through a :class:`repro.runner.Runner` (the process-wide default when none
+is given), so Tables 1-5 share one 24-hour testbed run, Table 6 derives
+its medium-term variant (5-minute test process hourly) from the same base
 config via :meth:`TestbedConfig.derive`, and a parallel or disk-cached
-runner accelerates every table at once.
+runner accelerates every table at once.  ``engine`` selects the
+:func:`~repro.core.mixture.forecast_series` backtesting engine
+(``"auto"``/``"batch"``/``"stream"`` -- bit-identical outputs either way;
+Tables 1 and 4 accept it for uniformity but compute no forecasts).
 """
 
 from __future__ import annotations
@@ -121,7 +124,9 @@ def _paper_rows(table: dict, fmt=lambda v: f"{v:.1f}%") -> list[list]:
     return rows
 
 
-def _forecasts_for_observations(run: HostRun, method: str) -> tuple[np.ndarray, np.ndarray]:
+def _forecasts_for_observations(
+    run: HostRun, method: str, *, engine: str = "auto"
+) -> tuple[np.ndarray, np.ndarray]:
     """One-step-ahead NWS forecasts aligned with each test observation.
 
     For a test process starting at time T, the relevant forecast is the one
@@ -131,7 +136,7 @@ def _forecasts_for_observations(run: HostRun, method: str) -> tuple[np.ndarray, 
     are dropped -- the matching truth array is returned alongside.
     """
     series = run.series[method]
-    f = forecast_series(series.values)
+    f = forecast_series(series.values, engine=engine)
     forecasts, truths = [], []
     for obs in run.observations:
         i = int(np.searchsorted(series.times, obs.start_time, side="right")) - 1
@@ -144,7 +149,12 @@ def _forecasts_for_observations(run: HostRun, method: str) -> tuple[np.ndarray, 
 
 
 def table1(
-    runner=None, config: TestbedConfig | None = None, *, seed: int = 7, duration: float = DAY
+    runner=None,
+    config: TestbedConfig | None = None,
+    *,
+    seed: int = 7,
+    duration: float = DAY,
+    engine: str = "auto",
 ) -> TableResult:
     """Mean absolute measurement errors (24-hour period).
 
@@ -171,7 +181,12 @@ def table1(
 
 
 def table2(
-    runner=None, config: TestbedConfig | None = None, *, seed: int = 7, duration: float = DAY
+    runner=None,
+    config: TestbedConfig | None = None,
+    *,
+    seed: int = 7,
+    duration: float = DAY,
+    engine: str = "auto",
 ) -> TableResult:
     """Mean true forecasting errors, with measurement errors in parens.
 
@@ -185,7 +200,7 @@ def table2(
         truth_all = run.observed()
         row = [run.host]
         for method in METHODS:
-            forecasts, truths = _forecasts_for_observations(run, method)
+            forecasts, truths = _forecasts_for_observations(run, method, engine=engine)
             true_err = 100 * np.abs(forecasts - truths).mean()
             pre = run.premeasurements(method)
             meas_err = 100 * np.abs(pre - truth_all).mean()
@@ -208,7 +223,12 @@ def table2(
 
 
 def table3(
-    runner=None, config: TestbedConfig | None = None, *, seed: int = 7, duration: float = DAY
+    runner=None,
+    config: TestbedConfig | None = None,
+    *,
+    seed: int = 7,
+    duration: float = DAY,
+    engine: str = "auto",
 ) -> TableResult:
     """Mean absolute one-step-ahead prediction errors.
 
@@ -222,7 +242,7 @@ def table3(
         row = [run.host]
         for method in METHODS:
             values = run.values(method)
-            f = forecast_series(values)
+            f = forecast_series(values, engine=engine)
             row.append(f"{100 * np.abs(f[1:] - values[1:]).mean():.1f}%")
         rows.append(row)
     return TableResult(
@@ -235,7 +255,12 @@ def table3(
 
 
 def table4(
-    runner=None, config: TestbedConfig | None = None, *, seed: int = 7, duration: float = DAY
+    runner=None,
+    config: TestbedConfig | None = None,
+    *,
+    seed: int = 7,
+    duration: float = DAY,
+    engine: str = "auto",
 ) -> TableResult:
     """Hurst estimate and variance of original vs 5-minute-averaged series.
 
@@ -274,7 +299,12 @@ def table4(
 
 
 def table5(
-    runner=None, config: TestbedConfig | None = None, *, seed: int = 7, duration: float = DAY
+    runner=None,
+    config: TestbedConfig | None = None,
+    *,
+    seed: int = 7,
+    duration: float = DAY,
+    engine: str = "auto",
 ) -> TableResult:
     """One-step-ahead prediction errors for 5-minute aggregated series.
 
@@ -289,10 +319,10 @@ def table5(
         row = [run.host]
         for method in METHODS:
             values = run.values(method)
-            f = forecast_series(values)
+            f = forecast_series(values, engine=engine)
             err_orig = 100 * np.abs(f[1:] - values[1:]).mean()
             agg = aggregate_series(values, AGG)
-            fa = forecast_series(agg)
+            fa = forecast_series(agg, engine=engine)
             err_agg = 100 * np.abs(fa[1:] - agg[1:]).mean()
             star = "*" if err_agg < err_orig else ""
             row.append(f"{star}{err_agg:.1f}% ({err_orig:.1f}%)")
@@ -311,7 +341,12 @@ def table5(
 
 
 def table6(
-    runner=None, config: TestbedConfig | None = None, *, seed: int = 7, duration: float = DAY
+    runner=None,
+    config: TestbedConfig | None = None,
+    *,
+    seed: int = 7,
+    duration: float = DAY,
+    engine: str = "auto",
 ) -> TableResult:
     """Mean true forecasting errors for 5-minute average CPU availability.
 
@@ -331,7 +366,7 @@ def table6(
             agg_values = aggregate_series(series.values, AGG)
             blocks = agg_values.size
             agg_times = series.times[: blocks * AGG].reshape(blocks, AGG)[:, -1]
-            f = forecast_series(agg_values)
+            f = forecast_series(agg_values, engine=engine)
             forecasts, truths = [], []
             for obs in run.observations:
                 i = int(np.searchsorted(agg_times, obs.start_time, side="right")) - 1

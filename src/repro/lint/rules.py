@@ -43,6 +43,13 @@ paper's results depend on:
     content-addressed on-disk cache and parallel execution.  Importing
     or calling ``run_host`` directly (outside ``repro.runner`` and the
     deprecated shims themselves) silently bypasses all three.
+``VEC001``
+    Backtesting discipline: experiment code replays whole series, so it
+    must go through :func:`repro.core.mixture.forecast_series` (which
+    dispatches to the vectorized batch engine) rather than hand-rolling
+    a :class:`~repro.core.mixture.ForecasterBank` or per-sample
+    update/forecast loops -- those silently fall back to the slow
+    streaming path and skip the ``repro_forecast_*`` telemetry.
 """
 
 from __future__ import annotations
@@ -62,6 +69,7 @@ __all__ = [
     "SwallowedErrorRule",
     "ObservabilityRule",
     "CacheBypassRule",
+    "VectorizedBacktestRule",
 ]
 
 
@@ -676,4 +684,80 @@ class CacheBypassRule(Rule):
                         self.rule_id,
                         f"{full}() bypasses the runner's memo, disk cache "
                         "and parallelism; use repro.runner.Runner.run instead",
+                    )
+
+
+# --------------------------------------------------------------------------
+# VEC001 -- vectorized backtesting discipline in experiments
+# --------------------------------------------------------------------------
+
+#: Modules that export ForecasterBank (what an experiment would import).
+_BANK_HOMES = ("repro.core.mixture", "repro.core")
+
+
+def _loop_method_receivers(loop: ast.AST, method: str) -> set[str]:
+    """Names ``x`` for which ``x.<method>(...)`` is called inside ``loop``."""
+    receivers: set[str] = set()
+    for node in ast.walk(loop):
+        if (
+            isinstance(node, ast.Call)
+            and isinstance(node.func, ast.Attribute)
+            and node.func.attr == method
+            and isinstance(node.func.value, ast.Name)
+        ):
+            receivers.add(node.func.value.id)
+    return receivers
+
+
+@register
+class VectorizedBacktestRule(Rule):
+    rule_id = "VEC001"
+    title = "experiments backtest via forecast_series, not hand-rolled loops"
+    rationale = (
+        "forecast_series dispatches to the vectorized batch engine "
+        "(bit-identical, >= 10x faster) and records repro_forecast_* "
+        "telemetry; a hand-rolled ForecasterBank update/forecast loop "
+        "gets neither"
+    )
+    scope = ("repro.experiments",)
+
+    def check(self, ctx: ModuleContext) -> Iterator[Finding]:
+        aliases = _import_aliases(ctx.tree)
+        for node in ast.walk(ctx.tree):
+            if (
+                isinstance(node, ast.ImportFrom)
+                and node.level == 0
+                and node.module in _BANK_HOMES
+            ):
+                for name in node.names:
+                    if name.name == "ForecasterBank":
+                        yield ctx.finding(
+                            node,
+                            self.rule_id,
+                            "experiments must not drive a ForecasterBank "
+                            "by hand; replay the series through "
+                            "forecast_series instead",
+                        )
+            elif isinstance(node, ast.Call):
+                dotted = _dotted(node.func)
+                if dotted is None or "." not in dotted:
+                    continue  # a bare ForecasterBank() is caught at import
+                full = _resolve(dotted, aliases)
+                if full in tuple(f"{home}.ForecasterBank" for home in _BANK_HOMES):
+                    yield ctx.finding(
+                        node,
+                        self.rule_id,
+                        f"{full}() hand-rolls the mixture; replay the "
+                        "series through forecast_series instead",
+                    )
+            elif isinstance(node, (ast.For, ast.While)):
+                updated = _loop_method_receivers(node, "update")
+                forecasted = _loop_method_receivers(node, "forecast")
+                for receiver in sorted(updated & forecasted):
+                    yield ctx.finding(
+                        node,
+                        self.rule_id,
+                        f"per-sample {receiver}.update()/.forecast() loop "
+                        "re-implements the streaming backtest; use "
+                        "forecast_series (batch engine) instead",
                     )

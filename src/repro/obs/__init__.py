@@ -78,6 +78,15 @@ Forecasters (``repro.core`` / ``repro.nws.forecaster``):
   per served series.
 * ``repro_forecaster_queries_total`` (counter) -- forecast queries served.
 
+Forecast backtesting engine (``repro.core.mixture.forecast_series`` /
+``repro.core.batch``):
+
+* ``repro_forecast_engine_total`` (counter; label ``engine`` in
+  ``batch|stream``) -- which engine served each whole-series backtest.
+* ``repro_forecast_seconds`` (histogram; label ``engine``) -- wall time
+  per ``forecast_series`` call, per engine (the only wall-clock metric in
+  ``repro.core``; it never feeds results, so determinism holds).
+
 Memory (``repro.nws.memory``):
 
 * ``repro_memory_publishes_total`` (counter; label ``series``).

@@ -1,0 +1,203 @@
+"""Streaming/batch parity for the vectorized backtesting engine.
+
+The contract under test is *bit-identity*: ``forecast_series(values,
+engine="batch")`` must return exactly the floats the streaming path
+returns -- per battery member and for the full mixture -- on every trace
+shape the testbed produces.  Comparisons therefore use
+``np.array_equal(..., equal_nan=True)``, never ``approx``.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.core.batch import (
+    BatchUnsupported,
+    member_forecasts,
+    mixture_backtest,
+    supports_batch,
+)
+from repro.core.extra_forecasters import AR1Forecaster, extended_battery
+from repro.core.forecasters import (
+    LastValue,
+    SlidingMedian,
+    default_battery,
+)
+from repro.core.mixture import AdaptiveForecaster, ForecasterBank, forecast_series
+
+RNG = np.random.default_rng(20260806)
+
+
+def _traces() -> dict[str, np.ndarray]:
+    """Seeded trace shapes: smooth, noisy, bursty, constant, and edges.
+
+    Edge lengths bracket every battery window: 1 and 2 (degenerate), the
+    largest sliding window +/- 1 (41 +/- 1), and the adaptive maximum
+    +/- 1 (100 +/- 1) plus the mixture scoring window boundary (50, 51).
+    """
+    out = {
+        "uniform": RNG.uniform(0.0, 1.0, 1500),
+        "bursty": np.clip(
+            np.concatenate(
+                [RNG.uniform(0.8, 1.0, 700), RNG.uniform(0.0, 0.3, 800)]
+            )
+            + RNG.normal(0.0, 0.05, 1500),
+            0.0,
+            1.0,
+        ),
+        "smooth": np.clip(
+            0.6
+            + 0.3 * np.sin(np.linspace(0.0, 20.0, 1500))
+            + RNG.normal(0.0, 0.02, 1500),
+            0.0,
+            1.0,
+        ),
+        "constant": np.full(400, 0.7),
+        "ties": np.tile([0.25, 0.75], 300),
+    }
+    for n in (1, 2, 4, 5, 6, 40, 41, 42, 49, 50, 51, 99, 100, 101):
+        out[f"len{n}"] = RNG.uniform(0.0, 1.0, n)
+    return out
+
+
+TRACES = _traces()
+
+
+def _assert_identical(a: np.ndarray, b: np.ndarray, label: str) -> None:
+    assert np.array_equal(a, b, equal_nan=True), label
+
+
+class TestMemberParity:
+    @pytest.mark.parametrize("trace", sorted(TRACES), ids=str)
+    def test_every_default_member_bit_identical(self, trace):
+        values = TRACES[trace]
+        for stream_member, batch_member in zip(default_battery(), default_battery()):
+            expected = forecast_series(values, stream_member, engine="stream")
+            got = forecast_series(values, batch_member, engine="batch")
+            _assert_identical(expected, got, f"{batch_member.name} on {trace}")
+
+    def test_member_forecasts_leaves_instance_untouched(self):
+        member = SlidingMedian(5)
+        member_forecasts(member, TRACES["uniform"])
+        with pytest.raises(ValueError):
+            member.forecast()  # still fresh: no measurements absorbed
+
+    def test_supports_batch_covers_default_battery_only(self):
+        assert all(supports_batch(m) for m in default_battery())
+        assert not supports_batch(AR1Forecaster())
+        assert not all(supports_batch(m) for m in extended_battery())
+
+
+class TestMixtureParity:
+    @pytest.mark.parametrize("trace", sorted(TRACES), ids=str)
+    def test_mixture_bit_identical(self, trace):
+        values = TRACES[trace]
+        expected = forecast_series(values, engine="stream")
+        got = forecast_series(values, engine="batch")
+        _assert_identical(expected, got, f"mixture on {trace}")
+
+    def test_winner_sequence_matches_streaming_bank(self):
+        values = TRACES["bursty"]
+        bank = ForecasterBank()
+        winners = [-1]
+        bank.update(values[0])
+        for v in values[1:]:
+            winners.append(bank.names.index(bank.best_name()))
+            bank.update(v)
+        result = mixture_backtest(values, default_battery())
+        assert result.names == tuple(bank.names)
+        assert result.winners.tolist() == winners
+        assert result.n_switches == len(bank.switch_events)
+
+    def test_auto_defaults_to_batch_for_default_mixture(self):
+        values = TRACES["smooth"]
+        _assert_identical(
+            forecast_series(values),
+            forecast_series(values, engine="batch"),
+            "auto vs batch",
+        )
+
+    def test_auto_streams_when_instance_passed(self):
+        model = AdaptiveForecaster()
+        forecast_series(TRACES["len50"], model)
+        # Streaming semantics: the instance absorbed the series.
+        assert model.bank.n_updates == TRACES["len50"].size
+
+    def test_custom_error_window_honoured(self):
+        values = TRACES["uniform"]
+        expected = forecast_series(
+            values, AdaptiveForecaster(error_window=7), engine="stream"
+        )
+        got = forecast_series(
+            values, AdaptiveForecaster(error_window=7), engine="batch"
+        )
+        _assert_identical(expected, got, "error_window=7")
+
+
+class TestEngineDispatch:
+    def test_unknown_engine_rejected(self):
+        with pytest.raises(ValueError, match="engine"):
+            forecast_series([0.1, 0.2], engine="turbo")
+
+    def test_batch_rejects_unsupported_forecaster(self):
+        with pytest.raises(BatchUnsupported):
+            forecast_series(TRACES["len5"], AR1Forecaster(), engine="batch")
+
+    def test_batch_rejects_used_member(self):
+        member = LastValue()
+        member.update(0.5)
+        with pytest.raises(BatchUnsupported, match="absorbed"):
+            forecast_series(TRACES["len5"], member, engine="batch")
+
+    def test_batch_rejects_used_mixture(self):
+        model = AdaptiveForecaster()
+        model.update(0.5)
+        with pytest.raises(BatchUnsupported, match="absorbed"):
+            forecast_series(TRACES["len5"], model, engine="batch")
+
+    def test_stream_accepts_anything(self):
+        out = forecast_series(TRACES["len5"], AR1Forecaster(), engine="stream")
+        assert out.size == 5
+
+    def test_batch_does_not_mutate_mixture(self):
+        model = AdaptiveForecaster()
+        forecast_series(TRACES["len50"], model, engine="batch")
+        assert model.bank.n_updates == 0
+
+    def test_validation_precedes_dispatch(self):
+        for bad in ([], [[0.1, 0.2]], [0.1, np.nan]):
+            with pytest.raises(ValueError):
+                forecast_series(bad, engine="batch")
+
+
+class TestResetRoundTrip:
+    """reset() must be equivalent to a fresh instance, battery-wide."""
+
+    @pytest.mark.parametrize(
+        "battery", [default_battery, extended_battery], ids=["default", "extended"]
+    )
+    def test_reset_equals_fresh(self, battery):
+        values = RNG.uniform(0.0, 1.0, 300)
+        probe = RNG.uniform(0.0, 1.0, 120)
+        for used, fresh in zip(battery(), battery()):
+            for v in values:
+                used.update(v)
+            used.reset()
+            with pytest.raises(ValueError):
+                used.forecast()  # nothing absorbed after reset
+            for v in probe:
+                used.update(v)
+                fresh.update(v)
+                assert used.forecast() == fresh.forecast(), used.name
+
+    def test_adaptive_forecaster_reset_round_trip(self):
+        values = RNG.uniform(0.0, 1.0, 200)
+        used = AdaptiveForecaster()
+        forecast_series(values, used, engine="stream")
+        used.reset()
+        _assert_identical(
+            forecast_series(values, used, engine="stream"),
+            forecast_series(values, engine="stream"),
+            "reset mixture vs fresh mixture",
+        )

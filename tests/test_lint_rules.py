@@ -447,6 +447,68 @@ class TestCacheBypass:
 
 
 # -----------------------------------------------------------------------
+# VEC001 -- vectorized backtesting discipline
+# -----------------------------------------------------------------------
+
+class TestVectorizedBacktest:
+    def test_bank_import_flagged_in_experiments(self):
+        src = """
+        from repro.core.mixture import ForecasterBank
+        """
+        assert rule_ids(src, module="repro.experiments.fake") == ["VEC001"]
+
+    def test_bank_package_import_flagged(self):
+        src = """
+        from repro.core import ForecasterBank
+        """
+        assert rule_ids(src, module="repro.experiments.fake") == ["VEC001"]
+
+    def test_bank_attribute_construction_flagged(self):
+        src = """
+        import repro.core.mixture as mix
+
+        def backtest(values):
+            return mix.ForecasterBank()
+        """
+        assert rule_ids(src, module="repro.experiments.fake") == ["VEC001"]
+
+    def test_hand_rolled_update_forecast_loop_flagged(self):
+        src = """
+        def backtest(model, values):
+            out = []
+            for v in values[1:]:
+                out.append(model.forecast())
+                model.update(v)
+            return out
+        """
+        assert rule_ids(src, module="repro.experiments.fake") == ["VEC001"]
+
+    def test_update_only_loop_silent(self):
+        src = """
+        def warm(model, values):
+            for v in values:
+                model.update(v)
+        """
+        assert rule_ids(src, module="repro.experiments.fake") == []
+
+    def test_forecast_series_use_silent(self):
+        src = """
+        from repro.core.mixture import forecast_series
+
+        def backtest(values):
+            return forecast_series(values, engine="batch")
+        """
+        assert rule_ids(src, module="repro.experiments.fake") == []
+
+    def test_out_of_scope_module_silent(self):
+        src = """
+        from repro.core.mixture import ForecasterBank
+        """
+        assert rule_ids(src, module="repro.core.fake") == []
+        assert rule_ids(src, module="benchmarks.fake") == []
+
+
+# -----------------------------------------------------------------------
 # Suppressions, selection, parse errors
 # -----------------------------------------------------------------------
 
