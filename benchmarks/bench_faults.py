@@ -1,0 +1,69 @@
+"""Benchmark guard: the fault-injection layer is free when unused.
+
+The fault hooks live on the sensor-host publish path, which runs once per
+measurement round on every monitored host.  The contract: constructing an
+:class:`~repro.nws.system.NWSSystem` *without* a fault plan must follow
+the exact pre-faults fast path, and attaching a plan with no clauses for
+a host compiles to no injector at all (``NWSSystem`` skips hosts the plan
+never touches), so it may cost at most 5% more wall time than no plan --
+chaos tooling must not tax fault-free paper runs.
+
+Comparative timings use min-of-N CPU time, same rationale as
+``bench_obs``: contention only ever adds time, so the minimum is the
+least noisy estimator.
+"""
+
+from __future__ import annotations
+
+import time
+
+from benchmarks.conftest import run_once
+from repro.faults import FaultPlan
+from repro.nws import NWSSystem
+
+#: Simulated span per run; long enough that timing noise is a small
+#: fraction of the measured wall time (a sub-25 ms run drowns in
+#: scheduler jitter, so use three simulated hours).
+SIM_SECONDS = 10800.0
+
+#: Allowed empty-plan-over-no-plan wall-time ratio.
+MAX_OVERHEAD = 1.05
+
+
+def _run_no_plan() -> None:
+    system = NWSSystem(["thing1"], seed=5)
+    system.advance(SIM_SECONDS)
+
+
+def _run_empty_plan() -> None:
+    system = NWSSystem(["thing1"], seed=5, fault_plan=FaultPlan(name="empty"))
+    system.advance(SIM_SECONDS)
+
+
+def _timed(fn) -> float:
+    # CPU time, not wall time: scheduling noise on a time-shared runner
+    # easily exceeds the 5% budget by itself.
+    start = time.process_time()
+    fn()
+    return time.process_time() - start
+
+
+def test_bench_fault_layer_overhead(benchmark):
+    _run_no_plan()  # warm imports and caches outside the timed rounds
+    _run_empty_plan()
+    # Interleave the rounds so CPU-frequency drift and background load
+    # hit both variants alike instead of biasing whichever ran last.
+    no_plan_time = float("inf")
+    empty_plan_time = float("inf")
+    for _ in range(9):
+        no_plan_time = min(no_plan_time, _timed(_run_no_plan))
+        empty_plan_time = min(empty_plan_time, _timed(_run_empty_plan))
+    run_once(benchmark, _run_empty_plan)
+
+    ratio = empty_plan_time / no_plan_time
+    assert ratio < MAX_OVERHEAD, (
+        f"empty-plan run took {empty_plan_time * 1e3:.1f} ms vs "
+        f"{no_plan_time * 1e3:.1f} ms without a plan "
+        f"({(ratio - 1) * 100:.1f}% overhead, "
+        f"budget {(MAX_OVERHEAD - 1) * 100:.0f}%)"
+    )

@@ -23,8 +23,11 @@ from repro.nws import NWSSystem
 from repro.obs import NULL_REGISTRY, MetricsRegistry, Tracer, installed, traced
 
 #: Simulated span per run; long enough that timing noise is a small
-#: fraction of the measured wall time.
-SIM_SECONDS = 3600.0
+#: fraction of the measured wall time.  Three simulated hours rather than
+#: one: the sensor publish path got cheaper (buffered rounds instead of
+#: repeated series rebuilds), and a sub-25 ms run drowns the ~1 ms true
+#: instrumentation cost in scheduler jitter.
+SIM_SECONDS = 10800.0
 
 #: Allowed instrumented-over-null wall-time ratio.
 MAX_OVERHEAD = 1.05

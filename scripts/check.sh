@@ -33,4 +33,8 @@ echo "==> forecast engine speedup / parity benchmark"
 PYTHONPATH="src${PYTHONPATH:+:$PYTHONPATH}" python -m pytest -q -p no:cacheprovider \
     --benchmark-disable-gc benchmarks/bench_forecast.py
 
+echo "==> fault-injection layer overhead benchmark"
+PYTHONPATH="src${PYTHONPATH:+:$PYTHONPATH}" python -m pytest -q -p no:cacheprovider \
+    --benchmark-disable-gc benchmarks/bench_faults.py
+
 echo "==> all checks passed"

@@ -33,6 +33,12 @@ go to stderr so stdout stays byte-stable.
     Run the domain-aware static-analysis pass (determinism, unit safety,
     forecaster protocol, ...) over the given files or directories.
     Exits 1 when unsuppressed findings remain, 2 on unknown rule ids.
+``nws-repro chaos [--plan NAME] [--seed S] [--duration SEC] [--jobs N]``
+    Replay the testbed under a named fault plan (``--list-plans`` shows
+    them) against a fault-free baseline and report per-host
+    prediction-error inflation plus every injected / absorbed / failed
+    fault event.  Output is byte-identical for a given seed + plan,
+    regardless of ``--jobs``.
 """
 
 from __future__ import annotations
@@ -182,6 +188,39 @@ def build_parser() -> argparse.ArgumentParser:
     )
     _add_engine_arg(p_report)
     _add_runner_args(p_report)
+
+    p_chaos = sub.add_parser(
+        "chaos", help="replay the testbed under a fault plan, report error inflation"
+    )
+    p_chaos.add_argument(
+        "--plan",
+        type=str,
+        default="dropout10-crash",
+        help="named fault plan (see --list-plans; default: dropout10-crash)",
+    )
+    p_chaos.add_argument(
+        "--list-plans", action="store_true", help="list built-in fault plans and exit"
+    )
+    p_chaos.add_argument("--seed", type=int, default=7)
+    p_chaos.add_argument(
+        "--duration", type=float, default=3600.0, help="simulated seconds per host"
+    )
+    p_chaos.add_argument(
+        "--step", type=float, default=60.0, help="seconds between forecast queries"
+    )
+    p_chaos.add_argument(
+        "--hosts",
+        type=str,
+        default="all",
+        help="comma-separated testbed hosts, or 'all' (default)",
+    )
+    p_chaos.add_argument(
+        "--jobs",
+        type=int,
+        default=1,
+        metavar="N",
+        help="worker processes (one per host; output identical to --jobs 1)",
+    )
 
     p_lint = sub.add_parser(
         "lint", help="domain-aware static analysis (determinism, units, protocol)"
@@ -503,6 +542,33 @@ def _cmd_lint(args) -> int:
     return result.exit_code
 
 
+def _cmd_chaos(args) -> int:
+    from repro.experiments.chaos import run_chaos
+    from repro.faults import named_plan, named_plans
+
+    if args.list_plans:
+        for name, plan in named_plans().items():
+            print(f"{name}: {plan.describe()}")
+        return 0
+
+    try:
+        plan = named_plan(args.plan)
+    except KeyError as exc:
+        print(f"nws-repro chaos: {exc.args[0]}", file=sys.stderr)
+        return 2
+    hosts = None if args.hosts == "all" else _split_rule_args([args.hosts])
+    report = run_chaos(
+        plan,
+        profiles=hosts,
+        seed=args.seed,
+        duration=args.duration,
+        step=args.step,
+        jobs=args.jobs,
+    )
+    print(report.render(), end="")
+    return 0
+
+
 def main(argv: list[str] | None = None) -> int:
     """CLI entry point; returns the process exit code."""
     args = build_parser().parse_args(argv)
@@ -515,6 +581,7 @@ def main(argv: list[str] | None = None) -> int:
         "sched-demo": _cmd_sched_demo,
         "report": _cmd_report,
         "lint": _cmd_lint,
+        "chaos": _cmd_chaos,
     }
     return handlers[args.command](args)
 

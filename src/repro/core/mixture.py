@@ -72,6 +72,7 @@ class ForecasterBank:
         # update, where the rings are already hot.
         self._cum_abs = [0.0 for _ in self._forecasters]
         self._n_scored = 0
+        self._n_gaps = 0
         self._wins = [0 for _ in self._forecasters]
         self._best = 0
         self._switches: list[tuple[int, str, str]] = []
@@ -89,16 +90,30 @@ class ForecasterBank:
 
     @property
     def n_updates(self) -> int:
-        """Number of measurements absorbed so far."""
+        """Number of measurements absorbed so far (gaps excluded)."""
         return self._count
+
+    @property
+    def n_gaps(self) -> int:
+        """NaN measurements skipped so far (dropped sensor readings)."""
+        return self._n_gaps
 
     def update(self, value: float) -> None:
         """Absorb a measurement: score pending forecasts, then refit.
 
         The scoring happens *before* the forecasters see the new value, so
         each error is an honest out-of-sample one-step-ahead error.
+
+        A NaN value marks a *gap* -- a reading that was lost in flight --
+        and is skipped entirely: no member sees it, nothing is scored,
+        pending forecasts are held.  The next finite value is forecast
+        from the state as of the last finite one (hold-last /
+        skip-update; the batch engine mirrors this exactly).
         """
         value = float(value)
+        if value != value:
+            self._n_gaps += 1
+            return
         scored = self._pending is not None
         if scored:
             for i, (ring, predicted) in enumerate(zip(self._errors, self._pending)):
@@ -338,6 +353,46 @@ def _batch_plan(forecaster: Forecaster | None):
     return lambda arr: member_forecasts(forecaster, arr)
 
 
+def _stream_gapped(model: Forecaster, arr: np.ndarray) -> np.ndarray:
+    """Streaming engine over a NaN-gapped series (hold-last / skip-update).
+
+    ``out[t]`` is the forecast made from the *finite prefix* of
+    ``values[:t]``; NaN updates are skipped, and the output stays NaN
+    until the model has absorbed at least one finite measurement.
+    """
+    out = np.full(arr.size, np.nan)
+    seen = 0
+    for t in range(arr.size):
+        if t and seen:
+            out[t] = model.forecast()
+        v = arr[t]
+        if v == v:
+            model.update(v)
+            seen += 1
+    return out
+
+
+def _batch_gapped(plan, arr: np.ndarray, finite: np.ndarray) -> np.ndarray:
+    """Batch engine over a NaN-gapped series, bit-identical to streaming.
+
+    Gap compression: run the kernel over the finite subsequence ``comp``,
+    then scatter ``out[t] = F[k_t]`` where ``k_t`` counts finite values
+    before ``t`` -- the forecast state at ``t`` is exactly the finite
+    prefix, which *is* the hold-last / skip-update semantics of the
+    streaming path.  A trailing NaN needs ``F[m]`` (the forecast after
+    *all* finite values), and kernels only emit forecasts made before
+    their last input, so one dummy value is appended; ``F[m]`` provably
+    never depends on it (``F[j]`` is a function of ``values[:j]`` alone).
+    """
+    comp = arr[finite]
+    if comp.size == 0:
+        return np.full(arr.size, np.nan)
+    run = comp if finite[-1] else np.append(comp, comp[-1])
+    forecasts = plan(run)
+    k = np.cumsum(finite) - finite
+    return forecasts[k]
+
+
 def forecast_series(
     values,
     forecaster: Forecaster | None = None,
@@ -350,10 +405,17 @@ def forecast_series(
     ``values[:t]``; ``result[0]`` is NaN (nothing to forecast from), so
     error metrics should be computed over ``result[1:]`` vs ``values[1:]``.
 
+    NaN entries mark *gaps* (readings lost in flight -- see
+    :mod:`repro.faults`): the forecaster skips them without updating, so
+    ``result[t]`` is the forecast from the finite prefix of
+    ``values[:t]``, NaN until the first finite value has been seen.  Both
+    engines implement this identically (bit-for-bit); infinite entries
+    are still rejected.
+
     Parameters
     ----------
     values:
-        1-D array-like of measurements.
+        1-D array-like of measurements (NaN = gap).
     forecaster:
         Any :class:`Forecaster`; defaults to a fresh
         :class:`AdaptiveForecaster` with the default battery.
@@ -376,8 +438,10 @@ def forecast_series(
     arr = np.asarray(values, dtype=np.float64)
     if arr.ndim != 1 or arr.size == 0:
         raise ValueError("values must be a non-empty 1-D array")
-    if not np.all(np.isfinite(arr)):
-        raise ValueError("values contains non-finite entries")
+    finite = np.isfinite(arr)
+    gapped = not finite.all()
+    if gapped and np.isinf(arr).any():
+        raise ValueError("values contains infinite entries")
     if engine not in ("auto", "batch", "stream"):
         raise ValueError(
             f"engine must be 'auto', 'batch' or 'stream', got {engine!r}"
@@ -388,8 +452,18 @@ def forecast_series(
     chosen = "batch" if plan is not None else "stream"
     registry = get_registry()
     registry.counter("repro_forecast_engine_total", engine=chosen).inc()
+    if gapped:
+        registry.counter("repro_forecast_gap_steps_total").inc(
+            int(arr.size - np.count_nonzero(finite))
+        )
     start = time.perf_counter()  # lint: ignore[DET001] -- engine telemetry only, never feeds results
-    if plan is not None:
+    if gapped:
+        if plan is not None:
+            out = _batch_gapped(plan, arr, finite)
+        else:
+            model = forecaster if forecaster is not None else AdaptiveForecaster()
+            out = _stream_gapped(model, arr)
+    elif plan is not None:
         out = plan(arr)
     else:
         model = forecaster if forecaster is not None else AdaptiveForecaster()

@@ -8,6 +8,8 @@
 * :mod:`repro.experiments.figures` -- ``figure1()`` .. ``figure4()``.
 * :mod:`repro.experiments.results` -- result containers with formatting.
 * :mod:`repro.experiments.smp` -- the SMP extension study and sweep.
+* :mod:`repro.experiments.chaos` -- fault-plan replays of the testbed
+  against a fault-free baseline (``nws-repro chaos``).
 
 Execution goes through :class:`repro.runner.Runner` (parallel workers +
 content-addressed on-disk cache); table/figure generators all share the
@@ -19,6 +21,7 @@ Every entry point takes ``seed`` and duration parameters and is
 deterministic given them.
 """
 
+from repro.experiments.chaos import ChaosReport, HostChaos, run_chaos
 from repro.experiments.results import FigureResult, TableResult
 from repro.experiments.tables import table1, table2, table3, table4, table5, table6
 from repro.experiments.figures import figure1, figure2, figure3, figure4
@@ -33,7 +36,9 @@ from repro.experiments.testbed import (
 )
 
 __all__ = [
+    "ChaosReport",
     "FigureResult",
+    "HostChaos",
     "HostRun",
     "SmpResult",
     "TableResult",
@@ -44,6 +49,7 @@ __all__ = [
     "figure2",
     "figure3",
     "figure4",
+    "run_chaos",
     "run_host",
     "simulate_host",
     "smp_study",

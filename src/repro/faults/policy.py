@@ -1,0 +1,174 @@
+"""Bounded, seeded retry policies.
+
+Ad-hoc retry loops are how distributed systems hide failures: they spin
+forever, sleep off the simulated clock, and leave no trace of how often
+they fired.  :class:`RetryPolicy` is the one sanctioned way to retry in
+the service layer (lint rule FAULT001 enforces this for ``repro.nws`` and
+``repro.runner``): attempts are bounded, backoff delays come from a
+seeded generator so runs stay bit-reproducible, waiting is injected (a
+sim-clock sleep, or nothing at all for in-process re-execution), and
+every retry is tallied on the installed metrics registry.
+"""
+
+from __future__ import annotations
+
+from typing import Callable
+
+import numpy as np
+
+from repro.obs.metrics import get_registry
+
+__all__ = ["RetryError", "RetryPolicy", "seed_entropy"]
+
+#: Domain separator (b"RETR") keeping jitter draws independent of every
+#: other stream derived from the same root seed.
+_JITTER_STREAM = 0x52455452
+
+
+def seed_entropy(seed) -> tuple[int, ...]:
+    """Normalise an int / int-sequence / SeedSequence seed to entropy ints."""
+    if isinstance(seed, np.random.SeedSequence):
+        entropy = seed.entropy
+        if isinstance(entropy, (int, np.integer)):
+            return (int(entropy),)
+        return tuple(int(x) for x in entropy)
+    if isinstance(seed, (int, np.integer)):
+        return (int(seed),)
+    return tuple(int(x) for x in seed)
+
+
+class RetryError(RuntimeError):
+    """Every attempt of a retried operation failed.
+
+    ``__cause__`` carries the last underlying exception.
+    """
+
+
+class RetryPolicy:
+    """Deterministic exponential backoff with seeded jitter.
+
+    The *k*-th retry waits ``min(base_delay * factor**k, max_delay) *
+    (1 + jitter * u_k)`` where ``u_k`` is uniform on [0, 1) from the
+    policy's own seeded generator -- jittered like production backoff, but
+    reproducible.
+
+    Parameters
+    ----------
+    retries:
+        Retries after the first attempt (so ``retries + 1`` attempts in
+        total).
+    base_delay / factor / max_delay:
+        Exponential backoff shape, in (simulated) seconds.
+    jitter:
+        Fractional jitter amplitude (0 disables it).
+    seed:
+        Root seed (int, int sequence, or SeedSequence) for the jitter
+        stream.
+    sleep:
+        One-argument callable that performs the wait -- typically a
+        sim-clock advance.  ``None`` (default) retries without waiting,
+        which is right for in-process re-execution (e.g. re-simulating a
+        host after a worker crash).
+    """
+
+    def __init__(
+        self,
+        *,
+        retries: int = 2,
+        base_delay: float = 1.0,
+        factor: float = 2.0,
+        max_delay: float = 60.0,
+        jitter: float = 0.5,
+        seed=0,
+        sleep: Callable[[float], None] | None = None,
+    ):
+        if retries < 0:
+            raise ValueError(f"retries must be >= 0, got {retries}")
+        if base_delay < 0.0:
+            raise ValueError(f"base_delay must be >= 0, got {base_delay}")
+        if factor < 1.0:
+            raise ValueError(f"factor must be >= 1, got {factor}")
+        if max_delay < base_delay:
+            raise ValueError("max_delay must be >= base_delay")
+        if jitter < 0.0:
+            raise ValueError(f"jitter must be >= 0, got {jitter}")
+        self.retries = int(retries)
+        self.base_delay = float(base_delay)
+        self.factor = float(factor)
+        self.max_delay = float(max_delay)
+        self.jitter = float(jitter)
+        self._sleep = sleep
+        self._rng = np.random.default_rng(
+            np.random.SeedSequence((*seed_entropy(seed), _JITTER_STREAM))
+        )
+        self.attempts = 0
+        self.failures = 0
+        self.retries_used = 0
+        registry = get_registry()
+        self._obs_retries = registry.counter("repro_faults_retries_total")
+        self._obs_exhausted = registry.counter("repro_faults_retry_exhausted_total")
+
+    def next_delay(self, retry_index: int) -> float:
+        """Backoff before retry ``retry_index`` (0-based); consumes one draw."""
+        delay = min(self.base_delay * self.factor**retry_index, self.max_delay)
+        if self.jitter:
+            delay *= 1.0 + self.jitter * float(self._rng.random())
+        return delay
+
+    def call(
+        self,
+        fn: Callable,
+        *args,
+        describe: str = "operation",
+        on_retry: Callable[[int, BaseException | None, float], None] | None = None,
+        attempts_used: int = 0,
+        **kwargs,
+    ):
+        """Invoke ``fn(*args, **kwargs)``, retrying on ``Exception``.
+
+        Parameters
+        ----------
+        describe:
+            Human label for the operation, used in the failure message.
+        on_retry:
+            Called before each retry with ``(attempt_number,
+            last_exception, delay)``; attempt numbers are 1-based over the
+            whole operation.
+        attempts_used:
+            Attempts already consumed out-of-band -- e.g. the first try
+            ran in a worker pool -- shrinking the in-call budget so the
+            total stays ``retries + 1``.  When positive, every in-call
+            attempt counts (and waits) as a retry.
+
+        Raises
+        ------
+        RetryError
+            After the budget is exhausted; chained from the last failure.
+        """
+        attempts_used = int(attempts_used)
+        budget = self.retries + 1 - attempts_used
+        if budget < 1:
+            raise ValueError(
+                f"attempts_used={attempts_used} exhausts the budget of "
+                f"{self.retries + 1} attempts"
+            )
+        last: BaseException | None = None
+        for attempt in range(budget):
+            if attempt or attempts_used:
+                delay = self.next_delay(attempts_used + attempt - 1)
+                self.retries_used += 1
+                self._obs_retries.inc()
+                if on_retry is not None:
+                    on_retry(attempts_used + attempt, last, delay)
+                if self._sleep is not None and delay > 0.0:
+                    self._sleep(delay)
+            self.attempts += 1
+            try:
+                return fn(*args, **kwargs)
+            except Exception as exc:
+                last = exc
+                self.failures += 1
+        self._obs_exhausted.inc()
+        raise RetryError(
+            f"{describe} failed after {self.retries + 1} attempt(s): {last!r}"
+        ) from last

@@ -50,6 +50,13 @@ paper's results depend on:
     a :class:`~repro.core.mixture.ForecasterBank` or per-sample
     update/forecast loops -- those silently fall back to the slow
     streaming path and skip the ``repro_forecast_*`` telemetry.
+``FAULT001``
+    Resilience discipline: retry loops in the service layer and runner
+    (``repro.nws``, ``repro.runner``) must go through
+    :class:`repro.faults.RetryPolicy`.  A broad ``except``-``continue``
+    inside a loop retries forever and hides the failure; a raw
+    ``time.sleep`` in a loop hand-rolls backoff without the seeded
+    jitter or the injectable (deterministic) sleep.
 """
 
 from __future__ import annotations
@@ -70,6 +77,7 @@ __all__ = [
     "ObservabilityRule",
     "CacheBypassRule",
     "VectorizedBacktestRule",
+    "ResilienceRule",
 ]
 
 
@@ -761,3 +769,101 @@ class VectorizedBacktestRule(Rule):
                         "re-implements the streaming backtest; use "
                         "forecast_series (batch engine) instead",
                     )
+
+
+# --------------------------------------------------------------------------
+# FAULT001 -- resilience discipline (retry loops use RetryPolicy)
+# --------------------------------------------------------------------------
+
+_BROAD_EXCEPTIONS = {"Exception", "BaseException"}
+
+#: Constructs whose interiors belong to a different scope: a ``continue``
+#: or ``time.sleep`` inside them is not part of the enclosing loop's own
+#: retry logic.
+_WALK_BOUNDARIES = (
+    ast.For,
+    ast.AsyncFor,
+    ast.While,
+    ast.FunctionDef,
+    ast.AsyncFunctionDef,
+    ast.Lambda,
+)
+
+
+def _pruned_walk(node: ast.AST) -> Iterator[ast.AST]:
+    """Descendants of ``node``, not descending into nested loops/functions."""
+    stack = list(ast.iter_child_nodes(node))
+    while stack:
+        child = stack.pop()
+        yield child
+        if isinstance(child, _WALK_BOUNDARIES):
+            continue
+        stack.extend(ast.iter_child_nodes(child))
+
+
+def _catches_broadly(handler: ast.ExceptHandler) -> bool:
+    if handler.type is None:
+        return True
+    types = (
+        handler.type.elts if isinstance(handler.type, ast.Tuple) else [handler.type]
+    )
+    for node in types:
+        name = _dotted(node)
+        if name is not None and name.split(".")[-1] in _BROAD_EXCEPTIONS:
+            return True
+    return False
+
+
+@register
+class ResilienceRule(Rule):
+    rule_id = "FAULT001"
+    title = "retry loops go through repro.faults.RetryPolicy"
+    rationale = (
+        "a broad except-continue inside a loop retries forever and hides "
+        "the failure; raw time.sleep hand-rolls backoff without seeded "
+        "jitter or the injectable (deterministic) sleep -- RetryPolicy "
+        "bounds attempts, records repro_faults_retries_total and stays "
+        "reproducible"
+    )
+    scope = ("repro.nws", "repro.runner")
+
+    def check(self, ctx: ModuleContext) -> Iterator[Finding]:
+        aliases = _import_aliases(ctx.tree)
+        for loop in ast.walk(ctx.tree):
+            if not isinstance(loop, (ast.For, ast.AsyncFor, ast.While)):
+                continue
+            for node in _pruned_walk(loop):
+                if isinstance(node, ast.ExceptHandler):
+                    if not _catches_broadly(node):
+                        continue
+                    retries = any(
+                        isinstance(inner, ast.Continue)
+                        for inner in _pruned_walk(node)
+                    ) or all(
+                        isinstance(stmt, ast.Pass)
+                        or (
+                            isinstance(stmt, ast.Expr)
+                            and isinstance(stmt.value, ast.Constant)
+                        )
+                        for stmt in node.body
+                    )
+                    if retries:
+                        yield ctx.finding(
+                            node,
+                            self.rule_id,
+                            "broad except swallowed inside a loop retries "
+                            "forever and hides the failure; bound attempts "
+                            "with repro.faults.RetryPolicy.call instead",
+                        )
+                elif isinstance(node, ast.Call):
+                    dotted = _dotted(node.func)
+                    if dotted is None:
+                        continue
+                    if _resolve(dotted, aliases) == "time.sleep":
+                        yield ctx.finding(
+                            node,
+                            self.rule_id,
+                            "time.sleep() in a loop hand-rolls retry "
+                            "backoff; use repro.faults.RetryPolicy (seeded "
+                            "jitter, injectable sleep) instead",
+                        )

@@ -25,6 +25,7 @@ publish/query protocol, so the control flow (who knows what, when data
 moves) matches while staying testable and deterministic.
 """
 
+from repro.nws.errors import SeriesUnavailable
 from repro.nws.forecaster import ForecastReport, ForecasterService
 from repro.nws.memory import MemoryStore
 from repro.nws.nameserver import NameServer, Registration
@@ -39,4 +40,5 @@ __all__ = [
     "NameServer",
     "Registration",
     "SensorHost",
+    "SeriesUnavailable",
 ]

@@ -1,0 +1,31 @@
+"""Typed errors for the NWS service layer."""
+
+from __future__ import annotations
+
+__all__ = ["SeriesUnavailable"]
+
+
+class SeriesUnavailable(LookupError):
+    """A series is unknown to the memory or no longer retained.
+
+    Raised by :meth:`~repro.nws.memory.MemoryStore.fetch` for series that
+    were never published or have been forgotten, and by
+    :class:`~repro.nws.forecaster.ForecasterService` when a query cannot
+    even be served from a last-known-good forecast.  Deliberately a
+    :class:`LookupError` but *not* a :class:`KeyError`: callers should
+    branch on data availability, not on dictionary plumbing.
+
+    Attributes
+    ----------
+    series:
+        The requested series name.
+    known:
+        Series the memory does hold (sorted).
+    """
+
+    def __init__(self, series: str, known=()):
+        self.series = series
+        self.known = tuple(known)
+        super().__init__(
+            f"series {series!r} unavailable; known series: {list(self.known)}"
+        )

@@ -10,14 +10,19 @@ repeated queries cost only the new measurements.
 
 from __future__ import annotations
 
-from dataclasses import dataclass
+from dataclasses import dataclass, replace
 
 from repro.core.mixture import AdaptiveForecaster
+from repro.nws.errors import SeriesUnavailable
 from repro.nws.memory import MemoryStore
 from repro.obs.metrics import get_registry
 from repro.obs.tracing import get_tracer
 
 __all__ = ["ForecasterService", "ForecastReport"]
+
+#: Error bars stop widening at this factor -- beyond it the forecast is
+#: advertising "stale" as loudly as it usefully can.
+MAX_ERROR_WIDENING = 32.0
 
 
 @dataclass(frozen=True)
@@ -40,6 +45,12 @@ class ForecastReport:
         History length the forecast is based on.
     as_of:
         Timestamp of the newest measurement consumed.
+    stale:
+        True when the report is served degraded: either the series' data
+        is older than the service's staleness horizon, or the series
+        became unavailable and this is the last-known-good forecast.
+        Either way the error bar has been widened (doubling per lapsed
+        staleness period, capped at :data:`MAX_ERROR_WIDENING`).
     """
 
     series: str
@@ -48,6 +59,7 @@ class ForecastReport:
     method: str
     n_measurements: int
     as_of: float
+    stale: bool = False
 
 
 class ForecasterService:
@@ -60,18 +72,40 @@ class ForecasterService:
     forecaster_factory:
         Callable producing a fresh mixture per series (default:
         :class:`~repro.core.mixture.AdaptiveForecaster`).
+    clock / stale_after:
+        Optional staleness detection: when both are set and a queried
+        series' newest measurement is older than ``stale_after`` seconds
+        of ``clock()``, the report is marked stale and its error bar is
+        widened (doubling per lapsed period, capped).  The forecast value
+        itself is held at last-known-good -- a sensor going quiet is
+        exactly when schedulers still need *an* answer, with honest
+        uncertainty attached.
     """
 
-    def __init__(self, memory: MemoryStore, forecaster_factory=None):
+    def __init__(
+        self,
+        memory: MemoryStore,
+        forecaster_factory=None,
+        *,
+        clock=None,
+        stale_after: float | None = None,
+    ):
+        if stale_after is not None and stale_after <= 0.0:
+            raise ValueError(f"stale_after must be positive, got {stale_after}")
         self.memory = memory
         self._factory = (
             forecaster_factory if forecaster_factory is not None else AdaptiveForecaster
         )
+        self._clock = clock
+        self._stale_after = stale_after
         self._mixtures: dict[str, AdaptiveForecaster] = {}
         self._consumed: dict[str, int] = {}
         self._last_time: dict[str, float] = {}
+        self._last_good: dict[str, ForecastReport] = {}
+        self._degraded_streak: dict[str, int] = {}
         registry = get_registry()
         self._obs_queries = registry.counter("repro_forecaster_queries_total")
+        self._obs_degraded = registry.counter("repro_forecaster_degraded_total")
         # One collect-style callback for the whole service: per-series,
         # per-member standings are pulled from the persistent mixtures at
         # snapshot time, so the update path pays nothing for them.
@@ -120,19 +154,34 @@ class ForecasterService:
     def query(self, series: str) -> ForecastReport:
         """One-step-ahead forecast for ``series``.
 
+        Degrades instead of failing wherever it honestly can: if the
+        series has vanished from the memory but was forecast before, the
+        last-known-good report is served with a widened error bar and
+        ``stale=True``; if the series' data is merely old (see
+        ``stale_after``), the fresh forecast is served stale-marked with
+        the error widened by the elapsed staleness periods.
+
         Raises
         ------
-        KeyError
-            Unknown series.
+        SeriesUnavailable
+            Unknown series with no last-known-good forecast to fall back
+            on.
         ValueError
-            Series exists but holds no measurements yet.
+            Series exists but holds no (finite) measurements yet.
         """
         with get_tracer().span("nws.query", series=series):
-            self._advance(series)
+            try:
+                self._advance(series)
+            except SeriesUnavailable:
+                base = self._last_good.get(series)
+                if base is None:
+                    raise
+                self._obs_queries.inc()
+                return self._degrade(series, base)
             self._obs_queries.inc()
             mixture = self._mixtures[series]
             forecast, error = mixture.forecast_with_error()
-            return ForecastReport(
+            report = ForecastReport(
                 series=series,
                 forecast=forecast,
                 error=error,
@@ -140,6 +189,30 @@ class ForecasterService:
                 n_measurements=self._consumed[series],
                 as_of=self._last_time.get(series, float("nan")),
             )
+            self._last_good[series] = report
+            self._degraded_streak.pop(series, None)
+            return self._maybe_stale(report)
+
+    def _degrade(self, series: str, base: ForecastReport) -> ForecastReport:
+        """Serve last-known-good with an error bar that widens per miss."""
+        streak = self._degraded_streak.get(series, 0) + 1
+        self._degraded_streak[series] = streak
+        self._obs_degraded.inc()
+        factor = min(2.0**streak, MAX_ERROR_WIDENING)
+        return replace(base, error=base.error * factor, stale=True)
+
+    def _maybe_stale(self, report: ForecastReport) -> ForecastReport:
+        """Widen a fresh report when its data is past the staleness horizon."""
+        if self._clock is None or self._stale_after is None:
+            return report
+        if report.as_of != report.as_of:  # NaN: no timestamp to age
+            return report
+        age = self._clock() - report.as_of
+        if age <= self._stale_after:
+            return report
+        self._obs_degraded.inc()
+        factor = min(2.0 ** int(age // self._stale_after), MAX_ERROR_WIDENING)
+        return replace(report, error=report.error * factor, stale=True)
 
     def query_all(self) -> dict[str, ForecastReport]:
         """Forecasts for every non-empty series in the memory."""

@@ -14,6 +14,7 @@ from pathlib import Path
 
 import numpy as np
 
+from repro.nws.errors import SeriesUnavailable
 from repro.obs.metrics import get_registry
 from repro.trace.series import TraceSeries
 
@@ -85,8 +86,8 @@ class MemoryStore:
             del times[:dropped]
             del values[:dropped]
             self._obs_evictions.inc(dropped)
-        if self.directory is not None:
-            path = self.directory / f"{_safe(series)}.jsonl"
+        path = self.journal_path(series)
+        if path is not None:
             with path.open("a") as f:
                 f.write(json.dumps({"t": float(time), "v": float(value)}) + "\n")
 
@@ -109,9 +110,15 @@ class MemoryStore:
             Only samples with ``t >= since``.
         limit:
             At most this many *most recent* samples.
+
+        Raises
+        ------
+        SeriesUnavailable
+            The series was never published here, or has been forgotten
+            (a :class:`LookupError`, deliberately not ``KeyError``).
         """
         if series not in self._times:
-            raise KeyError(f"no series {series!r}; have {self.series_names()}")
+            raise SeriesUnavailable(series, self.series_names())
         self._obs_fetches.inc()
         times = np.asarray(self._times[series])
         values = np.asarray(self._values[series])
@@ -126,7 +133,26 @@ class MemoryStore:
         times, values = self.fetch(series)
         return TraceSeries(host or series, method or "memory", times, values)
 
+    def forget(self, series: str) -> bool:
+        """Drop a series' retained history (the journal is untouched).
+
+        The expiry hook: after ``forget``, :meth:`fetch` raises
+        :class:`~repro.nws.errors.SeriesUnavailable` until the series is
+        re-published or :meth:`recover`-ed.  Returns whether the series
+        existed.
+        """
+        existed = series in self._times
+        self._times.pop(series, None)
+        self._values.pop(series, None)
+        return existed
+
     # ----------------------------------------------------------- recovery
+
+    def journal_path(self, series: str) -> Path | None:
+        """Where ``series`` journals to (None when persistence is off)."""
+        if self.directory is None:
+            return None
+        return self.directory / f"{_safe(series)}.jsonl"
 
     def recover(self, series: str) -> int:
         """Reload ``series`` from the persistence journal.
@@ -143,9 +169,9 @@ class MemoryStore:
         RuntimeError
             If the store has no persistence directory.
         """
-        if self.directory is None:
+        path = self.journal_path(series)
+        if path is None:
             raise RuntimeError("this MemoryStore has no persistence directory")
-        path = self.directory / f"{_safe(series)}.jsonl"
         if not path.exists():
             return 0
         times: list[float] = []

@@ -6,12 +6,22 @@ in-process equivalent of deploying the NWS across a departmental grid.
 Clients interact exactly as the paper's schedulers did: discover CPU
 sensors through the name server, then ask the forecaster for availability
 predictions with error bars.
+
+A :class:`~repro.faults.plan.FaultPlan` can be installed at construction:
+each host compiles the plan with a stream seeded from ``(seed,
+host_index)``, so faulted runs stay bit-reproducible.  The forecaster
+service is wired to the system clock with a staleness horizon of three
+measurement periods (the registration TTL): a host that stops publishing
+keeps being forecast from last-known-good data, stale-marked with widened
+error bars.
 """
 
 from __future__ import annotations
 
 import numpy as np
 
+from repro.faults.plan import FaultPlan
+from repro.faults.policy import seed_entropy
 from repro.nws.forecaster import ForecastReport, ForecasterService
 from repro.nws.memory import MemoryStore
 from repro.nws.nameserver import NameServer
@@ -29,40 +39,70 @@ class NWSSystem:
     profiles:
         Testbed profile per monitored machine (repeats allowed).
     seed:
-        Root seed; each host gets an independent child.
+        Root seed (int, int sequence, or anything
+        ``np.random.SeedSequence`` accepts); each host gets an
+        independent child.
     measure_period:
         Sensor cadence.
     memory_capacity:
         Per-series retention (default one day of 10 s samples).
     memory_directory:
         Optional persistence directory for the memory journal.
+    fault_plan:
+        Optional :class:`~repro.faults.plan.FaultPlan` compiled per host;
+        None (default) installs no fault hooks at all.
+    stale_after:
+        Seconds without fresh data before forecasts are served
+        stale-marked with widened error bars (default ``3 *
+        measure_period``, matching the registration TTL).
     """
 
     def __init__(
         self,
         profiles: list[str],
         *,
-        seed: int = 0,
+        seed=0,
         measure_period: float = 10.0,
         memory_capacity: int = 8640,
         memory_directory=None,
+        fault_plan: FaultPlan | None = None,
+        stale_after: float | None = None,
     ):
         if not profiles:
             raise ValueError("need at least one monitored host")
         self.clock = 0.0
+        self.fault_plan = fault_plan
         self.nameserver = NameServer(clock=lambda: self.clock)
         self.memory = MemoryStore(
             capacity=memory_capacity, directory=memory_directory
         )
-        self.forecaster = ForecasterService(self.memory)
+        self.forecaster = ForecasterService(
+            self.memory,
+            clock=lambda: self.clock,
+            stale_after=(
+                stale_after if stale_after is not None else 3.0 * measure_period
+            ),
+        )
         self.nameserver.register(
             "memory.main", "memory", {"capacity": str(memory_capacity)}
         )
         self.nameserver.register("forecaster.main", "forecaster", {})
 
-        root = np.random.SeedSequence(seed)
+        entropy = seed_entropy(seed)
+        root = np.random.SeedSequence(list(entropy))
         self.hosts: list[SensorHost] = []
-        for profile, child in zip(profiles, root.spawn(len(profiles))):
+        for index, (profile, child) in enumerate(
+            zip(profiles, root.spawn(len(profiles)))
+        ):
+            # Hosts with no applicable clauses get no injector at all, so
+            # attaching a plan that never touches them costs nothing (the
+            # bench_faults budget).  Streams are seeded per host_index, so
+            # skipping one host never shifts another's fault weather.
+            faults = None
+            if fault_plan is not None and fault_plan.for_host(profile):
+                faults = fault_plan.compile(
+                    seed=entropy, host_index=index, host=profile
+                )
             self.hosts.append(
                 SensorHost(
                     profile,
@@ -70,6 +110,7 @@ class NWSSystem:
                     self.memory,
                     seed=child,
                     measure_period=measure_period,
+                    faults=faults,
                 )
             )
 

@@ -77,6 +77,8 @@ Forecasters (``repro.core`` / ``repro.nws.forecaster``):
 * ``repro_forecaster_switches`` (gauge; label ``series``) -- switch events
   per served series.
 * ``repro_forecaster_queries_total`` (counter) -- forecast queries served.
+* ``repro_forecaster_degraded_total`` (counter) -- queries answered from
+  the last-known-good report (series unavailable) with widened error bars.
 
 Forecast backtesting engine (``repro.core.mixture.forecast_series`` /
 ``repro.core.batch``):
@@ -86,6 +88,8 @@ Forecast backtesting engine (``repro.core.mixture.forecast_series`` /
 * ``repro_forecast_seconds`` (histogram; label ``engine``) -- wall time
   per ``forecast_series`` call, per engine (the only wall-clock metric in
   ``repro.core``; it never feeds results, so determinism holds).
+* ``repro_forecast_gap_steps_total`` (counter) -- NaN gap entries skipped
+  (hold-last/skip-update) across all ``forecast_series`` calls.
 
 Memory (``repro.nws.memory``):
 
@@ -109,6 +113,23 @@ Sensor hosts (``repro.nws.sensorhost``; label ``host``):
 
 * ``repro_nws_publish_rounds_total`` (counter) -- measurement rounds
   published into the memory.
+* ``repro_nws_ttl_lapses_total`` (counter) -- registrations found expired
+  at pump time and re-registered (crash recovery / missed refreshes).
+
+Fault injection & resilience (``repro.faults``; see
+``nws-repro chaos``):
+
+* ``repro_faults_injected_total`` / ``repro_faults_absorbed_total`` /
+  ``repro_faults_failed_total`` (counters; labels ``host``, ``kind``) --
+  fault events by outcome: injected perturbations, faults the resilience
+  machinery absorbed (journal recoveries, TTL re-registrations, rejected
+  publishes), and faults that caused visible data loss.
+* ``repro_faults_retries_total`` (counter) -- retries performed by any
+  :class:`~repro.faults.RetryPolicy`.
+* ``repro_faults_retry_exhausted_total`` (counter) -- calls that failed
+  even after the full retry budget.
+* ``repro_runner_retries_total`` (counter) -- per-host simulation retries
+  in :class:`~repro.runner.Runner` (worker crashes, broken pools).
 
 Scheduling application (``repro.schedapp``):
 

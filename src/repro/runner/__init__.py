@@ -29,12 +29,19 @@ plus plain-int :class:`RunnerStats` on ``runner.stats``.
 """
 
 from repro.runner.cache import DEFAULT_CACHE_DIR, ResultCache
-from repro.runner.engine import Runner, RunnerStats, default_runner, parallel_map
+from repro.runner.engine import (
+    HostSimulationError,
+    Runner,
+    RunnerStats,
+    default_runner,
+    parallel_map,
+)
 from repro.runner.keys import CACHE_FORMAT, canonical_config, config_digest
 
 __all__ = [
     "CACHE_FORMAT",
     "DEFAULT_CACHE_DIR",
+    "HostSimulationError",
     "ResultCache",
     "Runner",
     "RunnerStats",

@@ -15,6 +15,13 @@ itself -- workers share nothing and inherit no RNG state.  Every lookup
 and simulation is tallied both on :attr:`Runner.stats` (plain ints, for
 programmatic checks) and on the installed metrics registry
 (``repro_runner_*`` series) so cache behaviour is observable.
+
+Worker failures do not take the batch down: a host whose worker raised --
+or whose pool broke entirely (``BrokenProcessPool``, e.g. an OOM-killed
+child) -- is re-simulated in-process under a bounded
+:class:`~repro.faults.policy.RetryPolicy`; only when the retries are
+exhausted does :class:`HostSimulationError` surface, naming the host
+instead of an opaque pool traceback.
 """
 
 from __future__ import annotations
@@ -26,12 +33,23 @@ from pathlib import Path
 from typing import Callable, Iterable, TypeVar
 
 from repro.experiments.testbed import HostRun, TestbedConfig, simulate_host
+from repro.faults.policy import RetryError, RetryPolicy
 from repro.obs.metrics import get_registry
 from repro.runner.cache import ResultCache
 from repro.runner.keys import config_digest
 from repro.workload.profiles import profile_names
 
-__all__ = ["Runner", "RunnerStats", "default_runner", "parallel_map"]
+__all__ = [
+    "HostSimulationError",
+    "Runner",
+    "RunnerStats",
+    "default_runner",
+    "parallel_map",
+]
+
+#: Retries per failed host beyond its first attempt (satellite contract:
+#: "retry the failed host up to 2x").
+MAX_HOST_RETRIES = 2
 
 _T = TypeVar("_T")
 _R = TypeVar("_R")
@@ -53,6 +71,7 @@ class RunnerStats:
     disk_hits: int = 0
     misses: int = 0
     corrupt: int = 0
+    retries: int = 0
     sim_seconds: float = 0.0
     host_seconds: dict[str, float] = field(default_factory=dict)
 
@@ -61,8 +80,28 @@ class RunnerStats:
         return (
             f"memory_hits={self.memory_hits} disk_hits={self.disk_hits} "
             f"misses={self.misses} corrupt={self.corrupt} "
-            f"sim_seconds={self.sim_seconds:.3f}"
+            f"retries={self.retries} sim_seconds={self.sim_seconds:.3f}"
         )
+
+
+class HostSimulationError(RuntimeError):
+    """One host's simulation kept failing after bounded retries.
+
+    Attributes
+    ----------
+    host:
+        The host whose simulation failed.
+    attempts:
+        Total attempts made (first try + retries).
+    """
+
+    def __init__(self, host: str, attempts: int, cause: BaseException | None):
+        super().__init__(
+            f"simulation of host {host!r} failed after {attempts} "
+            f"attempt(s): {cause!r}"
+        )
+        self.host = host
+        self.attempts = attempts
 
 
 def _simulate_job(name: str, config: TestbedConfig) -> tuple[HostRun, float]:
@@ -133,8 +172,15 @@ class Runner:
         }
         self._obs_jobs = registry.gauge("repro_runner_jobs")
         self._obs_utilization = registry.gauge("repro_runner_worker_utilization")
+        self._obs_retries = registry.counter("repro_runner_retries_total")
         self._obs_jobs.set(float(self.jobs))
         self._registry = registry
+        # No sleeping between attempts: a failed host is re-simulated
+        # immediately in-process (the failure mode is worker death, not a
+        # transient remote, so backing off buys nothing).
+        self._retry_policy = RetryPolicy(
+            retries=MAX_HOST_RETRIES, base_delay=0.0, jitter=0.0, sleep=None
+        )
 
     # ------------------------------------------------------------ running
 
@@ -227,6 +273,7 @@ class Runner:
         batch_start = time.perf_counter()
         out: dict[str, HostRun] = {}
         if use_pool:
+            failed: dict[str, BaseException] = {}
             with ProcessPoolExecutor(max_workers=workers) as pool:
                 futures = {
                     pool.submit(_simulate_job, jobs_by_digest[d], config): d
@@ -237,19 +284,64 @@ class Runner:
                     done, remaining = wait(remaining, return_when=FIRST_COMPLETED)
                     for future in done:
                         digest = futures[future]
-                        run, wall = future.result()
-                        self._record_sim(jobs_by_digest[digest], wall, "parallel")
-                        out[digest] = run
+                        try:
+                            run, wall = future.result()
+                        except Exception as exc:
+                            # Worker raised, or the pool broke under it
+                            # (BrokenProcessPool): note it, retry in-process
+                            # once the pool is drained.
+                            failed[digest] = exc
+                        else:
+                            self._record_sim(
+                                jobs_by_digest[digest], wall, "parallel"
+                            )
+                            out[digest] = run
+            for digest in sorted(failed):
+                name = jobs_by_digest[digest]
+                run, wall = self._retry_host(name, config)
+                self._record_sim(name, wall, "serial")
+                out[digest] = run
         else:
             for digest in digests:
-                run, wall = _simulate_job(jobs_by_digest[digest], config)
-                self._record_sim(jobs_by_digest[digest], wall, "serial")
+                name = jobs_by_digest[digest]
+                try:
+                    run, wall = _simulate_job(name, config)
+                except Exception:
+                    run, wall = self._retry_host(name, config)
+                self._record_sim(name, wall, "serial")
                 out[digest] = run
         batch_wall = time.perf_counter() - batch_start
         if use_pool and batch_wall > 0.0:
             busy = sum(self.stats.host_seconds[jobs_by_digest[d]] for d in digests)
             self._obs_utilization.set(min(1.0, busy / (batch_wall * workers)))
         return out
+
+    def _retry_host(self, name: str, config: TestbedConfig) -> tuple[HostRun, float]:
+        """Re-simulate a failed host in-process, up to MAX_HOST_RETRIES times.
+
+        The first attempt already happened (in a worker or serially), so
+        the policy's remaining budget is consumed as retries.  Raises
+        :class:`HostSimulationError` -- naming the host -- when they are
+        exhausted.
+        """
+
+        def count_retry(attempt: int, exc: BaseException | None, delay: float) -> None:
+            self.stats.retries += 1
+            self._obs_retries.inc()
+
+        try:
+            return self._retry_policy.call(
+                _simulate_job,
+                name,
+                config,
+                describe=f"simulation of host {name!r}",
+                on_retry=count_retry,
+                attempts_used=1,
+            )
+        except RetryError as exc:
+            raise HostSimulationError(
+                name, MAX_HOST_RETRIES + 1, exc.__cause__
+            ) from exc
 
     def _record_sim(self, host: str, wall: float, mode: str) -> None:
         self.stats.sim_seconds += wall

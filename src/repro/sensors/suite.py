@@ -134,8 +134,17 @@ class MeasurementSuite:
         self._values: dict[str, list[float]] = {m: [] for m in METHODS}
         self._tests: list[TestObservation] = []
         self._kernel: Kernel | None = None
+        self._round_listeners: list = []
 
     # -------------------------------------------------------------- wiring
+
+    def on_round(self, listener) -> None:
+        """Call ``listener(time, {method: value})`` after each measurement round.
+
+        Lets consumers (the NWS sensor host) stream rounds out as they
+        happen instead of re-slicing :meth:`series` per pump.
+        """
+        self._round_listeners.append(listener)
 
     def attach(self, host: SimHost) -> "MeasurementSuite":
         """Attach to a host's kernel; returns self for chaining."""
@@ -168,6 +177,10 @@ class MeasurementSuite:
         self._values["nws_hybrid"].append(self.hybrid.read(kernel).availability)
         for counter in self._obs_readings.values():
             counter.inc()
+        if self._round_listeners:
+            row = {m: self._values[m][-1] for m in METHODS}
+            for listener in self._round_listeners:
+                listener(kernel.time, row)
         kernel.after(self.measure_period, self._measure_tick)
 
     def _probe_tick(self) -> None:

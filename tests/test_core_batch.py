@@ -58,6 +58,22 @@ def _traces() -> dict[str, np.ndarray]:
     }
     for n in (1, 2, 4, 5, 6, 40, 41, 42, 49, 50, 51, 99, 100, 101):
         out[f"len{n}"] = RNG.uniform(0.0, 1.0, n)
+    # NaN-gapped shapes (sensor dropouts): scattered gaps, gaps at the
+    # head and tail, contiguous outage blocks, and a fully-lost trace.
+    scattered = RNG.uniform(0.0, 1.0, 600)
+    scattered[RNG.random(600) < 0.15] = np.nan
+    out["gap_scattered"] = scattered
+    lead = RNG.uniform(0.0, 1.0, 200)
+    lead[:17] = np.nan
+    out["gap_lead"] = lead
+    tail = RNG.uniform(0.0, 1.0, 200)
+    tail[-23:] = np.nan
+    out["gap_tail"] = tail
+    blocks = RNG.uniform(0.0, 1.0, 500)
+    blocks[60:120] = np.nan
+    blocks[300:310] = np.nan
+    out["gap_blocks"] = blocks
+    out["gap_all"] = np.full(40, np.nan)
     return out
 
 
@@ -166,9 +182,19 @@ class TestEngineDispatch:
         assert model.bank.n_updates == 0
 
     def test_validation_precedes_dispatch(self):
-        for bad in ([], [[0.1, 0.2]], [0.1, np.nan]):
+        # NaN is a valid gap marker now; infinities are still rejected.
+        for bad in ([], [[0.1, 0.2]], [0.1, np.inf], [np.nan, -np.inf]):
             with pytest.raises(ValueError):
                 forecast_series(bad, engine="batch")
+
+    def test_gap_semantics_hold_last_skip_update(self):
+        out = forecast_series(
+            [0.5, np.nan, np.nan, 0.7], LastValue(), engine="stream"
+        )
+        # No forecast before the first finite value; gaps hold the last
+        # forecast and do not count as measurements.
+        assert np.isnan(out[0])
+        assert out[1] == out[2] == out[3] == 0.5
 
 
 class TestResetRoundTrip:

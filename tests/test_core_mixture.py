@@ -180,7 +180,8 @@ class TestForecastSeries:
     def test_validation(self):
         with pytest.raises(ValueError):
             forecast_series([])
+        # NaN marks a gap (valid input); infinities are still rejected.
         with pytest.raises(ValueError):
-            forecast_series([0.1, np.nan])
+            forecast_series([0.1, np.inf])
         with pytest.raises(ValueError):
             forecast_series(np.ones((2, 2)))

@@ -1,0 +1,108 @@
+"""Acceptance tests for the chaos harness (repro.experiments.chaos).
+
+The headline contract: under 10% sensor dropout plus a crash/restart
+window, the faulted system still produces a forecast at every scheduled
+step, and the report is byte-identical across reruns and worker counts.
+"""
+
+from __future__ import annotations
+
+import math
+
+import pytest
+
+from repro.experiments.chaos import run_chaos
+from repro.faults import FaultPlan, named_plan
+from repro.workload.profiles import profile_names
+
+#: Short replay used where full acceptance scale is not the point.
+SHORT = dict(seed=7, duration=900.0, step=60.0)
+
+
+class TestChaosAcceptance:
+    @pytest.fixture(scope="class")
+    def report(self):
+        # The acceptance scenario: six-host testbed, 10% dropout plus one
+        # crash/restart window on thing1 (down 1800 s..2400 s).
+        return run_chaos(
+            named_plan("dropout10-crash"), seed=7, duration=3600.0, step=60.0
+        )
+
+    def test_forecast_served_every_step_on_every_host(self, report):
+        assert report.all_served
+        for host in report.hosts:
+            assert host.steps == 60
+            assert host.served == 60
+
+    def test_covers_the_whole_testbed(self, report):
+        assert [h.host for h in report.hosts] == profile_names()
+
+    def test_crashed_host_served_stale(self, report):
+        by_host = {h.host: h for h in report.hosts}
+        # thing1 keeps answering through its 600 s outage from
+        # last-known-good data, stale-marked.
+        assert by_host["thing1"].degraded > 0
+        assert by_host["thing2"].degraded == 0
+
+    def test_error_inflation_reported(self, report):
+        assert math.isfinite(report.mean_inflation_pct())
+        for host in report.hosts:
+            assert host.mae_clean > 0.0
+            assert math.isfinite(host.mae_faulted)
+
+    def test_fault_events_accounted(self, report):
+        injected = report._events("injected")
+        assert injected["sensor_dropout"] > 0
+        assert injected["crash_lost"] > 0
+        assert report._events("absorbed")["ttl_reregistered"] > 0
+
+    def test_rerun_is_byte_identical(self, report):
+        again = run_chaos(
+            named_plan("dropout10-crash"), seed=7, duration=3600.0, step=60.0
+        )
+        assert again.render() == report.render()
+        assert again == report
+
+    def test_jobs_do_not_change_the_report(self, report):
+        pooled = run_chaos(
+            named_plan("dropout10-crash"),
+            seed=7,
+            duration=3600.0,
+            step=60.0,
+            jobs=4,
+        )
+        assert pooled.render() == report.render()
+        assert pooled == report
+
+    def test_render_shape(self, report):
+        text = report.render()
+        assert text.startswith("chaos plan 'dropout10-crash' seed=7")
+        assert "forecast served every step: yes" in text
+        assert "mean error inflation:" in text
+
+
+class TestChaosHarness:
+    def test_fault_free_plan_inflates_nothing(self):
+        report = run_chaos(FaultPlan("none"), profiles=["thing2"], **SHORT)
+        (host,) = report.hosts
+        assert host.mae_faulted == pytest.approx(host.mae_clean)
+        assert host.injected == {}
+        assert host.degraded == 0
+
+    def test_profiles_subset_respected(self):
+        report = run_chaos(
+            named_plan("dropout10"), profiles=["kongo", "thing1"], **SHORT
+        )
+        assert [h.host for h in report.hosts] == ["kongo", "thing1"]
+
+    def test_seed_changes_the_weather(self):
+        a = run_chaos(named_plan("dropout10"), profiles=["thing1"], **SHORT)
+        b = run_chaos(
+            named_plan("dropout10"), profiles=["thing1"], seed=8,
+            duration=900.0, step=60.0,
+        )
+        assert a.render() != b.render()
+
+    def test_duration_shorter_than_step_rejected(self):
+        with pytest.raises(ValueError, match="duration"):
+            run_chaos(FaultPlan("none"), duration=30.0, step=60.0)

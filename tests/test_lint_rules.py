@@ -509,6 +509,126 @@ class TestVectorizedBacktest:
 
 
 # -----------------------------------------------------------------------
+# FAULT001 -- resilience discipline
+# -----------------------------------------------------------------------
+
+class TestResilience:
+    def test_broad_except_continue_flagged_in_runner(self):
+        src = """
+        def collect(futures):
+            out = []
+            for future in futures:
+                try:
+                    out.append(future.result())
+                except Exception:
+                    continue
+            return out
+        """
+        assert rule_ids(src, module="repro.runner.fake") == ["FAULT001"]
+
+    def test_bare_except_continue_flagged_in_nws(self):
+        src = """
+        def pump(rounds):
+            for row in rounds:
+                try:
+                    publish(row)
+                except:
+                    continue
+        """
+        # EXC001 also fires on the bare except (shared repro.nws scope).
+        assert sorted(rule_ids(src, module="repro.nws.fake")) == [
+            "EXC001",
+            "FAULT001",
+        ]
+
+    def test_broad_tuple_pass_only_flagged(self):
+        src = """
+        def drain(queue):
+            while queue:
+                try:
+                    queue.pop()
+                except (ValueError, Exception):
+                    pass
+        """
+        assert rule_ids(src, module="repro.runner.fake") == ["FAULT001"]
+
+    def test_sleep_in_loop_flagged(self):
+        src = """
+        import time
+
+        def wait_for(check):
+            for _ in range(5):
+                if check():
+                    return True
+                time.sleep(1.0)
+            return False
+        """
+        assert rule_ids(src, module="repro.runner.fake") == ["FAULT001"]
+
+    def test_specific_except_continue_silent(self):
+        src = """
+        def recover(lines):
+            out = []
+            for line in lines:
+                try:
+                    out.append(parse(line))
+                except (ValueError, KeyError):
+                    continue
+            return out
+        """
+        assert rule_ids(src, module="repro.runner.fake") == []
+
+    def test_broad_except_with_real_handling_silent(self):
+        src = """
+        def collect(futures):
+            out, failed = [], {}
+            for key, future in futures:
+                try:
+                    result = future.result()
+                except Exception as exc:
+                    failed[key] = exc
+                else:
+                    out.append(result)
+            return out, failed
+        """
+        assert rule_ids(src, module="repro.runner.fake") == []
+
+    def test_nested_loop_continue_belongs_to_inner_loop(self):
+        src = """
+        def outer(groups):
+            for group in groups:
+                try:
+                    handle(group)
+                except Exception as exc:
+                    for item in group:
+                        if not item:
+                            continue
+                        record(item, exc)
+                    raise
+        """
+        assert rule_ids(src, module="repro.runner.fake") == []
+
+    def test_sleep_outside_loop_silent(self):
+        src = """
+        import time
+
+        def settle():
+            time.sleep(0.5)
+        """
+        assert rule_ids(src, module="repro.runner.fake") == []
+
+    def test_out_of_scope_module_silent(self):
+        src = """
+        import time
+
+        def poll(check):
+            while not check():
+                time.sleep(1.0)
+        """
+        assert rule_ids(src, module="repro.live.fake") == []
+
+
+# -----------------------------------------------------------------------
 # Suppressions, selection, parse errors
 # -----------------------------------------------------------------------
 

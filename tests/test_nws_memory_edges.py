@@ -5,25 +5,39 @@ import json
 
 import pytest
 
+from repro.nws.errors import SeriesUnavailable
 from repro.nws.memory import MemoryStore
 from repro.obs import MetricsRegistry, installed
 
 
 class TestUnknownSeries:
-    def test_fetch_unknown_series_raises_keyerror(self):
+    def test_fetch_unknown_series_raises_typed_error(self):
         store = MemoryStore()
         store.publish("cpu.a.hybrid", 0.0, 0.5)
-        with pytest.raises(KeyError, match="cpu.b.hybrid"):
+        with pytest.raises(SeriesUnavailable, match="cpu.b.hybrid") as info:
             store.fetch("cpu.b.hybrid")
+        assert info.value.series == "cpu.b.hybrid"
+        # Typed as LookupError, deliberately NOT KeyError: callers that
+        # conflate "no such series" with dict misses mask real bugs.
+        assert not isinstance(info.value, KeyError)
+        assert isinstance(info.value, LookupError)
 
     def test_fetch_error_names_known_series(self):
         store = MemoryStore()
         store.publish("known", 0.0, 0.5)
-        with pytest.raises(KeyError, match="known"):
+        with pytest.raises(SeriesUnavailable, match="known"):
             store.fetch("missing")
 
     def test_count_of_unknown_series_is_zero(self):
         assert MemoryStore().count("nope") == 0
+
+    def test_forget_drops_history_not_journal(self, tmp_path):
+        store = MemoryStore(capacity=10, directory=tmp_path)
+        store.publish("s", 0.0, 0.5)
+        assert store.forget("s") is True
+        assert store.forget("s") is False  # idempotent, reports absence
+        assert store.count("s") == 0
+        assert store.recover("s") == 1  # journal survived the forget
 
 
 class TestCapacityBoundary:

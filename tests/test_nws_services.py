@@ -3,6 +3,7 @@
 import numpy as np
 import pytest
 
+from repro.nws.errors import SeriesUnavailable
 from repro.nws.forecaster import ForecasterService
 from repro.nws.memory import MemoryStore
 from repro.nws.nameserver import NameServer
@@ -97,7 +98,7 @@ class TestMemoryStore:
         np.testing.assert_allclose(times, [8.0, 9.0])
 
     def test_unknown_series_rejected(self):
-        with pytest.raises(KeyError):
+        with pytest.raises(SeriesUnavailable, match="nope"):
             MemoryStore().fetch("nope")
 
     def test_persistence_roundtrip(self, tmp_path):
@@ -170,8 +171,53 @@ class TestForecasterService:
         assert set(out) == {"a", "b"}
 
     def test_unknown_series(self):
-        with pytest.raises(KeyError):
+        with pytest.raises(SeriesUnavailable):
             ForecasterService(MemoryStore()).query("nope")
+
+    def test_degrades_to_last_known_good(self):
+        mem = MemoryStore()
+        svc = ForecasterService(mem)
+        for i in range(30):
+            mem.publish("s", 10.0 * i, 0.7 + 0.05 * (i % 3))
+        fresh = svc.query("s")
+        assert not fresh.stale
+        assert fresh.error > 0.0
+        mem.forget("s")
+        degraded = svc.query("s")
+        assert degraded.stale
+        assert degraded.forecast == pytest.approx(fresh.forecast)
+        assert degraded.error == pytest.approx(2.0 * fresh.error)
+        # The widening doubles per consecutive miss, capped at 32x.
+        for expected in (4.0, 8.0, 16.0, 32.0, 32.0):
+            assert svc.query("s").error == pytest.approx(expected * fresh.error)
+
+    def test_degraded_then_recovered(self):
+        mem = MemoryStore()
+        svc = ForecasterService(mem)
+        for i in range(20):
+            mem.publish("s", 10.0 * i, 0.5)
+        svc.query("s")
+        mem.forget("s")
+        assert svc.query("s").stale
+        for i in range(20, 25):
+            mem.publish("s", 10.0 * i, 0.5)
+        recovered = svc.query("s")
+        assert not recovered.stale
+
+    def test_stale_data_widens_error_by_age(self):
+        clock = {"t": 0.0}
+        mem = MemoryStore()
+        svc = ForecasterService(mem, clock=lambda: clock["t"], stale_after=30.0)
+        for i in range(20):
+            mem.publish("s", 10.0 * i, 0.5)
+        clock["t"] = 190.0  # as_of also 190.0 at the last publish
+        fresh = svc.query("s")
+        assert not fresh.stale
+        clock["t"] = 250.0  # two full horizons past as_of
+        stale = svc.query("s")
+        assert stale.stale
+        assert stale.error == pytest.approx(4.0 * fresh.error)
+        assert stale.forecast == pytest.approx(fresh.forecast)
 
 
 class TestNWSSystem:

@@ -5,9 +5,13 @@ from __future__ import annotations
 import numpy as np
 import pytest
 
+from concurrent.futures import Future
+from concurrent.futures.process import BrokenProcessPool
+
 from repro.experiments.testbed import HostRun, TestbedConfig
 from repro.obs.metrics import MetricsRegistry, installed
-from repro.runner import Runner, default_runner, parallel_map
+from repro.runner import HostSimulationError, Runner, default_runner, parallel_map
+from repro.runner import engine
 from repro.workload.profiles import profile_names
 
 #: Tiny config for tests that must actually simulate (not hit the shared
@@ -114,6 +118,79 @@ class TestLayering:
         summary = runner.stats.summary()
         assert "misses=1" in summary
         assert "sim_seconds=" in summary
+
+
+def _flaky_simulate_job(failures: int):
+    """A `_simulate_job` stand-in that fails ``failures`` times, then works."""
+    real = engine._simulate_job
+    remaining = {"n": failures}
+
+    def job(name, config):
+        if remaining["n"] > 0:
+            remaining["n"] -= 1
+            raise OSError(f"worker for {name} died")
+        return real(name, config)
+
+    return job
+
+
+class _BrokenPool:
+    """ProcessPoolExecutor stand-in whose every future is already broken."""
+
+    def __init__(self, max_workers=None):
+        pass
+
+    def __enter__(self):
+        return self
+
+    def __exit__(self, *exc_info):
+        return False
+
+    def submit(self, fn, *args, **kwargs):
+        future = Future()
+        future.set_exception(BrokenProcessPool("a child process terminated"))
+        return future
+
+
+class TestRetries:
+    def test_serial_failure_retried_and_counted(self, monkeypatch):
+        monkeypatch.setattr(engine, "_simulate_job", _flaky_simulate_job(1))
+        with installed(MetricsRegistry()) as registry:
+            runner = Runner()
+            run = runner.run_one("thing1", TINY)
+        assert run.host == "thing1"
+        assert runner.stats.retries == 1
+        assert "retries=1" in runner.stats.summary()
+        snap = registry.snapshot()
+        assert snap["repro_runner_retries_total"]["samples"][0]["value"] == 1.0
+
+    def test_retried_result_is_bit_identical(self, monkeypatch):
+        clean = Runner().run_one("thing1", TINY)
+        monkeypatch.setattr(engine, "_simulate_job", _flaky_simulate_job(2))
+        retried = Runner().run_one("thing1", TINY)
+        same_run(clean, retried)
+
+    def test_exhausted_retries_name_the_host(self, monkeypatch):
+        def always_fail(name, config):
+            raise OSError(f"worker for {name} died")
+
+        monkeypatch.setattr(engine, "_simulate_job", always_fail)
+        runner = Runner()
+        with pytest.raises(HostSimulationError, match="'conundrum'") as info:
+            runner.run_one("conundrum", TINY)
+        assert info.value.host == "conundrum"
+        assert info.value.attempts == engine.MAX_HOST_RETRIES + 1
+        assert runner.stats.retries == engine.MAX_HOST_RETRIES
+
+    def test_broken_pool_falls_back_to_in_process(self, monkeypatch):
+        clean = Runner(jobs=1).run(("thing1", "conundrum"), TINY)
+        monkeypatch.setattr(engine, "ProcessPoolExecutor", _BrokenPool)
+        runner = Runner(jobs=2)
+        runs = runner.run(("thing1", "conundrum"), TINY)
+        # Pool attempts count against the budget: one retry per host.
+        assert runner.stats.retries == 2
+        for c, r in zip(clean, runs):
+            same_run(c, r)
 
 
 class TestRunnerMetrics:
