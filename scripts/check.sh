@@ -15,8 +15,9 @@ else
     echo "==> ruff not installed; skipping (pip install ruff to enable)"
 fi
 
-echo "==> nws-repro lint src/repro"
-PYTHONPATH="src${PYTHONPATH:+:$PYTHONPATH}" python -m repro.cli lint src/repro
+echo "==> nws-repro lint src/repro (cached)"
+PYTHONPATH="src${PYTHONPATH:+:$PYTHONPATH}" python -m repro.cli lint src/repro \
+    --cache-dir artifacts/lint-cache
 
 echo "==> pytest"
 PYTHONPATH="src${PYTHONPATH:+:$PYTHONPATH}" python -m pytest -q
@@ -36,5 +37,9 @@ PYTHONPATH="src${PYTHONPATH:+:$PYTHONPATH}" python -m pytest -q -p no:cacheprovi
 echo "==> fault-injection layer overhead benchmark"
 PYTHONPATH="src${PYTHONPATH:+:$PYTHONPATH}" python -m pytest -q -p no:cacheprovider \
     --benchmark-disable-gc benchmarks/bench_faults.py
+
+echo "==> whole-program lint budget benchmark"
+PYTHONPATH="src${PYTHONPATH:+:$PYTHONPATH}" python -m pytest -q -p no:cacheprovider \
+    --benchmark-disable-gc benchmarks/bench_lint.py
 
 echo "==> all checks passed"

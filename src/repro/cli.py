@@ -233,7 +233,7 @@ def build_parser() -> argparse.ArgumentParser:
     )
     p_lint.add_argument(
         "--format",
-        choices=("text", "json"),
+        choices=("text", "json", "sarif"),
         default="text",
         dest="output_format",
         help="report format (default: text)",
@@ -254,6 +254,12 @@ def build_parser() -> argparse.ArgumentParser:
     )
     p_lint.add_argument(
         "--list-rules", action="store_true", help="list registered rules and exit"
+    )
+    p_lint.add_argument(
+        "--cache-dir",
+        default=None,
+        metavar="DIR",
+        help="content-addressed result cache directory (default: no cache)",
     )
 
     return parser
@@ -515,6 +521,7 @@ def _cmd_lint(args) -> int:
         all_rules,
         lint_paths,
         render_json,
+        render_sarif,
         render_text,
     )
 
@@ -533,11 +540,14 @@ def _cmd_lint(args) -> int:
             paths,
             select=_split_rule_args(args.select),
             ignore=_split_rule_args(args.ignore),
+            cache_dir=args.cache_dir,
         )
     except (UnknownRuleError, FileNotFoundError) as exc:
         print(f"nws-repro lint: {exc}", file=sys.stderr)
         return 2
-    render = render_json if args.output_format == "json" else render_text
+    render = {"json": render_json, "sarif": render_sarif}.get(
+        args.output_format, render_text
+    )
     print(render(result))
     return result.exit_code
 

@@ -18,6 +18,8 @@ Command line::
 """
 
 from repro.lint import rules as _rules  # noqa: F401 -- registers the rules
+from repro.lint import semantic as _semantic  # noqa: F401 -- registers project rules
+from repro.lint.cache import LintCache
 from repro.lint.contracts import (
     ContractError,
     checked_fraction,
@@ -26,7 +28,7 @@ from repro.lint.contracts import (
 )
 from repro.lint.findings import Finding
 from repro.lint.registry import ModuleContext, Rule, all_rules, register, rule_ids
-from repro.lint.reporters import render_json, render_text
+from repro.lint.reporters import render_json, render_sarif, render_text
 from repro.lint.runner import (
     LintResult,
     UnknownRuleError,
@@ -34,12 +36,16 @@ from repro.lint.runner import (
     lint_paths,
     module_name_for,
 )
+from repro.lint.semantic import Project, ProjectRule, project_from_sources
 
 __all__ = [
     "ContractError",
     "Finding",
+    "LintCache",
     "LintResult",
     "ModuleContext",
+    "Project",
+    "ProjectRule",
     "Rule",
     "UnknownRuleError",
     "all_rules",
@@ -49,8 +55,10 @@ __all__ = [
     "ensure_fraction",
     "lint_paths",
     "module_name_for",
+    "project_from_sources",
     "register",
     "render_json",
+    "render_sarif",
     "render_text",
     "rule_ids",
 ]

@@ -1,0 +1,53 @@
+"""Shared AST helpers for the per-file rules and the semantic passes.
+
+These were born inside :mod:`repro.lint.rules`; the whole-program passes
+in :mod:`repro.lint.semantic` need the same primitives (dotted-chain
+rendering, import-alias resolution), so they live here and both layers
+import them.
+"""
+
+from __future__ import annotations
+
+import ast
+
+__all__ = ["dotted", "import_aliases", "resolve"]
+
+
+def dotted(node: ast.AST) -> str | None:
+    """``a.b.c`` attribute chain as a string, or None if not a plain chain."""
+    parts: list[str] = []
+    while isinstance(node, ast.Attribute):
+        parts.append(node.attr)
+        node = node.value
+    if isinstance(node, ast.Name):
+        parts.append(node.id)
+        return ".".join(reversed(parts))
+    return None
+
+
+def import_aliases(tree: ast.AST) -> dict[str, str]:
+    """Map local names to the full dotted names they were imported as.
+
+    ``import numpy as np`` maps ``np -> numpy``; ``from datetime import
+    datetime as dt`` maps ``dt -> datetime.datetime``.
+    """
+    aliases: dict[str, str] = {}
+    for node in ast.walk(tree):
+        if isinstance(node, ast.Import):
+            for name in node.names:
+                local = name.asname or name.name.split(".")[0]
+                full = name.name if name.asname else name.name.split(".")[0]
+                aliases[local] = full
+        elif isinstance(node, ast.ImportFrom) and node.module and node.level == 0:
+            for name in node.names:
+                if name.name == "*":
+                    continue
+                aliases[name.asname or name.name] = f"{node.module}.{name.name}"
+    return aliases
+
+
+def resolve(dotted_name: str, aliases: dict[str, str]) -> str:
+    """Expand the leading component of a dotted chain via the import map."""
+    head, _, rest = dotted_name.partition(".")
+    full_head = aliases.get(head, head)
+    return f"{full_head}.{rest}" if rest else full_head

@@ -1,0 +1,150 @@
+"""Content-addressed lint result cache.
+
+Keyed exactly like :mod:`repro.runner`'s npz result cache: a sha256 over
+a canonical-JSON description of *everything that can change the answer*
+-- the file contents (by digest), the rule selection, and a digest of
+the lint package's own sources (editing a rule invalidates every entry).
+
+Two levels:
+
+* a **run key** over the full ``(path, digest)`` list -- a hit skips the
+  whole run, parses included (this is what makes the warm
+  ``scripts/check.sh`` lint stage near-free);
+* a **file key** per source file -- a hit skips re-running the per-file
+  rules for that file when only its neighbours changed.  Project-wide
+  semantic passes are *not* cached per file (their input is the whole
+  tree); they re-run whenever the run key misses.
+
+Entries are plain JSON under ``<root>/<key[:2]>/<key>.json``, written
+atomically; a corrupt or unreadable entry is a miss, never an error.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import json
+import os
+from pathlib import Path
+
+from repro.lint.findings import Finding
+
+__all__ = ["LintCache", "content_digest", "file_key", "run_key", "toolchain_digest"]
+
+#: Bump to invalidate every existing cache entry on layout changes.
+CACHE_VERSION = 2
+
+
+def _canonical(payload: object) -> str:
+    return json.dumps(payload, sort_keys=True, separators=(",", ":"))
+
+
+def _sha256(text: str) -> str:
+    return hashlib.sha256(text.encode("utf-8")).hexdigest()
+
+
+def content_digest(source: str) -> str:
+    return _sha256(source)
+
+
+_TOOLCHAIN_DIGEST: str | None = None
+
+
+def toolchain_digest() -> str:
+    """Digest of the lint package's own sources (memoized per process)."""
+    global _TOOLCHAIN_DIGEST
+    if _TOOLCHAIN_DIGEST is None:
+        package_root = Path(__file__).resolve().parent
+        parts = []
+        for path in sorted(package_root.rglob("*.py")):
+            try:
+                parts.append((str(path.relative_to(package_root)), path.read_text(encoding="utf-8")))
+            except OSError:
+                continue
+        _TOOLCHAIN_DIGEST = _sha256(_canonical(parts))
+    return _TOOLCHAIN_DIGEST
+
+
+def run_key(
+    files: list[tuple[str, str]],
+    select: list[str] | None,
+    ignore: list[str] | None,
+) -> str:
+    """Key for a whole lint run: every file digest plus the rule selection."""
+    return _sha256(
+        _canonical(
+            {
+                "version": CACHE_VERSION,
+                "kind": "run",
+                "files": sorted(files),
+                "select": sorted(select) if select else None,
+                "ignore": sorted(ignore) if ignore else None,
+                "toolchain": toolchain_digest(),
+            }
+        )
+    )
+
+
+def file_key(path: str, digest: str, rule_ids: list[str]) -> str:
+    """Key for one file's per-file-rule findings."""
+    return _sha256(
+        _canonical(
+            {
+                "version": CACHE_VERSION,
+                "kind": "file",
+                "path": path,
+                "digest": digest,
+                "rules": sorted(rule_ids),
+                "toolchain": toolchain_digest(),
+            }
+        )
+    )
+
+
+def findings_to_payload(findings: list[Finding]) -> list[dict]:
+    return [finding.to_dict() for finding in findings]
+
+
+def findings_from_payload(payload: list[dict]) -> list[Finding]:
+    return [
+        Finding(
+            path=item["path"],
+            line=item["line"],
+            col=item["col"],
+            rule_id=item["rule"],
+            message=item["message"],
+        )
+        for item in payload
+    ]
+
+
+class LintCache:
+    """JSON blobs under ``root``, addressed by sha256 key."""
+
+    def __init__(self, root: str | Path):
+        self.root = Path(root)
+        self.hits = 0
+        self.misses = 0
+
+    def _path(self, key: str) -> Path:
+        return self.root / key[:2] / f"{key}.json"
+
+    def load(self, key: str) -> dict | None:
+        try:
+            with self._path(key).open(encoding="utf-8") as handle:
+                payload = json.load(handle)
+        except (OSError, ValueError):
+            self.misses += 1
+            return None
+        self.hits += 1
+        return payload
+
+    def store(self, key: str, payload: dict) -> None:
+        path = self._path(key)
+        try:
+            path.parent.mkdir(parents=True, exist_ok=True)
+            tmp = path.with_suffix(f".tmp{os.getpid()}")
+            tmp.write_text(_canonical(payload), encoding="utf-8")
+            os.replace(tmp, path)
+        except OSError:
+            # A read-only or full cache dir degrades to uncached linting.
+            return

@@ -64,6 +64,9 @@ from __future__ import annotations
 import ast
 from typing import Iterator
 
+from repro.lint.astutils import dotted as _dotted
+from repro.lint.astutils import import_aliases as _import_aliases
+from repro.lint.astutils import resolve as _resolve
 from repro.lint.findings import Finding
 from repro.lint.registry import ModuleContext, Rule, register
 
@@ -79,50 +82,6 @@ __all__ = [
     "VectorizedBacktestRule",
     "ResilienceRule",
 ]
-
-
-# --------------------------------------------------------------------------
-# Shared AST helpers
-# --------------------------------------------------------------------------
-
-def _dotted(node: ast.AST) -> str | None:
-    """``a.b.c`` attribute chain as a string, or None if not a plain chain."""
-    parts: list[str] = []
-    while isinstance(node, ast.Attribute):
-        parts.append(node.attr)
-        node = node.value
-    if isinstance(node, ast.Name):
-        parts.append(node.id)
-        return ".".join(reversed(parts))
-    return None
-
-
-def _import_aliases(tree: ast.Module) -> dict[str, str]:
-    """Map local names to the full dotted names they were imported as.
-
-    ``import numpy as np`` maps ``np -> numpy``; ``from datetime import
-    datetime as dt`` maps ``dt -> datetime.datetime``.
-    """
-    aliases: dict[str, str] = {}
-    for node in ast.walk(tree):
-        if isinstance(node, ast.Import):
-            for name in node.names:
-                local = name.asname or name.name.split(".")[0]
-                full = name.name if name.asname else name.name.split(".")[0]
-                aliases[local] = full
-        elif isinstance(node, ast.ImportFrom) and node.module and node.level == 0:
-            for name in node.names:
-                if name.name == "*":
-                    continue
-                aliases[name.asname or name.name] = f"{node.module}.{name.name}"
-    return aliases
-
-
-def _resolve(dotted: str, aliases: dict[str, str]) -> str:
-    """Expand the leading component of a dotted chain via the import map."""
-    head, _, rest = dotted.partition(".")
-    full_head = aliases.get(head, head)
-    return f"{full_head}.{rest}" if rest else full_head
 
 
 # --------------------------------------------------------------------------

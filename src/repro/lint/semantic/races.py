@@ -1,0 +1,307 @@
+"""THRD001: shared-state race detector for the service layer.
+
+The roadmap points at a threaded NWS forecast server; the service layer
+(`repro.nws`, `repro.obs`, `repro.runner`) must therefore keep its
+mutable state lock-guarded *before* threads arrive.  This pass
+
+1. collects **thread/process entry points**: functions handed to
+   ``pool.submit(fn, ...)`` / ``pool.map(fn, ...)``,
+   ``threading.Thread(target=fn)``, observability
+   ``register_callback(fn)`` arguments (including calls made inside
+   lambda callbacks), and -- by service convention -- ``pump``/
+   ``refresh`` methods in ``repro.nws`` (the periodic paths a server
+   loop will drive from a background thread);
+2. walks the call graph to find every function **reachable** from those
+   entry points;
+3. flags **unsynchronized writes to shared mutable state** on that
+   reachable set: ``self.<attr>`` assignment/mutation outside
+   ``__init__``, and writes to module-level mutable globals.
+
+A write is synchronized -- and exempt -- when it executes under a
+``with <something named *lock*>:`` block.  Findings are limited to the
+service packages; the simulation kernel is single-threaded by design
+and stays out of scope.
+"""
+
+from __future__ import annotations
+
+import ast
+from typing import Iterator
+
+from repro.lint.astutils import dotted
+from repro.lint.findings import Finding
+from repro.lint.registry import register
+from repro.lint.semantic.callgraph import _SCOPE_BOUNDARIES, CallGraph
+from repro.lint.semantic.project import Project, ProjectRule
+from repro.lint.semantic.symbols import FunctionInfo
+
+__all__ = ["SharedStateRaceRule", "thread_entry_roots", "unsynchronized_writes"]
+
+#: Packages whose shared state must be lock-guarded.
+SERVICE_SCOPE = ("repro.nws", "repro.obs", "repro.runner")
+
+#: Method names that mutate their receiver in place.
+_MUTATING_METHODS = frozenset(
+    {
+        "append", "extend", "insert", "remove", "pop", "popitem",
+        "clear", "update", "setdefault", "add", "discard",
+        "appendleft", "popleft", "sort", "reverse",
+    }
+)
+
+#: Constructors whose module-level result is shared mutable state.
+_MUTABLE_FACTORIES = frozenset(
+    {"dict", "list", "set", "deque", "defaultdict", "OrderedDict", "Counter"}
+)
+
+#: Methods in repro.nws that service loops drive periodically.
+_NWS_PERIODIC = frozenset({"pump", "refresh"})
+
+#: Constructor-lifecycle methods where unshared initialisation happens.
+_INIT_METHODS = frozenset({"__init__", "__post_init__"})
+
+
+def _in_service_scope(module: str) -> bool:
+    return any(module == p or module.startswith(p + ".") for p in SERVICE_SCOPE)
+
+
+def _is_lock_guard(node: ast.With | ast.AsyncWith) -> bool:
+    for item in node.items:
+        chain = dotted(item.context_expr)
+        if chain is not None and "lock" in chain.lower():
+            return True
+    return False
+
+
+# --------------------------------------------------------------- entry roots
+
+
+def thread_entry_roots(project: Project) -> dict[str, str]:
+    """Qualname -> human-readable reason it runs off the main thread."""
+    roots: dict[str, str] = {}
+    graph = project.callgraph
+
+    def add(target: FunctionInfo | None, reason: str) -> None:
+        if target is not None:
+            roots.setdefault(target.qualname, reason)
+
+    for info in project.symbols.functions.values():
+        sites = graph.sites.get(info.qualname, ())
+        by_node = {id(site.node): site for site in sites}
+        for site in sites:
+            node = site.node
+            func = node.func
+            attr = func.attr if isinstance(func, ast.Attribute) else None
+            name = func.id if isinstance(func, ast.Name) else None
+            if attr == "submit" and node.args:
+                add(
+                    graph.resolve_reference(info, node.args[0]),
+                    f"submitted to an executor in {info.qualname}",
+                )
+            elif attr == "map" and node.args:
+                receiver = dotted(func.value) or ""
+                if "pool" in receiver.lower() or "executor" in receiver.lower():
+                    add(
+                        graph.resolve_reference(info, node.args[0]),
+                        f"mapped over an executor in {info.qualname}",
+                    )
+            elif (site.external or "").endswith(".Thread") or name == "Thread":
+                for keyword in node.keywords:
+                    if keyword.arg == "target":
+                        add(
+                            graph.resolve_reference(info, keyword.value),
+                            f"Thread target in {info.qualname}",
+                        )
+            if attr == "register_callback" or name == "register_callback":
+                for arg in (*node.args, *(kw.value for kw in node.keywords)):
+                    if isinstance(arg, ast.Lambda):
+                        # Lambda bodies are inlined into the enclosing
+                        # function's call sites; every call the lambda
+                        # makes runs on the callback thread.
+                        for call in ast.walk(arg.body):
+                            inner = by_node.get(id(call))
+                            if inner is not None:
+                                add(
+                                    inner.callee,
+                                    "called from a lambda callback in "
+                                    f"{info.qualname}",
+                                )
+                    else:
+                        add(
+                            graph.resolve_reference(info, arg),
+                            f"registered as a callback in {info.qualname}",
+                        )
+    for info in project.symbols.functions.values():
+        if (
+            info.is_method
+            and info.name in _NWS_PERIODIC
+            and info.module.startswith("repro.nws")
+        ):
+            roots.setdefault(
+                info.qualname,
+                f"periodic service entry point {info.name}() in {info.module}",
+            )
+    return roots
+
+
+# ------------------------------------------------------------ write scanning
+
+
+def _mutable_globals(project: Project, module: str) -> frozenset[str]:
+    ctx = project.modules.get(module)
+    if ctx is None:
+        return frozenset()
+    names = set()
+    for stmt in ctx.tree.body:
+        if not isinstance(stmt, ast.Assign):
+            continue
+        value = stmt.value
+        mutable = isinstance(
+            value, (ast.Dict, ast.List, ast.Set, ast.DictComp, ast.ListComp, ast.SetComp)
+        )
+        if isinstance(value, ast.Call):
+            callee = dotted(value.func) or ""
+            mutable = callee.split(".")[-1] in _MUTABLE_FACTORIES
+        if mutable:
+            for target in stmt.targets:
+                if isinstance(target, ast.Name):
+                    names.add(target.id)
+    return frozenset(names)
+
+
+def unsynchronized_writes(
+    project: Project, info: FunctionInfo
+) -> Iterator[tuple[ast.AST, str, str]]:
+    """(node, kind, name) for each lock-free shared-state write in ``info``.
+
+    ``kind`` is ``"attribute"`` (``self.<name>``) or ``"global"``
+    (module-level mutable).  Writes inside ``with *lock*:`` blocks and
+    inside ``__init__``/``__post_init__`` are exempt.
+    """
+    if info.name in _INIT_METHODS:
+        return
+    module_globals = _mutable_globals(project, info.module)
+    declared_global: set[str] = {
+        name
+        for stmt in ast.walk(info.node)
+        if isinstance(stmt, ast.Global)
+        for name in stmt.names
+    }
+
+    def self_attr(node: ast.AST) -> str | None:
+        if (
+            isinstance(node, ast.Attribute)
+            and isinstance(node.value, ast.Name)
+            and node.value.id == "self"
+        ):
+            return node.attr
+        return None
+
+    def target_write(target: ast.AST) -> tuple[str, str] | None:
+        attr = self_attr(target)
+        if attr is not None:
+            return ("attribute", attr)
+        if isinstance(target, ast.Subscript):
+            attr = self_attr(target.value)
+            if attr is not None:
+                return ("attribute", attr)
+            if isinstance(target.value, ast.Name) and (
+                target.value.id in module_globals
+            ):
+                return ("global", target.value.id)
+        if isinstance(target, ast.Name) and target.id in declared_global:
+            return ("global", target.id)
+        if isinstance(target, (ast.Tuple, ast.List)):
+            for elt in target.elts:
+                found = target_write(elt)
+                if found is not None:
+                    return found
+        return None
+
+    def walk(node: ast.AST, guarded: bool) -> Iterator[tuple[ast.AST, str, str]]:
+        for child in ast.iter_child_nodes(node):
+            if isinstance(child, _SCOPE_BOUNDARIES):
+                continue
+            child_guarded = guarded
+            if isinstance(child, (ast.With, ast.AsyncWith)) and _is_lock_guard(child):
+                child_guarded = True
+            if not child_guarded:
+                targets: list[ast.AST] = []
+                if isinstance(child, ast.Assign):
+                    targets = list(child.targets)
+                elif isinstance(child, (ast.AugAssign, ast.AnnAssign)):
+                    targets = [child.target]
+                elif isinstance(child, ast.Delete):
+                    targets = list(child.targets)
+                for target in targets:
+                    found = target_write(target)
+                    if found is not None:
+                        yield (child, *found)
+                if (
+                    isinstance(child, ast.Call)
+                    and isinstance(child.func, ast.Attribute)
+                    and child.func.attr in _MUTATING_METHODS
+                ):
+                    receiver = child.func.value
+                    attr = self_attr(receiver)
+                    if attr is not None:
+                        yield (child, "attribute", attr)
+                    elif isinstance(receiver, ast.Name) and (
+                        receiver.id in module_globals
+                    ):
+                        yield (child, "global", receiver.id)
+            yield from walk(child, child_guarded)
+
+    yield from walk(info.node, False)
+
+
+# ----------------------------------------------------------------- the rule
+
+
+def _reach_with_provenance(
+    graph: CallGraph, roots: dict[str, str]
+) -> dict[str, str]:
+    """Reachable qualname -> the entry-point reason that reaches it."""
+    reached: dict[str, str] = {}
+    todo = [(q, reason) for q, reason in roots.items() if q in graph.table.functions]
+    while todo:
+        current, reason = todo.pop()
+        if current in reached:
+            continue
+        reached[current] = reason
+        for callee in graph.callees.get(current, ()):
+            if callee not in reached:
+                todo.append((callee, reason))
+    return reached
+
+
+@register
+class SharedStateRaceRule(ProjectRule):
+    rule_id = "THRD001"
+    title = "no unsynchronized shared-state writes on thread-reachable paths"
+    rationale = (
+        "the NWS service layer is about to grow a threaded forecast "
+        "server; any instance or module state written without a lock on "
+        "a path reachable from an executor task, Thread target, or "
+        "observability callback is a latent race"
+    )
+    scope = SERVICE_SCOPE
+
+    def check_project(self, project: Project) -> Iterator[Finding]:
+        roots = thread_entry_roots(project)
+        reached = _reach_with_provenance(project.callgraph, roots)
+        for qualname, reason in sorted(reached.items()):
+            info = project.symbols.functions.get(qualname)
+            if info is None or not _in_service_scope(info.module):
+                continue
+            for node, kind, name in unsynchronized_writes(project, info):
+                target = f"self.{name}" if kind == "attribute" else name
+                yield project.finding_for(
+                    info,
+                    node,
+                    self.rule_id,
+                    f"unsynchronized write to shared {kind} '{target}' in "
+                    f"{qualname}(), which runs off the main thread "
+                    f"({reason}); guard it with `with self._lock:` or an "
+                    "equivalent module lock",
+                )

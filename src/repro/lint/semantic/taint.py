@@ -1,0 +1,283 @@
+"""DET002: interprocedural determinism taint.
+
+DET001 flags a wall-clock or global-RNG call *at the call site*, but only
+inside the deterministic packages -- so a helper in an unscoped module::
+
+    # repro/trace/clockutil.py  (DET001 does not apply here)
+    def wall_now():
+        return time.time()
+
+launders nondeterminism invisibly into the simulator::
+
+    # repro/sim/engine.py
+    stamp = wall_now()          # DET001 silent; DET002 fires
+
+This pass seeds taint at every nondeterminism source (wall clocks,
+module-level ``random``, global ``numpy.random`` state, ``os.urandom``,
+``uuid.uuid4``, ``secrets``, unseeded ``default_rng()``), propagates it
+through assignments, returns, yields, ``self.<attr>`` state and resolved
+calls to a fixed point over the project call graph, and then flags
+
+* calls, inside the deterministic packages, to project functions whose
+  return value is tainted, and
+* tainted arguments passed *into* a deterministic-package function from
+  outside.
+
+Direct source calls are never re-flagged -- those are DET001's findings
+(and its suppressions must keep meaning what they say).
+"""
+
+from __future__ import annotations
+
+import ast
+from dataclasses import dataclass
+from typing import Iterator
+
+from repro.lint.astutils import dotted
+from repro.lint.findings import Finding
+from repro.lint.registry import register
+from repro.lint.rules import _NP_RANDOM_OK, _STDLIB_RANDOM_OK, _WALL_CLOCK
+from repro.lint.semantic.callgraph import CallSite, own_statements
+from repro.lint.semantic.project import Project, ProjectRule
+from repro.lint.semantic.symbols import FunctionInfo
+
+__all__ = ["DeterminismTaintRule", "TaintAnalysis", "compute_taint"]
+
+#: Packages whose values must stay bit-deterministic.
+PROTECTED = ("repro.sim", "repro.core", "repro.analysis")
+
+#: Extra direct sources beyond DET001's wall-clock set.
+_EXTRA_SOURCES = ("os.urandom", "uuid.uuid1", "uuid.uuid4")
+
+
+def _in_protected(module: str) -> bool:
+    return any(module == p or module.startswith(p + ".") for p in PROTECTED)
+
+
+def source_description(external: str | None, node: ast.Call) -> str | None:
+    """Why a resolved-external call is a nondeterminism source, or None."""
+    if external is None:
+        return None
+    if external in _WALL_CLOCK:
+        return f"wall clock {external}()"
+    if external in _EXTRA_SOURCES or external.startswith("secrets."):
+        return f"OS entropy {external}()"
+    parts = external.split(".")
+    if external.startswith("random.") and parts[1] not in _STDLIB_RANDOM_OK:
+        return f"module-level random state {external}()"
+    if (
+        external.startswith("numpy.random.")
+        and len(parts) > 2
+        and parts[2] not in _NP_RANDOM_OK
+    ):
+        return f"global numpy RNG state {external}()"
+    if external.endswith(".default_rng") and not node.args and not node.keywords:
+        return f"unseeded {external}()"
+    return None
+
+
+@dataclass
+class TaintAnalysis:
+    """Result of the whole-project taint fixpoint."""
+
+    #: function qualname -> description of the source its return derives from
+    tainted_returns: dict[str, str]
+    #: (class qualname, attribute) -> source description
+    tainted_attrs: dict[tuple[str, str], str]
+
+
+class _FunctionPass:
+    """One flow-insensitive taint pass over a single function body."""
+
+    def __init__(self, info: FunctionInfo, project: Project, state: TaintAnalysis):
+        self.info = info
+        self.state = state
+        self.sites: dict[int, CallSite] = {
+            id(site.node): site
+            for site in project.callgraph.sites.get(info.qualname, ())
+        }
+        self.locals: dict[str, str] = {}
+        self.return_taint: str | None = None
+        self.attr_writes: dict[tuple[str, str], str] = {}
+
+    def run(self) -> None:
+        # Two sweeps reach a fixpoint for loop-carried assignments because
+        # taint only ever grows (no kill set).
+        for _ in range(2):
+            before = (len(self.locals), self.return_taint is not None)
+            for node in own_statements(self.info.node):
+                self._visit(node)
+            if (len(self.locals), self.return_taint is not None) == before:
+                break
+
+    def _visit(self, node: ast.AST) -> None:
+        if isinstance(node, ast.Assign):
+            taint = self.expr_taint(node.value)
+            if taint is not None:
+                for target in node.targets:
+                    self._taint_target(target, taint)
+        elif isinstance(node, ast.AnnAssign) and node.value is not None:
+            taint = self.expr_taint(node.value)
+            if taint is not None:
+                self._taint_target(node.target, taint)
+        elif isinstance(node, ast.AugAssign):
+            taint = self.expr_taint(node.value) or self.expr_taint(node.target)
+            if taint is not None:
+                self._taint_target(node.target, taint)
+        elif isinstance(node, (ast.Return, ast.Yield, ast.YieldFrom)):
+            value = node.value
+            if value is not None:
+                taint = self.expr_taint(value)
+                if taint is not None and self.return_taint is None:
+                    self.return_taint = taint
+
+    def _taint_target(self, target: ast.AST, taint: str) -> None:
+        if isinstance(target, ast.Name):
+            self.locals.setdefault(target.id, taint)
+        elif isinstance(target, (ast.Tuple, ast.List)):
+            for elt in target.elts:
+                self._taint_target(elt, taint)
+        elif isinstance(target, ast.Starred):
+            self._taint_target(target.value, taint)
+        elif (
+            isinstance(target, ast.Attribute)
+            and isinstance(target.value, ast.Name)
+            and target.value.id == "self"
+            and self.info.class_name is not None
+        ):
+            self.attr_writes.setdefault((self.info.class_name, target.attr), taint)
+
+    def call_taint(self, node: ast.Call) -> str | None:
+        """Taint of a call's value: source, tainted callee, or tainted args."""
+        site = self.sites.get(id(node))
+        if site is not None:
+            direct = source_description(site.external, node)
+            if direct is not None:
+                return direct
+            if site.callee is not None:
+                via = self.state.tainted_returns.get(site.callee.qualname)
+                if via is not None:
+                    return via
+        else:
+            chain = dotted(node.func)
+            direct = source_description(chain, node)
+            if direct is not None:
+                return direct
+        for arg in (*node.args, *(kw.value for kw in node.keywords)):
+            taint = self.expr_taint(arg)
+            if taint is not None:
+                return taint
+        return None
+
+    def expr_taint(self, node: ast.AST) -> str | None:
+        """Source description if the expression's value derives from one."""
+        if isinstance(node, ast.Name):
+            return self.locals.get(node.id)
+        if isinstance(node, ast.Attribute):
+            if (
+                isinstance(node.value, ast.Name)
+                and node.value.id == "self"
+                and self.info.class_name is not None
+            ):
+                return self.state.tainted_attrs.get(
+                    (self.info.class_name, node.attr)
+                )
+            return self.expr_taint(node.value)
+        if isinstance(node, ast.Call):
+            return self.call_taint(node)
+        if isinstance(node, (ast.Constant, ast.Lambda)):
+            return None
+        for child in ast.iter_child_nodes(node):
+            if isinstance(child, (ast.expr, ast.comprehension, ast.keyword)):
+                taint = self.expr_taint(
+                    child.value if isinstance(child, ast.keyword) else child
+                )
+                if taint is not None:
+                    return taint
+            if isinstance(child, ast.comprehension):
+                taint = self.expr_taint(child.iter)
+                if taint is not None:
+                    return taint
+        return None
+
+
+def compute_taint(project: Project) -> TaintAnalysis:
+    """Fixpoint of tainted returns / attributes over the whole project."""
+    state = TaintAnalysis(tainted_returns={}, tainted_attrs={})
+    functions = list(project.symbols.functions.values())
+    for _ in range(len(functions) + 1):
+        changed = False
+        for info in functions:
+            single = _FunctionPass(info, project, state)
+            single.run()
+            if single.return_taint is not None:
+                desc = _chain(single.return_taint, info.qualname)
+                if state.tainted_returns.get(info.qualname) is None:
+                    state.tainted_returns[info.qualname] = desc
+                    changed = True
+            for key, taint in single.attr_writes.items():
+                if key not in state.tainted_attrs:
+                    state.tainted_attrs[key] = _chain(taint, info.qualname)
+                    changed = True
+        if not changed:
+            break
+    return state
+
+
+def _chain(desc: str, qualname: str) -> str:
+    """Append one hop to the taint provenance unless already recorded."""
+    if " via " in desc:
+        return desc
+    return f"{desc} via {qualname}"
+
+
+@register
+class DeterminismTaintRule(ProjectRule):
+    rule_id = "DET002"
+    title = "no laundered wall-clock/RNG taint entering deterministic packages"
+    rationale = (
+        "DET001 sees only direct source calls inside the deterministic "
+        "packages; a helper in any other module can launder a wall-clock "
+        "read through a return value -- this pass propagates taint across "
+        "the call graph and flags it at the boundary"
+    )
+    scope = PROTECTED
+
+    def check_project(self, project: Project) -> Iterator[Finding]:
+        state = compute_taint(project)
+        for info in project.symbols.functions.values():
+            caller_protected = _in_protected(info.module)
+            for site in project.callgraph.sites.get(info.qualname, ()):
+                if site.callee is None:
+                    continue
+                if caller_protected:
+                    taint = state.tainted_returns.get(site.callee.qualname)
+                    if taint is not None:
+                        yield project.finding_for(
+                            info,
+                            site.node,
+                            self.rule_id,
+                            f"{site.callee.qualname}() returns a value "
+                            f"tainted by {taint}; {info.module} must take "
+                            "time and randomness as injected simulated "
+                            "clocks / seeded Generators",
+                        )
+                elif _in_protected(site.callee.module):
+                    single = _FunctionPass(info, project, state)
+                    single.run()
+                    for arg in (
+                        *site.node.args,
+                        *(kw.value for kw in site.node.keywords),
+                    ):
+                        taint = single.expr_taint(arg)
+                        if taint is not None:
+                            yield project.finding_for(
+                                info,
+                                site.node,
+                                self.rule_id,
+                                f"argument tainted by {taint} flows into "
+                                f"{site.callee.qualname}(), which lives in "
+                                "a deterministic package; pass a simulated "
+                                "clock / seeded Generator instead",
+                            )
+                            break

@@ -1,0 +1,170 @@
+"""UNIT002: cross-boundary unit inference.
+
+UNIT001 catches ``x_pct + y_frac`` inside one expression, but a unit
+mix-up that crosses a call boundary is invisible to it::
+
+    # repro/analysis/report.py
+    def utilisation(cpu_pct: float): ...
+
+    # elsewhere
+    utilisation(host.availability_frac)     # UNIT001 silent; UNIT002 fires
+
+This pass infers a dimension for every project-function parameter from
+
+* the parameter's *name* (the ``_frac``/``_pct``/``_seconds``/``_ms``
+  conventions shared with UNIT001, plus ``availability`` == fraction),
+* ``ensure_fraction(param)`` contract sites in the function body (a
+  parameter validated as a fraction *is* a fraction, whatever its name),
+
+then walks every resolved call site, infers the dimension of each
+argument expression the same way, and flags arguments whose dimension
+contradicts the callee parameter's.
+
+Arguments wrapped in an explicit conversion (``x_pct / 100``,
+``t_seconds * 1000`` -- any arithmetic with a 100/1000 constant) are
+treated as unit-unknown: the conversion is the fix, not a finding.
+"""
+
+from __future__ import annotations
+
+import ast
+from typing import Iterator
+
+from repro.lint.findings import Finding
+from repro.lint.registry import register
+from repro.lint.rules import _UNIT_SUFFIXES
+from repro.lint.semantic.callgraph import own_statements
+from repro.lint.semantic.project import Project, ProjectRule
+from repro.lint.semantic.symbols import FunctionInfo
+
+__all__ = ["CrossBoundaryUnitRule", "infer_param_units"]
+
+#: Constants that signal an in-flight unit conversion.
+_CONVERSION_FACTORS = {100, 100.0, 1000, 1000.0}
+
+
+def name_unit(name: str) -> str | None:
+    """The dimension a bare identifier claims through naming convention."""
+    for suffix, unit in _UNIT_SUFFIXES:
+        if name.endswith(suffix):
+            return unit
+    if "availability" in name:
+        return "frac"
+    return None
+
+
+def _expr_name(node: ast.AST) -> str | None:
+    if isinstance(node, ast.Name):
+        return node.id
+    if isinstance(node, ast.Attribute):
+        return node.attr
+    return None
+
+
+def _is_conversion(node: ast.BinOp) -> bool:
+    for side in (node.left, node.right):
+        if (
+            isinstance(side, ast.Constant)
+            and isinstance(side.value, (int, float))
+            and not isinstance(side.value, bool)
+            and side.value in _CONVERSION_FACTORS
+        ):
+            return True
+    return False
+
+
+def expr_unit(node: ast.AST) -> str | None:
+    """The dimension an argument expression carries, or None if unknown."""
+    name = _expr_name(node)
+    if name is not None:
+        return name_unit(name)
+    if isinstance(node, ast.BinOp):
+        if _is_conversion(node):
+            return None  # explicit conversion: trust the author
+        return expr_unit(node.left) or expr_unit(node.right)
+    if isinstance(node, ast.UnaryOp):
+        return expr_unit(node.operand)
+    if isinstance(node, ast.Call):
+        # float(x_pct), np.asarray(cpu_pct): unwrap single-argument casts.
+        if len(node.args) == 1 and not node.keywords:
+            return expr_unit(node.args[0])
+    return None
+
+
+def infer_param_units(project: Project, info: FunctionInfo) -> dict[str, str]:
+    """Parameter name -> dimension, from names and contract sites."""
+    units: dict[str, str] = {}
+    for param in (*info.params, *info.keyword_only):
+        unit = name_unit(param)
+        if unit is not None:
+            units[param] = unit
+    # ensure_fraction(param) inside the body pins the param to `frac`
+    # regardless of what the name claims -- the contract is stronger.
+    params = set(info.params) | set(info.keyword_only)
+    for node in own_statements(info.node):
+        if not isinstance(node, ast.Call):
+            continue
+        func = node.func
+        callee = func.id if isinstance(func, ast.Name) else getattr(func, "attr", None)
+        if callee != "ensure_fraction" or not node.args:
+            continue
+        arg = node.args[0]
+        if isinstance(arg, ast.Name) and arg.id in params:
+            units[arg.id] = "frac"
+    return units
+
+
+@register
+class CrossBoundaryUnitRule(ProjectRule):
+    rule_id = "UNIT002"
+    title = "argument dimensions must match the callee parameter's dimension"
+    rationale = (
+        "UNIT001 only sees mix-ups inside one expression; a fraction "
+        "passed to a _pct parameter crosses a call boundary where no "
+        "single file shows both units -- infer parameter dimensions "
+        "project-wide and check every resolved call site"
+    )
+
+    def check_project(self, project: Project) -> Iterator[Finding]:
+        param_units: dict[str, dict[str, str]] = {
+            qualname: infer_param_units(project, info)
+            for qualname, info in project.symbols.functions.items()
+        }
+        for info in project.symbols.functions.values():
+            for site in project.callgraph.sites.get(info.qualname, ()):
+                callee = site.callee
+                if callee is None:
+                    continue
+                units = param_units.get(callee.qualname)
+                if not units:
+                    continue
+                for param, arg in _bind_args(callee, site.node):
+                    expected = units.get(param)
+                    if expected is None:
+                        continue
+                    actual = expr_unit(arg)
+                    if actual is not None and actual != expected:
+                        yield project.finding_for(
+                            info,
+                            site.node,
+                            self.rule_id,
+                            f"argument for {callee.qualname}(..., {param}=) "
+                            f"carries unit '{actual}' but the parameter "
+                            f"expects '{expected}'; convert explicitly at "
+                            "the call site",
+                        )
+
+
+def _bind_args(
+    callee: FunctionInfo, node: ast.Call
+) -> Iterator[tuple[str, ast.expr]]:
+    """(parameter name, argument expression) pairs for a resolved call."""
+    for position, arg in enumerate(node.args):
+        if isinstance(arg, ast.Starred):
+            break  # positions after *args are unknowable
+        if position < len(callee.params):
+            yield callee.params[position], arg
+    named = set(callee.params) | set(callee.keyword_only)
+    for keyword in node.keywords:
+        if keyword.arg is not None and keyword.arg in named:
+            yield keyword.arg, keyword.value

@@ -10,6 +10,7 @@ persistence.
 from __future__ import annotations
 
 import json
+import threading
 from pathlib import Path
 
 import numpy as np
@@ -41,6 +42,10 @@ class MemoryStore:
         self.directory = Path(directory) if directory is not None else None
         if self.directory is not None:
             self.directory.mkdir(parents=True, exist_ok=True)
+        # Publishes arrive from sensor-host pump threads while fetches come
+        # from the main/forecaster path; every access to the series maps
+        # goes through this lock.
+        self._lock = threading.Lock()
         self._times: dict[str, list[float]] = {}
         self._values: dict[str, list[float]] = {}
         registry = get_registry()
@@ -65,27 +70,28 @@ class MemoryStore:
         Timestamps must be non-decreasing per series (the NWS rejects
         out-of-order reports).
         """
-        times = self._times.setdefault(series, [])
-        values = self._values.setdefault(series, [])
-        if times and time < times[-1]:
-            raise ValueError(
-                f"out-of-order measurement for {series!r}: "
-                f"{time} after {times[-1]}"
-            )
-        times.append(float(time))
-        values.append(float(value))
-        counter = self._obs_publishes.get(series)
-        if counter is None:
-            counter = self._registry.counter(
-                "repro_memory_publishes_total", series=series
-            )
-            self._obs_publishes[series] = counter
-        counter.inc()
-        if len(times) > self.capacity:
-            dropped = len(times) - self.capacity
-            del times[:dropped]
-            del values[:dropped]
-            self._obs_evictions.inc(dropped)
+        with self._lock:
+            times = self._times.setdefault(series, [])
+            values = self._values.setdefault(series, [])
+            if times and time < times[-1]:
+                raise ValueError(
+                    f"out-of-order measurement for {series!r}: "
+                    f"{time} after {times[-1]}"
+                )
+            times.append(float(time))
+            values.append(float(value))
+            counter = self._obs_publishes.get(series)
+            if counter is None:
+                counter = self._registry.counter(
+                    "repro_memory_publishes_total", series=series
+                )
+                self._obs_publishes[series] = counter
+            counter.inc()
+            if len(times) > self.capacity:
+                dropped = len(times) - self.capacity
+                del times[:dropped]
+                del values[:dropped]
+                self._obs_evictions.inc(dropped)
         path = self.journal_path(series)
         if path is not None:
             with path.open("a") as f:
@@ -94,10 +100,12 @@ class MemoryStore:
     # --------------------------------------------------------------- fetch
 
     def series_names(self) -> list[str]:
-        return sorted(self._times)
+        with self._lock:
+            return sorted(self._times)
 
     def count(self, series: str) -> int:
-        return len(self._times.get(series, ()))
+        with self._lock:
+            return len(self._times.get(series, ()))
 
     def fetch(
         self, series: str, *, since: float = -np.inf, limit: int | None = None
@@ -117,11 +125,12 @@ class MemoryStore:
             The series was never published here, or has been forgotten
             (a :class:`LookupError`, deliberately not ``KeyError``).
         """
-        if series not in self._times:
-            raise SeriesUnavailable(series, self.series_names())
+        with self._lock:
+            if series not in self._times:
+                raise SeriesUnavailable(series, sorted(self._times))
+            times = np.asarray(self._times[series])
+            values = np.asarray(self._values[series])
         self._obs_fetches.inc()
-        times = np.asarray(self._times[series])
-        values = np.asarray(self._values[series])
         keep = times >= since
         times, values = times[keep], values[keep]
         if limit is not None and times.size > limit:
@@ -141,9 +150,10 @@ class MemoryStore:
         re-published or :meth:`recover`-ed.  Returns whether the series
         existed.
         """
-        existed = series in self._times
-        self._times.pop(series, None)
-        self._values.pop(series, None)
+        with self._lock:
+            existed = series in self._times
+            self._times.pop(series, None)
+            self._values.pop(series, None)
         return existed
 
     # ----------------------------------------------------------- recovery
@@ -195,8 +205,9 @@ class MemoryStore:
         if len(times) > self.capacity:
             times = times[-self.capacity :]
             values = values[-self.capacity :]
-        self._times[series] = times
-        self._values[series] = values
+        with self._lock:
+            self._times[series] = times
+            self._values[series] = values
         self._obs_recoveries.inc()
         self._obs_recovered.inc(len(times))
         return len(times)

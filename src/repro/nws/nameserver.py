@@ -9,6 +9,7 @@ here against the simulated clock.
 
 from __future__ import annotations
 
+import threading
 from dataclasses import dataclass, field, replace
 
 from repro.obs.metrics import get_registry
@@ -53,6 +54,10 @@ class NameServer:
 
     def __init__(self, clock=None):
         self._clock = clock if clock is not None else (lambda: 0.0)
+        # Registrations arrive from per-host refresh threads while lookups
+        # run on the main path; the entry map is always accessed under
+        # this lock.
+        self._lock = threading.Lock()
         self._entries: dict[str, Registration] = {}
         registry = get_registry()
         self._obs_registrations = registry.counter(
@@ -99,7 +104,8 @@ class NameServer:
             attributes=dict(attributes or {}),
             expires_at=expires,
         )
-        self._entries[name] = entry
+        with self._lock:
+            self._entries[name] = entry
         self._obs_registrations.inc()
         return entry
 
@@ -111,16 +117,22 @@ class NameServer:
         KeyError
             If the component is unknown or already expired.
         """
-        entry = self._require_live(name)
-        refreshed = replace(entry, expires_at=self._clock() + ttl)
-        self._entries[name] = refreshed
+        with self._lock:
+            entry = self._require_live_locked(name)
+            refreshed = replace(entry, expires_at=self._clock() + ttl)
+            self._entries[name] = refreshed
         return refreshed
 
     def unregister(self, name: str) -> None:
         """Remove a registration (idempotent)."""
-        self._entries.pop(name, None)
+        with self._lock:
+            self._entries.pop(name, None)
 
     def _require_live(self, name: str) -> Registration:
+        with self._lock:
+            return self._require_live_locked(name)
+
+    def _require_live_locked(self, name: str) -> Registration:
         entry = self._entries.get(name)
         if entry is None or entry.expires_at <= self._clock():
             raise KeyError(f"no live component {name!r}")
@@ -136,13 +148,15 @@ class NameServer:
         """
         now = self._clock()
         self._obs_lookups.inc()
-        dead = [n for n, e in self._entries.items() if e.expires_at <= now]
-        for n in dead:
-            del self._entries[n]
+        with self._lock:
+            dead = [n for n, e in self._entries.items() if e.expires_at <= now]
+            for n in dead:
+                del self._entries[n]
+            live = list(self._entries.values())
         if dead:
             self._obs_expirations.inc(len(dead))
         out = []
-        for entry in self._entries.values():
+        for entry in live:
             if kind is not None and entry.kind != kind:
                 continue
             if any(entry.attributes.get(k) != v for k, v in attribute_filters.items()):
@@ -156,4 +170,5 @@ class NameServer:
 
     def __len__(self) -> int:
         now = self._clock()
-        return sum(1 for e in self._entries.values() if e.expires_at > now)
+        with self._lock:
+            return sum(1 for e in self._entries.values() if e.expires_at > now)

@@ -17,6 +17,8 @@ untouched.
 
 from __future__ import annotations
 
+import threading
+
 import numpy as np
 
 from repro.faults.plan import HostFaults
@@ -72,6 +74,9 @@ class SensorHost:
             measure_period=measure_period, test_period=None, host=profile
         ).attach(self.host)
         self.suite.on_round(self._buffer_round)
+        # Measurement rounds buffer between the simulation callback and
+        # pump(), which a service loop may drive from its own thread.
+        self._lock = threading.Lock()
         self._rounds: list[tuple[float, dict[str, float]]] = []
         observe_kernel(self.host.kernel, host=profile)
         registry = get_registry()
@@ -94,7 +99,8 @@ class SensorHost:
         return f"cpu.{self.profile}.{method}"
 
     def _buffer_round(self, time: float, row: dict[str, float]) -> None:
-        self._rounds.append((time, dict(row)))
+        with self._lock:
+            self._rounds.append((time, dict(row)))
 
     def pump(self, until: float) -> int:
         """Advance the simulation to ``until`` and publish new readings.
@@ -102,8 +108,9 @@ class SensorHost:
         Returns the number of measurement rounds published.
         """
         self.host.run_until(until)
-        rounds = self._rounds
-        self._rounds = []
+        with self._lock:
+            rounds = self._rounds
+            self._rounds = []
         faults = self.faults
         if faults is None:
             for t, row in rounds:

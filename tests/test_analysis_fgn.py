@@ -83,15 +83,20 @@ class TestFgn:
             fgn(0, 0.7)
 
     @given(st.floats(min_value=0.05, max_value=0.95))
-    @settings(max_examples=15, deadline=None)
+    @settings(max_examples=15, deadline=None, derandomize=True)
     def test_property_variance_matches_lrd_expectation(self, hurst):
         # For LRD noise the *sample* variance is biased low because the
         # sample mean absorbs low-frequency power:
         # E[s^2] = sigma^2 * (1 - n^{2H-2}).
+        # A single realization's variance has wide spread at high H, so
+        # average over independent paths to test the expectation itself.
         n = 1 << 13
-        x = fgn(n, hurst, rng=int(hurst * 1e6))
+        base = int(hurst * 1e6)
+        observed = float(
+            np.mean([fgn(n, hurst, rng=base + i).var() for i in range(8)])
+        )
         expected = 1.0 - n ** (2.0 * hurst - 2.0)
-        assert x.var() == pytest.approx(expected, rel=0.25)
+        assert observed == pytest.approx(expected, rel=0.25)
 
 
 class TestFbm:

@@ -1,0 +1,188 @@
+"""Content-addressed lint cache and the unused-suppression check."""
+
+from __future__ import annotations
+
+import json
+from pathlib import Path
+
+from repro.cli import main
+from repro.lint import lint_paths
+from repro.lint.cache import LintCache, content_digest, file_key, run_key
+
+DIRTY = "import time\n\n\ndef stamp():\n    return time.time()\n"
+CLEAN = "def stamp(now):\n    return now\n"
+
+
+def make_pkg(root: Path, source: str = DIRTY) -> Path:
+    pkg = root / "repro"
+    (pkg / "sim").mkdir(parents=True)
+    (pkg / "__init__.py").write_text("")
+    (pkg / "sim" / "__init__.py").write_text("")
+    (pkg / "sim" / "engine.py").write_text(source)
+    return pkg
+
+
+# ------------------------------------------------------------------- keys
+
+
+def test_keys_change_with_content_selection_and_path():
+    digest = content_digest(DIRTY)
+    assert digest != content_digest(CLEAN)
+    base = run_key([("a.py", digest)], None, None)
+    assert base != run_key([("a.py", content_digest(CLEAN))], None, None)
+    assert base != run_key([("a.py", digest)], ["DET001"], None)
+    assert base != run_key([("b.py", digest)], None, None)
+    assert file_key("a.py", digest, ["DET001"]) != file_key(
+        "a.py", digest, ["DET001", "UNIT001"]
+    )
+
+
+# ------------------------------------------------------------- warm runs
+
+
+def test_warm_run_returns_identical_result_from_cache(tmp_path):
+    pkg = make_pkg(tmp_path)
+    cache_dir = tmp_path / "cache"
+    cold = lint_paths([pkg], cache_dir=cache_dir)
+    warm = lint_paths([pkg], cache_dir=cache_dir)
+    assert not cold.from_cache and warm.from_cache
+    assert warm.findings == cold.findings
+    assert warm.suppressed == cold.suppressed
+    assert warm.files_checked == cold.files_checked
+    assert warm.rules_run == cold.rules_run
+
+
+def test_editing_a_file_invalidates_the_run_key(tmp_path):
+    pkg = make_pkg(tmp_path)
+    cache_dir = tmp_path / "cache"
+    dirty = lint_paths([pkg], cache_dir=cache_dir)
+    assert not dirty.ok
+    (pkg / "sim" / "engine.py").write_text(CLEAN)
+    fixed = lint_paths([pkg], cache_dir=cache_dir)
+    assert not fixed.from_cache
+    assert fixed.ok
+    # And the fixed tree warms up independently of the dirty entry.
+    assert lint_paths([pkg], cache_dir=cache_dir).from_cache
+
+
+def test_rule_selection_is_part_of_the_key(tmp_path):
+    pkg = make_pkg(tmp_path)
+    cache_dir = tmp_path / "cache"
+    lint_paths([pkg], cache_dir=cache_dir)
+    narrowed = lint_paths([pkg], select=["MUT001"], cache_dir=cache_dir)
+    assert not narrowed.from_cache
+    assert narrowed.ok  # DET001 finding must not leak from the full run
+
+
+def test_corrupt_cache_entry_is_a_miss_not_an_error(tmp_path):
+    pkg = make_pkg(tmp_path)
+    cache_dir = tmp_path / "cache"
+    lint_paths([pkg], cache_dir=cache_dir)
+    for entry in cache_dir.rglob("*.json"):
+        entry.write_text("{not json")
+    result = lint_paths([pkg], cache_dir=cache_dir)
+    assert not result.from_cache
+    assert [f.rule_id for f in result.findings] == ["DET001"]
+
+
+def test_cache_disabled_by_default(tmp_path):
+    pkg = make_pkg(tmp_path)
+    lint_paths([pkg])
+    assert not (tmp_path / "cache").exists()
+
+
+def test_cli_cache_dir_flag(tmp_path, capsys):
+    pkg = make_pkg(tmp_path, CLEAN)
+    cache_dir = tmp_path / "cache"
+    assert main(["lint", str(pkg), "--cache-dir", str(cache_dir)]) == 0
+    capsys.readouterr()
+    assert any(cache_dir.rglob("*.json"))
+    assert main(["lint", str(pkg), "--cache-dir", str(cache_dir)]) == 0
+    assert "clean" in capsys.readouterr().out
+
+
+def test_cache_store_and_load_round_trip(tmp_path):
+    cache = LintCache(tmp_path / "c")
+    cache.store("ab" + "0" * 62, {"findings": []})
+    assert cache.load("ab" + "0" * 62) == {"findings": []}
+    assert cache.load("cd" + "0" * 62) is None
+    assert cache.hits == 1 and cache.misses == 1
+
+
+# ------------------------------------------------- unused suppressions
+
+
+def test_unused_suppression_reported_as_lint001(tmp_path):
+    pkg = make_pkg(
+        tmp_path,
+        "def stamp(now):\n"
+        "    return now  # lint: ignore[DET001] -- nothing fires here\n",
+    )
+    result = lint_paths([pkg])
+    (finding,) = result.findings
+    assert finding.rule_id == "LINT001"
+    assert finding.line == 2
+    assert "silences nothing" in finding.message
+
+
+def test_used_suppression_not_reported(tmp_path):
+    pkg = make_pkg(
+        tmp_path,
+        DIRTY.replace(
+            "time.time()",
+            "time.time()  # lint: ignore[DET001] -- fixture wants wall clock",
+        ),
+    )
+    result = lint_paths([pkg])
+    assert result.ok
+    assert [f.rule_id for f in result.suppressed] == ["DET001"]
+
+
+def test_unused_check_skipped_when_registry_is_narrowed(tmp_path):
+    pkg = make_pkg(
+        tmp_path,
+        "def stamp(now):\n"
+        "    return now  # lint: ignore[DET001] -- nothing fires here\n",
+    )
+    assert lint_paths([pkg], select=["DET001"]).ok
+    assert lint_paths([pkg], ignore=["MUT001"]).ok
+
+
+def test_docstring_suppression_examples_are_inert(tmp_path):
+    # The pattern inside a docstring must neither suppress findings on
+    # its line nor be flagged as an unused suppression.
+    pkg = make_pkg(
+        tmp_path,
+        '"""Example: time.time()  # lint: ignore[DET001] -- docs only."""\n'
+        "import time\n\n\n"
+        "def stamp():\n"
+        "    return time.time()\n",
+    )
+    result = lint_paths([pkg])
+    assert [f.rule_id for f in result.findings] == ["DET001"]
+    assert result.suppressed == []
+
+
+def test_lint001_survives_the_warm_cache(tmp_path):
+    pkg = make_pkg(
+        tmp_path,
+        "def stamp(now):\n"
+        "    return now  # lint: ignore[DET001] -- nothing fires here\n",
+    )
+    cache_dir = tmp_path / "cache"
+    cold = lint_paths([pkg], cache_dir=cache_dir)
+    warm = lint_paths([pkg], cache_dir=cache_dir)
+    assert warm.from_cache
+    assert [f.rule_id for f in cold.findings] == ["LINT001"]
+    assert warm.findings == cold.findings
+
+
+def test_json_report_includes_lint001(tmp_path, capsys):
+    pkg = make_pkg(
+        tmp_path,
+        "def stamp(now):\n"
+        "    return now  # lint: ignore -- nothing fires here\n",
+    )
+    assert main(["lint", str(pkg), "--format", "json"]) == 1
+    payload = json.loads(capsys.readouterr().out)
+    assert payload["findings"][0]["rule"] == "LINT001"

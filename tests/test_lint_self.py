@@ -28,7 +28,7 @@ def test_src_tree_is_lint_clean():
     assert result.files_checked > 50  # the walk really covered the tree
 
 
-def test_all_six_domain_rules_ran():
+def test_all_domain_rules_ran():
     result = lint_paths([SRC])
     assert set(result.rules_run) >= {
         "DET001",
@@ -37,7 +37,30 @@ def test_all_six_domain_rules_ran():
         "MUT001",
         "HEAP001",
         "EXC001",
+        "DET002",
+        "UNIT002",
+        "THRD001",
     }
+
+
+def test_service_layer_clean_under_race_detector():
+    """Acceptance gate: the packages the threaded NWS server will touch
+    carry no unsynchronized shared-state writes."""
+    result = lint_paths(
+        [SRC / "runner", SRC / "obs", SRC / "nws"], select=["THRD001"]
+    )
+    report = "\n".join(finding.render() for finding in result.findings)
+    assert result.ok, f"THRD001 regressions:\n{report}"
+    assert result.files_checked > 10
+
+
+def test_no_stale_suppressions_in_tree():
+    """Every suppression in the tree silences a real finding (LINT001)."""
+    result = lint_paths([SRC])
+    stale = [f for f in result.findings if f.rule_id == "LINT001"]
+    assert not stale, "\n".join(f.render() for f in stale)
+    # The tree's deliberate suppressions are all exercised.
+    assert {f.rule_id for f in result.suppressed} == {"DET001"}
 
 
 def test_every_suppression_carries_a_justification():
