@@ -29,6 +29,18 @@ go to stderr so stdout stays byte-stable.
 ``nws-repro report OUT_DIR [--seed S] [--hours H] [--figure3-days D]``
     Write every table (CSV + text, with the paper's values) and every
     figure (CSV panels + ASCII render) plus a REPORT.txt summary.
+``nws-repro profile [TARGET] [--format table|folded|chrome] [--seed S] ...``
+    Deterministic profiler over the span stream of an instrumented run.
+    TARGET is ``nws`` (default: an instrumented NWS deployment), a
+    testbed host name, or ``all`` (the full testbed through the parallel
+    runner's telemetry merge).  ``table`` prints per-phase
+    inclusive/exclusive sim-time; ``folded`` emits flamegraph.pl input;
+    ``chrome`` emits Chrome trace_event JSON.  All three are byte-stable
+    for a given seed.
+``nws-repro perf diff BASELINE [--current DIR] [--tolerance F] ...``
+    Compare the current benchmark records (``artifacts/bench/``) against
+    a baseline directory; exits 1 when a benchmark regressed beyond the
+    noise tolerance.
 ``nws-repro lint [PATHS] [--format text|json] [--select/--ignore RULE]``
     Run the domain-aware static-analysis pass (determinism, unit safety,
     forecaster protocol, ...) over the given files or directories.
@@ -220,6 +232,73 @@ def build_parser() -> argparse.ArgumentParser:
         default=1,
         metavar="N",
         help="worker processes (one per host; output identical to --jobs 1)",
+    )
+
+    p_profile = sub.add_parser(
+        "profile", help="deterministic span profiler (table, folded stacks, chrome)"
+    )
+    p_profile.add_argument(
+        "target",
+        nargs="?",
+        default="nws",
+        help=(
+            "'nws' (instrumented NWS deployment, default), a testbed host "
+            "name, or 'all' (full testbed via the runner telemetry merge)"
+        ),
+    )
+    p_profile.add_argument(
+        "--format",
+        choices=("table", "folded", "chrome"),
+        default="table",
+        dest="output_format",
+        help="output format (default: table)",
+    )
+    p_profile.add_argument("--seed", type=int, default=7)
+    p_profile.add_argument("--hours", type=float, default=1.0)
+    p_profile.add_argument(
+        "--profiles",
+        type=str,
+        default="thing1,conundrum",
+        help="profiles for the 'nws' target (comma-separated)",
+    )
+    p_profile.add_argument(
+        "--jobs",
+        type=int,
+        default=1,
+        metavar="N",
+        help="worker processes for testbed targets (output identical to 1)",
+    )
+
+    p_perf = sub.add_parser(
+        "perf", help="benchmark record tooling (regression diffs)"
+    )
+    perf_sub = p_perf.add_subparsers(dest="perf_command", required=True)
+    p_perf_diff = perf_sub.add_parser(
+        "diff", help="diff current benchmark records against a baseline"
+    )
+    p_perf_diff.add_argument(
+        "baseline", type=str, help="baseline record directory (BENCH_*.json)"
+    )
+    p_perf_diff.add_argument(
+        "--current",
+        type=str,
+        default="artifacts/bench",
+        metavar="DIR",
+        help="current record directory (default: artifacts/bench)",
+    )
+    p_perf_diff.add_argument(
+        "--tolerance",
+        type=float,
+        default=None,
+        metavar="F",
+        help="relative noise tolerance as a fraction (default: 0.05)",
+    )
+    p_perf_diff.add_argument(
+        "--min-delta",
+        type=float,
+        default=None,
+        metavar="X",
+        help="absolute floor below which a move never regresses (default: 0.002)",
     )
 
     p_lint = sub.add_parser(
@@ -506,6 +585,80 @@ def _cmd_report(args) -> int:
     return 0
 
 
+def _cmd_profile(args) -> int:
+    from repro.obs import MetricsRegistry, Tracer, installed, traced
+    from repro.obs.profile import (
+        profile_spans,
+        render_chrome,
+        render_folded,
+        render_table,
+    )
+
+    registry = MetricsRegistry()
+    if args.target == "nws":
+        from repro.nws import NWSSystem
+
+        profiles = [p.strip() for p in args.profiles.split(",") if p.strip()]
+        if not profiles:
+            print("nws-repro profile: no profiles given", file=sys.stderr)
+            return 2
+        with installed(registry):
+            system = NWSSystem(profiles, seed=args.seed)
+            tracer = Tracer(clock=lambda: system.clock)
+            with traced(tracer):
+                system.advance(args.hours * 3600.0)
+                system.forecaster.query_all()
+    else:
+        from repro.experiments.testbed import TestbedConfig
+        from repro.runner import Runner
+        from repro.workload.profiles import profile_names
+
+        hosts = None if args.target == "all" else [args.target]
+        if hosts is not None and args.target not in profile_names():
+            print(
+                f"nws-repro profile: unknown target {args.target!r}; "
+                f"use 'nws', 'all' or one of {profile_names()}",
+                file=sys.stderr,
+            )
+            return 2
+        config = TestbedConfig(duration=args.hours * 3600.0, seed=args.seed)
+        # No result cache: cache hits return stored arrays without
+        # replaying telemetry, and the profiler needs the spans.
+        tracer = Tracer(clock=lambda: 0.0)
+        with installed(registry), traced(tracer):
+            Runner(jobs=args.jobs).run(hosts, config)
+    profile = profile_spans(tracer.spans)
+    if args.output_format == "folded":
+        print(render_folded(profile), end="")
+    elif args.output_format == "chrome":
+        print(render_chrome(profile), end="")
+    else:
+        print(render_table(profile), end="")
+    return 0
+
+
+def _cmd_perf(args) -> int:
+    from repro.perf import diff_records, render_diff
+    from repro.perf.diff import DEFAULT_MIN_DELTA, DEFAULT_TOLERANCE
+
+    try:
+        diff = diff_records(
+            args.baseline,
+            args.current,
+            tolerance=(
+                DEFAULT_TOLERANCE if args.tolerance is None else args.tolerance
+            ),
+            min_delta=(
+                DEFAULT_MIN_DELTA if args.min_delta is None else args.min_delta
+            ),
+        )
+    except (FileNotFoundError, ValueError) as exc:
+        print(f"nws-repro perf diff: {exc}", file=sys.stderr)
+        return 2
+    print(render_diff(diff), end="")
+    return diff.exit_code
+
+
 def _split_rule_args(values: list[str] | None) -> list[str] | None:
     """Flatten repeated / comma-separated ``--select``/``--ignore`` values."""
     if not values:
@@ -590,6 +743,8 @@ def main(argv: list[str] | None = None) -> int:
         "obs": _cmd_obs,
         "sched-demo": _cmd_sched_demo,
         "report": _cmd_report,
+        "profile": _cmd_profile,
+        "perf": _cmd_perf,
         "lint": _cmd_lint,
         "chaos": _cmd_chaos,
     }

@@ -22,6 +22,7 @@ from dataclasses import dataclass, field
 import numpy as np
 
 from repro.obs.instrument import observe_kernel
+from repro.obs.tracing import get_tracer
 from repro.sensors.suite import METHODS, MeasurementSuite, TestObservation
 from repro.sim.scheduler import (
     DecayUsageScheduler,
@@ -169,7 +170,13 @@ def simulate_host(name: str, config: TestbedConfig | None = None) -> HostRun:
         host=name,
     ).attach(host)
     observe_kernel(host.kernel, host=name)
+    run_start = host.kernel.time
     host.run_until(config.duration)
+    # Root span for the profiler: sim-clock endpoints, so the probe spans
+    # recorded during the run nest under it and traces stay bit-stable.
+    get_tracer().record(
+        "kernel.run", start=run_start, end=host.kernel.time, host=name
+    )
 
     series = {}
     for method in METHODS:

@@ -57,11 +57,20 @@ paper's results depend on:
     inside a loop retries forever and hides the failure; a raw
     ``time.sleep`` in a loop hand-rolls backoff without the seeded
     jitter or the injectable (deterministic) sleep.
+``OBS002``
+    Metric naming and inventory: literal metric names passed to
+    ``.counter`` / ``.gauge`` / ``.histogram`` must follow the
+    ``repro_<layer>_<name>`` scheme (counters end in ``_total``,
+    gauges and histograms do not) and must be listed in the metrics
+    inventory of the :mod:`repro.obs` package docstring, so the
+    inventory stays the single complete catalogue of what a running
+    system exports.
 """
 
 from __future__ import annotations
 
 import ast
+import re
 from typing import Iterator
 
 from repro.lint.astutils import dotted as _dotted
@@ -81,6 +90,7 @@ __all__ = [
     "CacheBypassRule",
     "VectorizedBacktestRule",
     "ResilienceRule",
+    "MetricInventoryRule",
 ]
 
 
@@ -826,3 +836,94 @@ class ResilienceRule(Rule):
                             "backoff; use repro.faults.RetryPolicy (seeded "
                             "jitter, injectable sleep) instead",
                         )
+
+
+# --------------------------------------------------------------------------
+# OBS002 -- metric naming and inventory
+# --------------------------------------------------------------------------
+
+#: Registry factory methods whose first argument is a metric name.
+_METRIC_FACTORIES = ("counter", "gauge", "histogram")
+
+#: repro_<layer>_<name>: at least three lowercase segments.
+_METRIC_NAME_RE = re.compile(r"^repro_[a-z0-9]+(?:_[a-z0-9]+)+$")
+
+_INVENTORY_CACHE: frozenset[str] | None = None
+
+
+def _metric_inventory() -> frozenset[str]:
+    """Every metric name listed in the :mod:`repro.obs` docstring.
+
+    Parsed lazily (and once per process): the package docstring is the
+    human-maintained catalogue this rule holds code to.
+    """
+    global _INVENTORY_CACHE
+    if _INVENTORY_CACHE is None:
+        import repro.obs
+
+        _INVENTORY_CACHE = frozenset(
+            re.findall(r"repro_[a-z0-9_]+", repro.obs.__doc__ or "")
+        )
+    return _INVENTORY_CACHE
+
+
+@register
+class MetricInventoryRule(Rule):
+    rule_id = "OBS002"
+    title = "metric names follow repro_<layer>_<name> and are inventoried"
+    rationale = (
+        "an exporter full of ad-hoc names cannot be read back against the "
+        "paper; the repro.obs docstring inventory is the catalogue of "
+        "what a running system emits, and a metric missing from it is "
+        "invisible to anyone who trusts the docs"
+    )
+    scope = ("repro",)
+
+    def check(self, ctx: ModuleContext) -> Iterator[Finding]:
+        for node in ast.walk(ctx.tree):
+            if not isinstance(node, ast.Call):
+                continue
+            func = node.func
+            if not (
+                isinstance(func, ast.Attribute)
+                and func.attr in _METRIC_FACTORIES
+            ):
+                continue
+            if not node.args:
+                continue
+            first = node.args[0]
+            if not (
+                isinstance(first, ast.Constant) and isinstance(first.value, str)
+            ):
+                continue
+            name = first.value
+            if not _METRIC_NAME_RE.match(name):
+                yield ctx.finding(
+                    node,
+                    self.rule_id,
+                    f"metric name {name!r} does not follow "
+                    "repro_<layer>_<name> (lowercase, underscore-separated, "
+                    "at least three segments)",
+                )
+                continue
+            if func.attr == "counter" and not name.endswith("_total"):
+                yield ctx.finding(
+                    node,
+                    self.rule_id,
+                    f"counter {name!r} must end in '_total' "
+                    "(Prometheus counter convention)",
+                )
+            elif func.attr != "counter" and name.endswith("_total"):
+                yield ctx.finding(
+                    node,
+                    self.rule_id,
+                    f"{func.attr} {name!r} must not end in '_total'; the "
+                    "suffix is reserved for counters",
+                )
+            if name not in _metric_inventory():
+                yield ctx.finding(
+                    node,
+                    self.rule_id,
+                    f"metric {name!r} is missing from the metrics inventory "
+                    "in the repro.obs package docstring; document it there",
+                )

@@ -18,9 +18,24 @@ Pieces
   spans stamped from an injected clock; ``record()`` for event-driven
   intervals.
 * :mod:`repro.obs.exporters` -- Prometheus text format and JSON-lines
-  event logs (byte-identical across same-seed runs).
+  event logs (byte-identical across same-seed runs), plus
+  :func:`~repro.obs.exporters.deterministic_view` which drops the few
+  wall-clock metric families (:data:`~repro.obs.metrics.WALL_METRICS`)
+  so cross-process parity can be asserted byte-for-byte.
+* :mod:`repro.obs.profile` -- deterministic profiler over a span stream:
+  span trees, inclusive/exclusive time per phase, ASCII table, folded
+  stacks (flamegraph.pl) and Chrome ``trace_event`` JSON.
 * :mod:`repro.obs.dashboard` -- ASCII dashboard over a snapshot.
 * :mod:`repro.obs.instrument` -- collect-style kernel gauges.
+
+Cross-process aggregation: worker processes snapshot a private registry
+and tracer, and the parent folds them back in with
+:meth:`~repro.obs.metrics.MetricsRegistry.merge` (counters add, gauges
+last-writer-by-sim-time, histograms bucket-wise add; malformed snapshots
+raise :class:`~repro.obs.metrics.MergeError` before any mutation) and
+:meth:`~repro.obs.tracing.Tracer.import_spans`.  Merging worker
+snapshots in a canonical order makes parallel runs byte-identical to
+serial ones over the deterministic view.
 
 Usage: install a registry (and optionally a tracer) *before* constructing
 the system -- handles bind at construction time::
@@ -131,6 +146,29 @@ Fault injection & resilience (``repro.faults``; see
 * ``repro_runner_retries_total`` (counter) -- per-host simulation retries
   in :class:`~repro.runner.Runner` (worker crashes, broken pools).
 
+Runner (``repro.runner``):
+
+* ``repro_runner_cache_hits_total`` / ``repro_runner_cache_misses_total``
+  (counters; label ``tier`` in ``memory|disk``) -- cache outcomes per
+  tier.
+* ``repro_runner_cache_corrupt_total`` (counter) -- on-disk entries that
+  failed verification and were discarded.
+* ``repro_runner_simulations_total`` (counter; label ``mode`` in
+  ``serial|parallel``) -- simulations actually executed.
+* ``repro_runner_snapshot_errors_total`` (counter) -- worker telemetry
+  snapshots dropped because they failed merge validation.
+* ``repro_runner_jobs`` (gauge) -- worker processes in the last run.
+* ``repro_runner_worker_utilization`` (gauge) -- busy fraction of the
+  pool (wall-clock; excluded from the deterministic view).
+* ``repro_runner_host_seconds`` (histogram; label ``host``) -- wall time
+  simulating each host, observed worker-side and merged into the
+  parent registry (wall-clock; excluded from the deterministic view).
+
+Profiler (``repro.obs.profile``):
+
+* ``repro_profile_spans_total`` (counter) -- spans consumed by
+  :func:`~repro.obs.profile.profile_spans`.
+
 Scheduling application (``repro.schedapp``):
 
 * ``repro_sched_assignments_total`` / ``repro_sched_tasks_assigned_total``
@@ -139,24 +177,41 @@ Scheduling application (``repro.schedapp``):
 * ``repro_sched_chunks_pulled_total`` (counter) -- work-queue pulls.
 * ``repro_sched_makespan_seconds`` (gauge) -- last executed plan.
 
-Spans: ``nws.advance``, ``nws.query``, ``sensor.probe``, ``sched.execute``
-(sim-clock timestamps; see :mod:`repro.obs.tracing`).
+Spans: ``kernel.run``, ``nws.advance``, ``nws.query``, ``sensor.probe``,
+``sched.execute`` (sim-clock timestamps; see :mod:`repro.obs.tracing`).
 """
 
-from repro.obs.exporters import jsonl_events, render_jsonl, render_prometheus
+from repro.obs.exporters import (
+    deterministic_view,
+    jsonl_events,
+    render_jsonl,
+    render_prometheus,
+)
 from repro.obs.instrument import observe_kernel
 from repro.obs.metrics import (
     DEFAULT_BUCKETS,
     NULL_REGISTRY,
+    WALL_METRICS,
     Counter,
     Gauge,
     Histogram,
+    MergeError,
     MetricsRegistry,
     NullRegistry,
     get_registry,
     install,
     installed,
     uninstall,
+)
+from repro.obs.profile import (
+    PhaseStats,
+    Profile,
+    SpanNode,
+    build_span_trees,
+    profile_spans,
+    render_chrome,
+    render_folded,
+    render_table,
 )
 from repro.obs.tracing import (
     NULL_TRACER,
@@ -174,13 +229,20 @@ __all__ = [
     "DEFAULT_BUCKETS",
     "Gauge",
     "Histogram",
+    "MergeError",
     "MetricsRegistry",
     "NULL_REGISTRY",
     "NULL_TRACER",
     "NullRegistry",
     "NullTracer",
+    "PhaseStats",
+    "Profile",
+    "SpanNode",
     "SpanRecord",
     "Tracer",
+    "WALL_METRICS",
+    "build_span_trees",
+    "deterministic_view",
     "get_registry",
     "get_tracer",
     "install",
@@ -188,8 +250,12 @@ __all__ = [
     "installed",
     "jsonl_events",
     "observe_kernel",
+    "profile_spans",
+    "render_chrome",
+    "render_folded",
     "render_jsonl",
     "render_prometheus",
+    "render_table",
     "traced",
     "uninstall",
     "uninstall_tracer",

@@ -26,7 +26,36 @@ from __future__ import annotations
 import json
 import math
 
-__all__ = ["render_prometheus", "render_jsonl", "jsonl_events"]
+from repro.obs.metrics import WALL_METRICS
+
+__all__ = [
+    "deterministic_view",
+    "render_prometheus",
+    "render_jsonl",
+    "jsonl_events",
+]
+
+
+def _snapshot_of(registry_or_snapshot) -> dict:
+    return (
+        registry_or_snapshot.snapshot()
+        if hasattr(registry_or_snapshot, "snapshot")
+        else registry_or_snapshot
+    )
+
+
+def deterministic_view(registry_or_snapshot, *, exclude=WALL_METRICS) -> dict:
+    """The snapshot with wall-clock metric families removed.
+
+    Everything a seeded simulation records is bit-reproducible *except*
+    the families in :data:`repro.obs.metrics.WALL_METRICS` (real
+    per-host wall times and utilisation ratios).  Rendering this view
+    yields byte-identical exporter output across reruns and across
+    ``jobs=1`` vs ``jobs=N`` -- the parity contract the runner tests pin
+    down.
+    """
+    snapshot = _snapshot_of(registry_or_snapshot)
+    return {name: m for name, m in snapshot.items() if name not in exclude}
 
 
 def _fmt(value: float) -> str:
@@ -61,11 +90,7 @@ def render_prometheus(registry_or_snapshot) -> str:
     Accepts either a registry (snapshotted here) or an already-frozen
     snapshot dict.
     """
-    snapshot = (
-        registry_or_snapshot.snapshot()
-        if hasattr(registry_or_snapshot, "snapshot")
-        else registry_or_snapshot
-    )
+    snapshot = _snapshot_of(registry_or_snapshot)
     lines: list[str] = []
     for name, metric in snapshot.items():
         kind = metric["type"]
@@ -106,11 +131,7 @@ def _jsonsafe(value):
 
 def jsonl_events(registry_or_snapshot, tracer=None) -> list[dict]:
     """The snapshot (and spans) as a list of plain event dicts."""
-    snapshot = (
-        registry_or_snapshot.snapshot()
-        if hasattr(registry_or_snapshot, "snapshot")
-        else registry_or_snapshot
-    )
+    snapshot = _snapshot_of(registry_or_snapshot)
     events: list[dict] = []
     for name, metric in snapshot.items():
         kind = metric["type"]

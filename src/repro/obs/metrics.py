@@ -30,7 +30,9 @@ in registration order, keeping the hot path untouched.
 
 from __future__ import annotations
 
+import math
 import re
+import threading
 from bisect import bisect_left
 from contextlib import contextmanager
 from typing import Callable, Iterator
@@ -39,10 +41,12 @@ __all__ = [
     "Counter",
     "Gauge",
     "Histogram",
+    "MergeError",
     "MetricsRegistry",
     "NullRegistry",
     "NULL_REGISTRY",
     "DEFAULT_BUCKETS",
+    "WALL_METRICS",
     "get_registry",
     "install",
     "installed",
@@ -55,6 +59,28 @@ DEFAULT_BUCKETS = (0.1, 0.25, 0.5, 0.75, 1.0, 2.5, 5.0, 10.0, 30.0, 60.0)
 
 _NAME_RE = re.compile(r"^[a-zA-Z_:][a-zA-Z0-9_:]*$")
 _LABEL_RE = re.compile(r"^[a-zA-Z_][a-zA-Z0-9_]*$")
+
+#: Metric families whose values come from the real (wall) clock and are
+#: therefore *not* reproducible across runs.  Everything else in a merged
+#: snapshot of a seeded simulation is bit-stable; the parity tests and
+#: :func:`repro.obs.exporters.deterministic_view` drop exactly this set.
+WALL_METRICS = frozenset(
+    {
+        "repro_runner_host_seconds",
+        "repro_runner_worker_utilization",
+        "repro_forecast_seconds",
+    }
+)
+
+
+class MergeError(ValueError):
+    """A snapshot cannot be merged into this registry.
+
+    Raised for structural problems -- a metric registered under a
+    different kind, histogram bucket bounds that do not line up, or a
+    malformed sample.  The merge is two-phase (validate, then apply), so
+    a raised :class:`MergeError` leaves the registry untouched.
+    """
 
 
 class Counter:
@@ -213,6 +239,9 @@ class NullRegistry:
     def snapshot(self) -> dict:
         return {}
 
+    def merge(self, snapshot: dict, *, sim_time: float = 0.0) -> None:
+        pass
+
 
 NULL_REGISTRY = NullRegistry()
 
@@ -231,6 +260,13 @@ class MetricsRegistry:
         self._metrics: dict[str, dict[tuple[tuple[str, str], ...], object]] = {}
         self._kinds: dict[str, str] = {}
         self._callbacks: list[Callable[["MetricsRegistry"], None]] = []
+        # (name, label key) -> sim time of the last *merged* gauge write,
+        # so cross-process gauge merges are last-writer-by-sim-time.
+        self._gauge_times: dict[tuple[str, tuple[tuple[str, str], ...]], float] = {}
+        # Guards handle creation (the only registry-level mutation after
+        # construction); handles themselves are bound per component and
+        # written single-threaded.
+        self._lock = threading.RLock()
 
     # ------------------------------------------------------------- handles
 
@@ -247,22 +283,34 @@ class MetricsRegistry:
                 f"{existing_kind}, not a {kind}"
             )
         key = tuple(sorted((k, str(v)) for k, v in labels.items()))
-        return key, self._metrics.setdefault(name, {})
+        # Lock-free fast path: dict reads are GIL-atomic, and a series
+        # mapping is never removed once created.  Only creation locks.
+        series = self._metrics.get(name)
+        if series is None:
+            with self._lock:
+                series = self._metrics.setdefault(name, {})
+        return key, series
 
     def counter(self, name: str, **labels: str) -> Counter:
         key, series = self._series("counter", name, labels)
         handle = series.get(key)
         if handle is None:
-            handle = series[key] = Counter(name, key)
-            self._kinds[name] = "counter"
+            with self._lock:
+                handle = series.get(key)
+                if handle is None:
+                    handle = series[key] = Counter(name, key)
+                    self._kinds[name] = "counter"
         return handle  # type: ignore[return-value]
 
     def gauge(self, name: str, **labels: str) -> Gauge:
         key, series = self._series("gauge", name, labels)
         handle = series.get(key)
         if handle is None:
-            handle = series[key] = Gauge(name, key)
-            self._kinds[name] = "gauge"
+            with self._lock:
+                handle = series.get(key)
+                if handle is None:
+                    handle = series[key] = Gauge(name, key)
+                    self._kinds[name] = "gauge"
         return handle  # type: ignore[return-value]
 
     def histogram(
@@ -276,10 +324,13 @@ class MetricsRegistry:
         key, series = self._series("histogram", name, labels)
         handle = series.get(key)
         if handle is None:
-            handle = series[key] = Histogram(
-                name, key, buckets if buckets is not None else DEFAULT_BUCKETS
-            )
-            self._kinds[name] = "histogram"
+            with self._lock:
+                handle = series.get(key)
+                if handle is None:
+                    handle = series[key] = Histogram(
+                        name, key, buckets if buckets is not None else DEFAULT_BUCKETS
+                    )
+                    self._kinds[name] = "histogram"
         return handle  # type: ignore[return-value]
 
     # ------------------------------------------------------------ snapshot
@@ -331,6 +382,131 @@ class MetricsRegistry:
             out[name] = {"type": self._kinds[name], "samples": samples}
         return out
 
+    # --------------------------------------------------------------- merge
+
+    def _validate_mergeable(self, snapshot: dict) -> None:
+        """Raise :class:`MergeError` unless ``snapshot`` can merge cleanly."""
+        if not isinstance(snapshot, dict):
+            raise MergeError(f"snapshot must be a dict, got {type(snapshot).__name__}")
+        for name, metric in snapshot.items():
+            if not isinstance(name, str) or not _NAME_RE.match(name):
+                raise MergeError(f"invalid metric name {name!r}")
+            if not isinstance(metric, dict) or "type" not in metric:
+                raise MergeError(f"metric {name!r} has no 'type'")
+            kind = metric["type"]
+            if kind not in ("counter", "gauge", "histogram"):
+                raise MergeError(f"metric {name!r} has unknown kind {kind!r}")
+            existing = self._kinds.get(name)
+            if existing is not None and existing != kind:
+                raise MergeError(
+                    f"metric {name!r} is a {existing} here but a {kind} "
+                    "in the incoming snapshot"
+                )
+            samples = metric.get("samples")
+            if not isinstance(samples, list):
+                raise MergeError(f"metric {name!r} has no sample list")
+            for sample in samples:
+                if not isinstance(sample, dict) or "labels" not in sample:
+                    raise MergeError(f"metric {name!r} sample has no labels")
+                if not isinstance(sample["labels"], dict) or any(
+                    not isinstance(k, str) or not _LABEL_RE.match(k)
+                    for k in sample["labels"]
+                ):
+                    raise MergeError(f"metric {name!r} sample has bad label names")
+                if kind == "histogram":
+                    buckets = sample.get("buckets")
+                    if (
+                        not isinstance(buckets, list)
+                        or len(buckets) < 2
+                        or "sum" not in sample
+                        or "count" not in sample
+                    ):
+                        raise MergeError(
+                            f"histogram {name!r} sample is missing "
+                            "sum/count/buckets"
+                        )
+                    try:
+                        bounds = tuple(float(le) for le, _ in buckets[:-1])
+                        cumulative = [int(c) for _, c in buckets]
+                        last_le = float(buckets[-1][0])
+                    except (TypeError, ValueError) as exc:
+                        raise MergeError(
+                            f"histogram {name!r} has malformed buckets: {exc}"
+                        ) from exc
+                    if (
+                        not math.isinf(last_le)
+                        or list(bounds) != sorted(set(bounds))
+                        or any(a > b for a, b in zip(cumulative, cumulative[1:]))
+                    ):
+                        raise MergeError(
+                            f"histogram {name!r} buckets must be sorted, "
+                            "cumulative, and end at +Inf"
+                        )
+                    key = tuple(
+                        sorted((k, str(v)) for k, v in sample["labels"].items())
+                    )
+                    handle = self._metrics.get(name, {}).get(key)
+                    if handle is not None and handle.buckets != bounds:
+                        raise MergeError(
+                            f"histogram {name!r}{dict(key)} bucket bounds "
+                            f"differ: {handle.buckets} vs {bounds}"
+                        )
+                elif "value" not in sample:
+                    raise MergeError(f"{kind} {name!r} sample has no value")
+                elif kind == "counter" and float(sample["value"]) < 0.0:
+                    raise MergeError(
+                        f"counter {name!r} sample is negative: {sample['value']}"
+                    )
+
+    def merge(self, snapshot: dict, *, sim_time: float = 0.0) -> None:
+        """Fold a frozen snapshot from another registry into this one.
+
+        The cross-process aggregation primitive: worker processes return
+        ``registry.snapshot()`` dicts over the pool boundary and the
+        parent merges them.  Semantics per kind:
+
+        * **counters** add;
+        * **gauges** are last-writer-by-sim-time (``sim_time`` stamps the
+          incoming snapshot; at equal stamps the larger value wins, so the
+          merge stays commutative and deterministic whatever order worker
+          results arrive in);
+        * **histograms** add bucket-wise; bounds must match exactly.
+
+        Merging the per-host snapshots of a parallel run in any fixed
+        order reproduces the serial registry bit-for-bit: counter and
+        histogram merges commute, and testbed label sets are per-host
+        disjoint.  Validation happens up front -- a raised
+        :class:`MergeError` leaves the registry untouched.
+        """
+        self._validate_mergeable(snapshot)
+        sim_time = float(sim_time)
+        for name, metric in snapshot.items():
+            kind = metric["type"]
+            for sample in metric["samples"]:
+                labels = {str(k): str(v) for k, v in sample["labels"].items()}
+                if kind == "counter":
+                    self.counter(name, **labels).inc(float(sample["value"]))
+                elif kind == "gauge":
+                    handle = self.gauge(name, **labels)
+                    series_key = (name, handle.labels)
+                    previous = self._gauge_times.get(series_key)
+                    incoming = float(sample["value"])
+                    if previous is None or sim_time > previous:
+                        handle.set(incoming)
+                        self._gauge_times[series_key] = sim_time
+                    elif sim_time == previous and incoming > handle.value:
+                        handle.set(incoming)
+                else:
+                    buckets = sample["buckets"]
+                    bounds = tuple(float(le) for le, _ in buckets[:-1])
+                    handle = self.histogram(name, buckets=bounds, **labels)
+                    running = 0
+                    for i, (_, cumulative) in enumerate(buckets):
+                        handle.counts[i] += int(cumulative) - running
+                        running = int(cumulative)
+                    handle.sum += float(sample["sum"])
+                    handle.count += int(sample["count"])
+
 
 # ---------------------------------------------------------------- install
 
@@ -342,6 +518,11 @@ def get_registry() -> MetricsRegistry | NullRegistry:
     return _installed
 
 
+#: Guards the process-wide installed-registry slot (the service layer may
+#: swap registries from a management thread while workers read it).
+_INSTALL_LOCK = threading.Lock()
+
+
 def install(registry: MetricsRegistry) -> None:
     """Make ``registry`` the process-wide metrics sink.
 
@@ -349,22 +530,26 @@ def install(registry: MetricsRegistry) -> None:
     building the system you want observed.
     """
     global _installed
-    _installed = registry
+    with _INSTALL_LOCK:
+        _installed = registry
 
 
 def uninstall() -> None:
     """Restore the no-op default."""
     global _installed
-    _installed = NULL_REGISTRY
+    with _INSTALL_LOCK:
+        _installed = NULL_REGISTRY
 
 
 @contextmanager
 def installed(registry: MetricsRegistry) -> Iterator[MetricsRegistry]:
     """Scoped :func:`install` / :func:`uninstall` (the test-friendly path)."""
     global _installed
-    previous = _installed
-    install(registry)
+    with _INSTALL_LOCK:
+        previous = _installed
+        _installed = registry
     try:
         yield registry
     finally:
-        _installed = previous
+        with _INSTALL_LOCK:
+            _installed = previous

@@ -1,0 +1,265 @@
+"""Deterministic profiler over a finished span stream.
+
+The tracer records flat :class:`~repro.obs.tracing.SpanRecord` entries;
+this module reconstructs their nesting and attributes **inclusive** and
+**exclusive** time to each dotted phase name (``kernel.run``,
+``nws.advance``, ``sensor.probe``, ...).  Time is whatever clock the
+tracer ran on: simulated seconds for sim-clock tracers (the usual case --
+output is then bit-stable across reruns of a seeded run), wall seconds
+for the ``repro.live`` adapter.
+
+Three renderings, all byte-stable for a given span list:
+
+* :func:`render_table` -- ASCII table, hottest exclusive phase first;
+* :func:`render_folded` -- folded stacks (``a;b;c <microseconds>``), the
+  input format of Brendan Gregg's ``flamegraph.pl``;
+* :func:`render_chrome` -- Chrome ``trace_event`` JSON, loadable in
+  ``chrome://tracing`` / Perfetto.
+
+Nesting is reconstructed from interval containment: span ``b`` is a child
+of ``a`` when ``a.start <= b.start`` and ``b.end <= a.end`` and ``a`` is
+the tightest such enclosure.  Ties (identical intervals) resolve by name
+then input order, so tree shape is deterministic.  Spans that overlap
+without nesting become siblings; exclusive time can then go negative for
+a parent whose children legitimately ran "concurrently" in simulated
+time (e.g. overlapping probes), which is clamped at zero in the
+percentage column but reported raw in the table.
+"""
+
+from __future__ import annotations
+
+import json
+import math
+from dataclasses import dataclass, field
+
+from repro.obs.exporters import _jsonsafe
+from repro.obs.metrics import get_registry
+from repro.obs.tracing import SpanRecord, _coerce_span
+
+__all__ = [
+    "PhaseStats",
+    "Profile",
+    "SpanNode",
+    "build_span_trees",
+    "profile_spans",
+    "render_chrome",
+    "render_folded",
+    "render_table",
+]
+
+
+@dataclass
+class SpanNode:
+    """One span plus the spans nested inside it."""
+
+    record: SpanRecord
+    children: list["SpanNode"] = field(default_factory=list)
+
+    @property
+    def self_time(self) -> float:
+        """Duration not covered by any child (exclusive time)."""
+        return self.record.duration - sum(
+            child.record.duration for child in self.children
+        )
+
+
+@dataclass(frozen=True)
+class PhaseStats:
+    """Aggregated timing for one dotted phase name.
+
+    ``inclusive`` sums every span of the phase (nested same-name spans
+    count multiply, as in any tree profiler); ``exclusive`` is inclusive
+    minus time attributed to child spans.
+    """
+
+    name: str
+    count: int
+    inclusive: float
+    exclusive: float
+    min_duration: float
+    max_duration: float
+
+
+@dataclass(frozen=True)
+class Profile:
+    """A profiled span stream: roots plus per-phase aggregates."""
+
+    roots: tuple[SpanNode, ...]
+    phases: tuple[PhaseStats, ...]
+    total: float  #: sum of root inclusive times (the profiled span budget)
+    span_count: int
+
+
+def build_span_trees(spans) -> list[SpanNode]:
+    """Reconstruct span nesting from interval containment.
+
+    Accepts :class:`SpanRecord` objects or their dict form.  Returns the
+    forest of root nodes in deterministic order (by start, widest first).
+    """
+    records = [_coerce_span(span) for span in spans]
+    order = sorted(
+        range(len(records)),
+        key=lambda i: (records[i].start, -records[i].end, records[i].name, i),
+    )
+    roots: list[SpanNode] = []
+    stack: list[SpanNode] = []
+    for i in order:
+        node = SpanNode(records[i])
+        while stack and not (
+            stack[-1].record.start <= node.record.start
+            and node.record.end <= stack[-1].record.end
+        ):
+            stack.pop()
+        if stack:
+            stack[-1].children.append(node)
+        else:
+            roots.append(node)
+        stack.append(node)
+    return roots
+
+
+def _walk(nodes) -> list[SpanNode]:
+    out: list[SpanNode] = []
+    todo = list(nodes)
+    while todo:
+        node = todo.pop(0)
+        out.append(node)
+        todo.extend(node.children)
+    return out
+
+
+def profile_spans(spans) -> Profile:
+    """Aggregate a span stream into per-phase inclusive/exclusive stats."""
+    roots = build_span_trees(spans)
+    stats: dict[str, dict] = {}
+    count = 0
+    for node in _walk(roots):
+        count += 1
+        name = node.record.name
+        entry = stats.setdefault(
+            name,
+            {"count": 0, "inclusive": 0.0, "exclusive": 0.0,
+             "min": math.inf, "max": -math.inf},
+        )
+        duration = node.record.duration
+        entry["count"] += 1
+        entry["inclusive"] += duration
+        entry["exclusive"] += node.self_time
+        entry["min"] = min(entry["min"], duration)
+        entry["max"] = max(entry["max"], duration)
+    get_registry().counter("repro_profile_spans_total").inc(count)
+    phases = tuple(
+        PhaseStats(
+            name=name,
+            count=entry["count"],
+            inclusive=entry["inclusive"],
+            exclusive=entry["exclusive"],
+            min_duration=entry["min"],
+            max_duration=entry["max"],
+        )
+        for name, entry in sorted(
+            stats.items(), key=lambda kv: (-kv[1]["exclusive"], kv[0])
+        )
+    )
+    total = sum(root.record.duration for root in roots)
+    return Profile(
+        roots=tuple(roots), phases=phases, total=total, span_count=count
+    )
+
+
+# ------------------------------------------------------------- renderings
+
+
+def _fmt_seconds(value: float) -> str:
+    return f"{value:.6f}"
+
+
+def render_table(profile: Profile) -> str:
+    """ASCII per-phase table, hottest exclusive phase first."""
+    header = (
+        f"{'phase':<28s} {'count':>7s} {'inclusive':>12s} "
+        f"{'exclusive':>12s} {'excl %':>7s} {'min':>10s} {'max':>10s}"
+    )
+    lines = [header, "-" * len(header)]
+    for phase in profile.phases:
+        share = (
+            100.0 * max(phase.exclusive, 0.0) / profile.total
+            if profile.total > 0
+            else 0.0
+        )
+        lines.append(
+            f"{phase.name:<28s} {phase.count:7d} "
+            f"{_fmt_seconds(phase.inclusive):>12s} "
+            f"{_fmt_seconds(phase.exclusive):>12s} {share:6.1f}% "
+            f"{_fmt_seconds(phase.min_duration):>10s} "
+            f"{_fmt_seconds(phase.max_duration):>10s}"
+        )
+    lines.append(
+        f"total {_fmt_seconds(profile.total)} over {profile.span_count} spans"
+    )
+    return "\n".join(lines) + "\n"
+
+
+def render_folded(profile_or_spans) -> str:
+    """Folded stacks: ``root;child;leaf <count>``, flamegraph.pl input.
+
+    Counts are exclusive time in integer microseconds (flamegraph.pl
+    sums integer sample counts); lines are aggregated per stack and
+    sorted, so output is byte-stable.
+    """
+    profile = (
+        profile_or_spans
+        if isinstance(profile_or_spans, Profile)
+        else profile_spans(profile_or_spans)
+    )
+    folded: dict[str, int] = {}
+    todo = [(node, node.record.name) for node in profile.roots]
+    while todo:
+        node, path = todo.pop(0)
+        micros = int(round(max(node.self_time, 0.0) * 1e6))
+        folded[path] = folded.get(path, 0) + micros
+        todo.extend(
+            (child, f"{path};{child.record.name}") for child in node.children
+        )
+    lines = [f"{path} {micros}" for path, micros in sorted(folded.items())]
+    return "\n".join(lines) + ("\n" if lines else "")
+
+
+def render_chrome(profile_or_spans) -> str:
+    """Chrome ``trace_event`` JSON (complete events, microsecond stamps).
+
+    Load the output in ``chrome://tracing`` or Perfetto.  Events are
+    sorted by (start, widest-first, name) and serialized with sorted
+    keys, so the document is byte-stable.
+    """
+    profile = (
+        profile_or_spans
+        if isinstance(profile_or_spans, Profile)
+        else profile_spans(profile_or_spans)
+    )
+    events = []
+    for node in _walk(profile.roots):
+        record = node.record
+        events.append(
+            {
+                "name": record.name,
+                "cat": "span",
+                "ph": "X",
+                "ts": int(round(record.start * 1e6)),
+                "dur": int(round(record.duration * 1e6)),
+                "pid": 1,
+                "tid": 1,
+                "args": _jsonsafe(
+                    {
+                        "status": record.status,
+                        **{k: record.attrs[k] for k in sorted(record.attrs)},
+                    }
+                ),
+            }
+        )
+    events.sort(key=lambda e: (e["ts"], -e["dur"], e["name"]))
+    doc = {"displayTimeUnit": "ms", "traceEvents": events}
+    return (
+        json.dumps(doc, sort_keys=True, separators=(",", ":"), allow_nan=False)
+        + "\n"
+    )

@@ -26,6 +26,7 @@ Like the metrics side, the module-level default is a no-op
 
 from __future__ import annotations
 
+import threading
 from contextlib import contextmanager
 from dataclasses import dataclass, field
 from typing import Callable, Iterator
@@ -40,6 +41,21 @@ __all__ = [
     "uninstall_tracer",
     "traced",
 ]
+
+
+def _coerce_span(span) -> "SpanRecord":
+    """A :class:`SpanRecord` from either a record or its dict form."""
+    if isinstance(span, SpanRecord):
+        return span
+    if isinstance(span, dict):
+        return SpanRecord(
+            name=str(span["name"]),
+            start=float(span["start"]),
+            end=float(span["end"]),
+            status=str(span.get("status", "ok")),
+            attrs=dict(span.get("attrs", {})),
+        )
+    raise TypeError(f"cannot import span of type {type(span).__name__}")
 
 
 @dataclass(frozen=True)
@@ -141,6 +157,23 @@ class Tracer:
         self._finish(record)
         return record
 
+    def import_spans(self, spans) -> int:
+        """Append a batch of finished spans (cross-process aggregation).
+
+        Worker processes hand their span lists back over the pool
+        boundary (as :class:`SpanRecord` objects or their dict form, the
+        shape :func:`repro.obs.exporters.jsonl_events` emits); the parent
+        imports each batch in a canonical order so the merged trace is
+        byte-identical to a serial run.  Retention (``max_spans``) and
+        the ``dropped`` tally apply as if the spans had been recorded
+        locally.  Returns the number of spans imported.
+        """
+        count = 0
+        for span in spans:
+            self._finish(_coerce_span(span))
+            count += 1
+        return count
+
     def _finish(self, record: SpanRecord) -> None:
         self._spans.append(record)
         if len(self._spans) > self.max_spans:
@@ -179,6 +212,9 @@ class NullTracer:
     def record(self, name: str, start: float, end: float, **attrs) -> None:
         return None
 
+    def import_spans(self, spans) -> int:
+        return 0
+
 
 NULL_TRACER = NullTracer()
 
@@ -190,23 +226,32 @@ def get_tracer() -> Tracer | NullTracer:
     return _installed
 
 
+#: Guards the process-wide installed-tracer slot (mirrors the registry
+#: install lock in :mod:`repro.obs.metrics`).
+_INSTALL_LOCK = threading.Lock()
+
+
 def install_tracer(tracer: Tracer) -> None:
     global _installed
-    _installed = tracer
+    with _INSTALL_LOCK:
+        _installed = tracer
 
 
 def uninstall_tracer() -> None:
     global _installed
-    _installed = NULL_TRACER
+    with _INSTALL_LOCK:
+        _installed = NULL_TRACER
 
 
 @contextmanager
 def traced(tracer: Tracer) -> Iterator[Tracer]:
     """Scoped :func:`install_tracer` / :func:`uninstall_tracer`."""
     global _installed
-    previous = _installed
-    install_tracer(tracer)
+    with _INSTALL_LOCK:
+        previous = _installed
+        _installed = tracer
     try:
         yield tracer
     finally:
-        _installed = previous
+        with _INSTALL_LOCK:
+            _installed = previous

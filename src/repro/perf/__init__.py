@@ -1,0 +1,44 @@
+"""``repro.perf``: structured benchmark records and regression diffs.
+
+The ``benchmarks/bench_*.py`` gates assert budgets but historically
+persisted nothing, so the performance trajectory of the project was
+empty.  This package is the persistence half:
+
+* :func:`record` -- write one structured run record
+  (``artifacts/bench/BENCH_<name>.json``: metric, value, unit, budget,
+  host fingerprint, git revision) from a benchmark;
+* :func:`load_records` -- read a directory of records back;
+* :func:`diff_records` / :class:`PerfDiff` -- compare a current record
+  set against a baseline with a noise-tolerance policy, flagging
+  regressions (``nws-repro perf diff <baseline>`` exits non-zero on
+  one).
+
+``benchmarks/conftest.py`` routes every ``run_once`` benchmark through
+:func:`record`, and ``scripts/check.sh`` runs the benches on every
+invocation, so the trajectory accumulates under ``artifacts/bench/``
+without anyone thinking about it.  Records carry wall-clock values and a
+host fingerprint by design -- they describe *this machine's* runs; only
+same-fingerprint comparisons are meaningful, and ``diff`` warns when
+fingerprints differ.
+"""
+
+from repro.perf.diff import BenchDelta, PerfDiff, diff_records, render_diff
+from repro.perf.record import (
+    BENCH_DIR,
+    BenchRecord,
+    host_fingerprint,
+    load_records,
+    record,
+)
+
+__all__ = [
+    "BENCH_DIR",
+    "BenchDelta",
+    "BenchRecord",
+    "PerfDiff",
+    "diff_records",
+    "host_fingerprint",
+    "load_records",
+    "record",
+    "render_diff",
+]

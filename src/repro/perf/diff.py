@@ -1,0 +1,180 @@
+"""Perf regression detection: baseline vs. current record sets.
+
+The policy is deliberately simple and explainable:
+
+* a benchmark **regresses** when it moved in its bad direction by more
+  than the relative ``tolerance`` (default 5%, the same noise bar the
+  paper applies to its own measurements) *and* by more than the absolute
+  ``min_delta`` floor (so a 0.4 ms sneeze on a 5 ms benchmark is not an
+  incident);
+* moves inside the tolerance band are reported as noise ("ok");
+* improvements beyond the band are reported as such (nice, not
+  actionable);
+* benchmarks present on only one side are listed but never fail the
+  diff -- adding or retiring a bench must not break CI;
+* baselines recorded on a different host fingerprint produce a warning
+  per benchmark: cross-machine deltas are not comparable.
+
+``nws-repro perf diff <baseline>`` renders the table and exits 1 iff at
+least one benchmark regressed.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from pathlib import Path
+
+from repro.perf.record import BenchRecord, load_records
+
+__all__ = ["BenchDelta", "PerfDiff", "diff_records", "render_diff"]
+
+#: Default relative noise tolerance (fraction of the baseline value).
+DEFAULT_TOLERANCE = 0.05
+
+#: Default absolute floor below which a move is never a regression
+#: (seconds for wall-time metrics; interpreted in the record's unit).
+DEFAULT_MIN_DELTA = 0.002
+
+
+@dataclass(frozen=True)
+class BenchDelta:
+    """One benchmark's baseline-to-current movement and verdict.
+
+    ``verdict`` is one of ``"regression"``, ``"improvement"``, ``"ok"``
+    (inside the noise band), ``"baseline-only"`` or ``"current-only"``.
+    """
+
+    name: str
+    metric: str
+    baseline: float | None
+    current: float | None
+    delta: float | None
+    ratio: float | None
+    verdict: str
+    cross_host: bool = False
+
+
+@dataclass(frozen=True)
+class PerfDiff:
+    """Every delta plus the headline answer: did anything regress?"""
+
+    deltas: tuple[BenchDelta, ...]
+    tolerance: float
+    min_delta: float
+
+    @property
+    def regressions(self) -> tuple[BenchDelta, ...]:
+        return tuple(d for d in self.deltas if d.verdict == "regression")
+
+    @property
+    def ok(self) -> bool:
+        return not self.regressions
+
+    @property
+    def exit_code(self) -> int:
+        return 0 if self.ok else 1
+
+
+def _same_host(a: BenchRecord, b: BenchRecord) -> bool:
+    return a.host == b.host or a.host is None or b.host is None
+
+
+def diff_records(
+    baseline: dict[str, BenchRecord] | str | Path,
+    current: dict[str, BenchRecord] | str | Path,
+    *,
+    tolerance: float = DEFAULT_TOLERANCE,
+    min_delta: float = DEFAULT_MIN_DELTA,
+) -> PerfDiff:
+    """Compare two record sets (dicts from :func:`load_records`, or dirs)."""
+    if not isinstance(baseline, dict):
+        baseline = load_records(baseline)
+    if not isinstance(current, dict):
+        current = load_records(current)
+    if tolerance < 0.0:
+        raise ValueError(f"tolerance must be >= 0, got {tolerance}")
+
+    deltas: list[BenchDelta] = []
+    for name in sorted(set(baseline) | set(current)):
+        old = baseline.get(name)
+        new = current.get(name)
+        if old is None:
+            deltas.append(
+                BenchDelta(
+                    name=name,
+                    metric=new.metric,
+                    baseline=None,
+                    current=new.value,
+                    delta=None,
+                    ratio=None,
+                    verdict="current-only",
+                )
+            )
+            continue
+        if new is None:
+            deltas.append(
+                BenchDelta(
+                    name=name,
+                    metric=old.metric,
+                    baseline=old.value,
+                    current=None,
+                    delta=None,
+                    ratio=None,
+                    verdict="baseline-only",
+                )
+            )
+            continue
+        delta = new.value - old.value
+        ratio = new.value / old.value if old.value != 0.0 else float("inf")
+        # "worse" is movement in the record's bad direction.
+        worse = delta if new.direction == "lower" else -delta
+        band = abs(old.value) * tolerance
+        if worse > band and worse > min_delta:
+            verdict = "regression"
+        elif -worse > band and -worse > min_delta:
+            verdict = "improvement"
+        else:
+            verdict = "ok"
+        deltas.append(
+            BenchDelta(
+                name=name,
+                metric=new.metric,
+                baseline=old.value,
+                current=new.value,
+                delta=delta,
+                ratio=ratio,
+                verdict=verdict,
+                cross_host=not _same_host(old, new),
+            )
+        )
+    return PerfDiff(
+        deltas=tuple(deltas), tolerance=tolerance, min_delta=min_delta
+    )
+
+
+def render_diff(diff: PerfDiff) -> str:
+    """Human-readable diff table plus a one-line verdict."""
+    header = (
+        f"{'benchmark':<36s} {'baseline':>12s} {'current':>12s} "
+        f"{'delta':>10s} {'verdict':>12s}"
+    )
+    lines = [header, "-" * len(header)]
+    for d in diff.deltas:
+        baseline = "-" if d.baseline is None else f"{d.baseline:.4f}"
+        current = "-" if d.current is None else f"{d.current:.4f}"
+        if d.delta is None:
+            move = "-"
+        else:
+            sign = "+" if d.delta >= 0 else ""
+            move = f"{sign}{100.0 * (d.ratio - 1.0):.1f}%"
+        flag = " (cross-host)" if d.cross_host else ""
+        lines.append(
+            f"{d.name:<36s} {baseline:>12s} {current:>12s} "
+            f"{move:>10s} {d.verdict:>12s}{flag}"
+        )
+    n_reg = len(diff.regressions)
+    lines.append(
+        f"{len(diff.deltas)} benchmark(s), {n_reg} regression(s) "
+        f"(tolerance {diff.tolerance * 100:.0f}%, floor {diff.min_delta:g})"
+    )
+    return "\n".join(lines) + "\n"

@@ -1,0 +1,170 @@
+"""Benchmark run records: one JSON file per benchmark, atomically written.
+
+A record is deliberately small and self-describing::
+
+    {
+      "name": "parallel_speedup",
+      "metric": "wall_seconds",
+      "value": 12.842,
+      "unit": "s",
+      "budget": null,
+      "direction": "lower",
+      "host": {"platform": ..., "machine": ..., "python": ..., "cpus": 8},
+      "git_rev": "cbaba48",
+      "schema": 1
+    }
+
+``direction`` says which way is better (``"lower"`` for wall times,
+``"higher"`` for speedup ratios), so the diff policy knows what a
+regression looks like without per-benchmark configuration.  Records are
+wall-clock artifacts about *this machine* -- they live outside the
+deterministic core on purpose and are keyed by host fingerprint.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import platform
+import re
+import subprocess
+from dataclasses import asdict, dataclass
+from pathlib import Path
+
+__all__ = [
+    "BENCH_DIR",
+    "BenchRecord",
+    "host_fingerprint",
+    "load_records",
+    "record",
+]
+
+#: Default directory for benchmark records, relative to the CWD (the
+#: repository root for ``scripts/check.sh`` and the CLI).
+BENCH_DIR = Path("artifacts") / "bench"
+
+#: Record file schema version, bumped on incompatible shape changes.
+SCHEMA = 1
+
+_NAME_RE = re.compile(r"^[A-Za-z0-9][A-Za-z0-9._-]*$")
+
+
+@dataclass(frozen=True)
+class BenchRecord:
+    """One benchmark observation (see the module docstring for shape)."""
+
+    name: str
+    metric: str
+    value: float
+    unit: str = "s"
+    budget: float | None = None
+    direction: str = "lower"
+    host: dict | None = None
+    git_rev: str = "unknown"
+    schema: int = SCHEMA
+
+    def path_in(self, directory: str | Path) -> Path:
+        return Path(directory) / f"BENCH_{self.name}.json"
+
+
+def host_fingerprint() -> dict:
+    """A coarse identity for the machine that produced a record.
+
+    Enough to tell "same laptop, new code" from "different CI runner":
+    perf deltas across different fingerprints are noise, not signal.
+    """
+    return {
+        "platform": platform.platform(),
+        "machine": platform.machine(),
+        "python": platform.python_version(),
+        "cpus": os.cpu_count(),
+    }
+
+
+def _git_rev() -> str:
+    """The current short revision, or ``"unknown"`` outside a checkout."""
+    try:
+        out = subprocess.run(
+            ["git", "rev-parse", "--short", "HEAD"],
+            capture_output=True,
+            text=True,
+            timeout=5.0,
+            check=False,
+        )
+    except (OSError, subprocess.SubprocessError):
+        return "unknown"
+    rev = out.stdout.strip()
+    return rev if out.returncode == 0 and rev else "unknown"
+
+
+def record(
+    name: str,
+    value: float,
+    *,
+    metric: str = "wall_seconds",
+    unit: str = "s",
+    budget: float | None = None,
+    direction: str = "lower",
+    directory: str | Path = BENCH_DIR,
+) -> Path:
+    """Write one ``BENCH_<name>.json`` run record; returns its path.
+
+    The write is atomic (temp file + rename) so a benchmark interrupted
+    mid-record never leaves a truncated JSON file for ``perf diff`` to
+    trip over.  Re-recording the same name overwrites: the directory
+    always holds the latest run of each benchmark, and the baseline you
+    diff against is a copy of the directory at some earlier revision.
+    """
+    if not _NAME_RE.match(name):
+        raise ValueError(f"invalid benchmark name {name!r}")
+    if direction not in ("lower", "higher"):
+        raise ValueError(f"direction must be 'lower' or 'higher', got {direction!r}")
+    rec = BenchRecord(
+        name=name,
+        metric=str(metric),
+        value=float(value),
+        unit=str(unit),
+        budget=None if budget is None else float(budget),
+        direction=direction,
+        host=host_fingerprint(),
+        git_rev=_git_rev(),
+    )
+    directory = Path(directory)
+    directory.mkdir(parents=True, exist_ok=True)
+    path = rec.path_in(directory)
+    tmp = path.with_suffix(".json.tmp")
+    tmp.write_text(json.dumps(asdict(rec), sort_keys=True, indent=2) + "\n")
+    os.replace(tmp, path)
+    return path
+
+
+def load_records(directory: str | Path) -> dict[str, BenchRecord]:
+    """Read every ``BENCH_*.json`` under ``directory``, keyed by name.
+
+    Unreadable or wrong-schema files are skipped (a baseline captured by
+    a future incompatible version should not crash the diff); a missing
+    directory is an error -- diffing against nothing is a setup bug.
+    """
+    directory = Path(directory)
+    if not directory.is_dir():
+        raise FileNotFoundError(f"no benchmark record directory at {directory}")
+    records: dict[str, BenchRecord] = {}
+    for path in sorted(directory.glob("BENCH_*.json")):
+        try:
+            raw = json.loads(path.read_text())
+            if raw.get("schema") != SCHEMA:
+                continue
+            rec = BenchRecord(
+                name=str(raw["name"]),
+                metric=str(raw["metric"]),
+                value=float(raw["value"]),
+                unit=str(raw.get("unit", "s")),
+                budget=None if raw.get("budget") is None else float(raw["budget"]),
+                direction=str(raw.get("direction", "lower")),
+                host=raw.get("host"),
+                git_rev=str(raw.get("git_rev", "unknown")),
+            )
+        except (OSError, ValueError, TypeError, KeyError):
+            continue
+        records[rec.name] = rec
+    return records

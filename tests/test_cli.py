@@ -215,3 +215,75 @@ class TestCommands:
         assert (tmp_path / "figure3_thing1.csv").exists()
         report = (tmp_path / "REPORT.txt").read_text()
         assert "TABLE1" in report and "figure3" in report
+
+
+class TestProfileCommand:
+    def test_profile_table_default(self, capsys):
+        rc = main(["profile", "thing1", "--hours", "0.5"])
+        out = capsys.readouterr().out
+        assert rc == 0
+        assert "kernel.run" in out and "sensor.probe" in out
+        assert out.splitlines()[0].startswith("phase")
+
+    def test_profile_nws_target(self, capsys):
+        rc = main(["profile", "nws", "--hours", "0.25", "--profiles", "thing1"])
+        out = capsys.readouterr().out
+        assert rc == 0
+        assert "nws.advance" in out
+
+    def test_profile_folded_byte_stable_across_jobs(self, capsys):
+        argv = ["profile", "thing1", "--hours", "0.5", "--format", "folded"]
+        assert main(argv + ["--jobs", "1"]) == 0
+        serial = capsys.readouterr().out
+        assert main(argv + ["--jobs", "2"]) == 0
+        parallel = capsys.readouterr().out
+        assert serial == parallel
+        assert "kernel.run;sensor.probe " in serial
+
+    def test_profile_chrome_is_json(self, capsys):
+        rc = main(
+            ["profile", "thing1", "--hours", "0.5", "--format", "chrome"]
+        )
+        out = capsys.readouterr().out
+        assert rc == 0
+        doc = json.loads(out)
+        assert any(e["name"] == "kernel.run" for e in doc["traceEvents"])
+
+    def test_profile_rejects_unknown_target(self, capsys):
+        rc = main(["profile", "nonesuch"])
+        err = capsys.readouterr().err
+        assert rc == 2
+        assert "nonesuch" in err
+
+
+class TestPerfCommand:
+    def test_diff_flags_slowdown(self, capsys, tmp_path):
+        from repro.perf import record
+
+        base = tmp_path / "base"
+        cur = tmp_path / "cur"
+        record("bench_a", 1.0, directory=base)
+        record("bench_a", 2.0, directory=cur)
+        record("bench_b", 1.0, directory=base)
+        record("bench_b", 1.01, directory=cur)
+        rc = main(["perf", "diff", str(base), "--current", str(cur)])
+        out = capsys.readouterr().out
+        assert rc == 1
+        assert "regression" in out and "1 regression(s)" in out
+
+    def test_diff_clean_exits_zero(self, capsys, tmp_path):
+        from repro.perf import record
+
+        base = tmp_path / "base"
+        record("bench_a", 1.0, directory=base)
+        record("bench_a", 1.0, directory=tmp_path / "cur")
+        rc = main(
+            ["perf", "diff", str(base), "--current", str(tmp_path / "cur")]
+        )
+        assert rc == 0
+
+    def test_diff_missing_baseline_is_usage_error(self, capsys, tmp_path):
+        rc = main(["perf", "diff", str(tmp_path / "nope")])
+        err = capsys.readouterr().err
+        assert rc == 2
+        assert "no benchmark record directory" in err

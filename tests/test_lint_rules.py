@@ -629,6 +629,78 @@ class TestResilience:
 
 
 # -----------------------------------------------------------------------
+# OBS002 -- metric naming and inventory
+# -----------------------------------------------------------------------
+
+class TestMetricInventory:
+    def test_bad_scheme_flagged(self):
+        src = """
+        def instrument(registry):
+            registry.counter("my_ticks_total").inc()
+        """
+        result = findings(src, module="repro.sim.fake", select=["OBS002"])
+        assert [f.rule_id for f in result.findings] == ["OBS002"]
+        assert "repro_<layer>_<name>" in result.findings[0].message
+
+    def test_two_segment_name_flagged(self):
+        src = """
+        def instrument(registry):
+            registry.gauge("repro_jobs").set(1)
+        """
+        ids = rule_ids(src, module="repro.runner.fake", select=["OBS002"])
+        assert "OBS002" in ids
+
+    def test_counter_without_total_suffix_flagged(self):
+        src = """
+        def instrument(registry):
+            registry.counter("repro_sim_ticks").inc()
+        """
+        result = findings(src, module="repro.sim.fake", select=["OBS002"])
+        assert any("_total" in f.message for f in result.findings)
+
+    def test_gauge_with_total_suffix_flagged(self):
+        src = """
+        def instrument(registry):
+            registry.gauge("repro_sim_ticks_total").set(1)
+        """
+        result = findings(src, module="repro.sim.fake", select=["OBS002"])
+        assert any("reserved for counters" in f.message for f in result.findings)
+
+    def test_undocumented_metric_flagged(self):
+        src = """
+        def instrument(registry):
+            registry.counter("repro_sim_undocumented_widget_total").inc()
+        """
+        result = findings(src, module="repro.sim.fake", select=["OBS002"])
+        assert [f.rule_id for f in result.findings] == ["OBS002"]
+        assert "inventory" in result.findings[0].message
+
+    def test_inventoried_metrics_pass(self):
+        src = """
+        def instrument(registry):
+            registry.counter("repro_sim_ticks_total").inc()
+            registry.gauge("repro_sim_load_average", host="a").set(0.5)
+            registry.histogram("repro_runner_host_seconds", host="a").observe(1.0)
+        """
+        assert rule_ids(src, module="repro.sim.fake", select=["OBS002"]) == []
+
+    def test_dynamic_names_skipped(self):
+        # Only literal first arguments are checkable statically.
+        src = """
+        def instrument(registry, name):
+            registry.counter(name).inc()
+        """
+        assert rule_ids(src, module="repro.sim.fake", select=["OBS002"]) == []
+
+    def test_out_of_scope_module_ignored(self):
+        src = """
+        def instrument(registry):
+            registry.counter("whatever").inc()
+        """
+        assert rule_ids(src, module="somepkg.fake", select=["OBS002"]) == []
+
+
+# -----------------------------------------------------------------------
 # Suppressions, selection, parse errors
 # -----------------------------------------------------------------------
 

@@ -1,0 +1,231 @@
+"""Snapshot merge semantics: the cross-process aggregation primitive."""
+
+import math
+
+import pytest
+
+from repro.obs import MergeError, MetricsRegistry, NullRegistry, render_prometheus
+
+
+def _worker(fill) -> dict:
+    registry = MetricsRegistry()
+    fill(registry)
+    return registry.snapshot()
+
+
+class TestCounterMerge:
+    def test_counters_add(self):
+        parent = MetricsRegistry()
+        parent.counter("repro_sim_ticks_total", host="a").inc(3)
+        snap = _worker(lambda r: r.counter("repro_sim_ticks_total", host="a").inc(4))
+        parent.merge(snap)
+        sample = parent.snapshot()["repro_sim_ticks_total"]["samples"][0]
+        assert sample["value"] == 7.0
+
+    def test_disjoint_labels_stay_disjoint(self):
+        parent = MetricsRegistry()
+        parent.counter("repro_sim_ticks_total", host="a").inc(1)
+        snap = _worker(lambda r: r.counter("repro_sim_ticks_total", host="b").inc(2))
+        parent.merge(snap)
+        samples = parent.snapshot()["repro_sim_ticks_total"]["samples"]
+        by_host = {s["labels"]["host"]: s["value"] for s in samples}
+        assert by_host == {"a": 1.0, "b": 2.0}
+
+    def test_merge_order_invariance(self):
+        snaps = [
+            _worker(lambda r, i=i: r.counter("repro_sim_ticks_total").inc(i + 1))
+            for i in range(4)
+        ]
+        forward = MetricsRegistry()
+        backward = MetricsRegistry()
+        for s in snaps:
+            forward.merge(s)
+        for s in reversed(snaps):
+            backward.merge(s)
+        assert render_prometheus(forward) == render_prometheus(backward)
+
+    def test_negative_counter_rejected(self):
+        parent = MetricsRegistry()
+        snap = {
+            "repro_sim_ticks_total": {
+                "type": "counter",
+                "samples": [{"labels": {}, "value": -1.0}],
+            }
+        }
+        with pytest.raises(MergeError, match="negative"):
+            parent.merge(snap)
+
+
+class TestGaugeMerge:
+    def test_last_writer_by_sim_time(self):
+        parent = MetricsRegistry()
+        old = _worker(lambda r: r.gauge("repro_sim_load_average").set(0.25))
+        new = _worker(lambda r: r.gauge("repro_sim_load_average").set(0.75))
+        parent.merge(new, sim_time=100.0)
+        parent.merge(old, sim_time=50.0)  # stale: must not win
+        sample = parent.snapshot()["repro_sim_load_average"]["samples"][0]
+        assert sample["value"] == 0.75
+
+    def test_equal_stamp_tie_break_is_commutative(self):
+        a = _worker(lambda r: r.gauge("repro_sim_load_average").set(0.3))
+        b = _worker(lambda r: r.gauge("repro_sim_load_average").set(0.9))
+        ab = MetricsRegistry()
+        ba = MetricsRegistry()
+        ab.merge(a, sim_time=10.0)
+        ab.merge(b, sim_time=10.0)
+        ba.merge(b, sim_time=10.0)
+        ba.merge(a, sim_time=10.0)
+        assert render_prometheus(ab) == render_prometheus(ba)
+        assert ab.snapshot()["repro_sim_load_average"]["samples"][0]["value"] == 0.9
+
+    def test_nan_and_inf_gauges_round_trip(self):
+        # NaN/Inf are representable gauge values (a sensor can report
+        # them); the merge must carry them through, not crash.
+        parent = MetricsRegistry()
+        snap = _worker(lambda r: r.gauge("repro_sim_load_average", host="a").set(math.inf))
+        parent.merge(snap, sim_time=1.0)
+        nan_snap = _worker(
+            lambda r: r.gauge("repro_sim_load_average", host="b").set(math.nan)
+        )
+        parent.merge(nan_snap, sim_time=1.0)
+        samples = parent.snapshot()["repro_sim_load_average"]["samples"]
+        by_host = {s["labels"]["host"]: s["value"] for s in samples}
+        assert math.isinf(by_host["a"])
+        assert math.isnan(by_host["b"])
+
+
+class TestHistogramMerge:
+    BUCKETS = (0.5, 1.0, 2.0)
+
+    def _observe(self, registry, *values):
+        h = registry.histogram("repro_sensor_probe_availability", buckets=self.BUCKETS)
+        for v in values:
+            h.observe(v)
+
+    def test_bucketwise_add(self):
+        parent = MetricsRegistry()
+        self._observe(parent, 0.4, 1.5)
+        snap = _worker(lambda r: self._observe(r, 0.4, 0.9, 3.0))
+        parent.merge(snap)
+        sample = parent.snapshot()["repro_sensor_probe_availability"]["samples"][0]
+        assert sample["count"] == 5
+        assert sample["sum"] == pytest.approx(0.4 + 1.5 + 0.4 + 0.9 + 3.0)
+        # Cumulative buckets: <=0.5 has the two 0.4s, +Inf has everything.
+        assert sample["buckets"][0] == [0.5, 2]
+        assert sample["buckets"][-1][1] == 5
+
+    def test_merge_order_invariance(self):
+        # Dyadic values add exactly in binary, so even the float sum is
+        # order-independent; bucket counts are integers and always are.
+        snaps = [
+            _worker(lambda r, v=v: self._observe(r, v)) for v in (0.25, 0.75, 1.5, 5.0)
+        ]
+        forward = MetricsRegistry()
+        backward = MetricsRegistry()
+        for s in snaps:
+            forward.merge(s)
+        for s in reversed(snaps):
+            backward.merge(s)
+        assert render_prometheus(forward) == render_prometheus(backward)
+
+    def test_bucket_mismatch_is_typed_and_atomic(self):
+        parent = MetricsRegistry()
+        self._observe(parent, 0.4)
+        other = MetricsRegistry()
+        other.histogram(
+            "repro_sensor_probe_availability", buckets=(0.25, 0.75)
+        ).observe(0.4)
+        bad = other.snapshot()
+        # Add a counter so a non-atomic merge would leave partial state.
+        bad["repro_sim_ticks_total"] = {
+            "type": "counter",
+            "samples": [{"labels": {}, "value": 1.0}],
+        }
+        before = parent.snapshot()
+        with pytest.raises(MergeError, match="bucket bounds"):
+            parent.merge(bad)
+        assert parent.snapshot() == before  # untouched: validate-then-apply
+        assert isinstance(MergeError("x"), ValueError)
+
+
+class TestMalformedSnapshots:
+    def test_empty_snapshot_is_a_noop(self):
+        parent = MetricsRegistry()
+        parent.counter("repro_sim_ticks_total").inc()
+        before = parent.snapshot()
+        parent.merge({})
+        assert parent.snapshot() == before
+
+    def test_kind_conflict_rejected(self):
+        parent = MetricsRegistry()
+        parent.counter("repro_sim_ticks_total").inc()
+        snap = {
+            "repro_sim_ticks_total": {
+                "type": "gauge",
+                "samples": [{"labels": {}, "value": 1.0}],
+            }
+        }
+        with pytest.raises(MergeError, match="counter here but a gauge"):
+            parent.merge(snap)
+
+    @pytest.mark.parametrize(
+        "snapshot",
+        [
+            "not a dict",
+            {"bad name!": {"type": "counter", "samples": []}},
+            {"repro_x_y": {"samples": []}},
+            {"repro_x_y": {"type": "ring", "samples": []}},
+            {"repro_x_y": {"type": "counter", "samples": "nope"}},
+            {"repro_x_y": {"type": "counter", "samples": [{"value": 1.0}]}},
+            {"repro_x_y": {"type": "gauge", "samples": [{"labels": {}}]}},
+            {
+                "repro_x_y": {
+                    "type": "counter",
+                    "samples": [{"labels": {"bad key!": "v"}, "value": 1.0}],
+                }
+            },
+        ],
+        ids=[
+            "non-dict",
+            "bad-metric-name",
+            "missing-type",
+            "unknown-kind",
+            "non-list-samples",
+            "missing-labels",
+            "missing-value",
+            "bad-label-name",
+        ],
+    )
+    def test_structurally_invalid_snapshots(self, snapshot):
+        with pytest.raises(MergeError):
+            MetricsRegistry().merge(snapshot)
+
+    @pytest.mark.parametrize(
+        "buckets",
+        [
+            [[1.0, 2]],  # single entry: no +Inf terminator possible
+            [[1.0, 2], [2.0, 1]],  # last bound not +Inf
+            [[2.0, 1], [1.0, 1], [float("inf"), 2]],  # unsorted bounds
+            [[1.0, 3], [float("inf"), 2]],  # decreasing cumulative
+            [["x", 1], [float("inf"), 2]],  # non-numeric bound
+        ],
+        ids=["too-short", "no-inf", "unsorted", "decreasing", "non-numeric"],
+    )
+    def test_malformed_histogram_buckets(self, buckets):
+        snap = {
+            "repro_x_y": {
+                "type": "histogram",
+                "samples": [
+                    {"labels": {}, "sum": 1.0, "count": 2, "buckets": buckets}
+                ],
+            }
+        }
+        with pytest.raises(MergeError):
+            MetricsRegistry().merge(snap)
+
+
+class TestNullRegistryMerge:
+    def test_null_merge_is_a_noop(self):
+        null = NullRegistry()
+        null.merge({"anything": "goes"})  # never validates, never stores
+        assert null.snapshot() == {}

@@ -1,0 +1,143 @@
+"""The deterministic profiler: span trees and byte-stable renderings."""
+
+import json
+
+import pytest
+
+from repro.obs import (
+    MetricsRegistry,
+    Tracer,
+    build_span_trees,
+    installed,
+    profile_spans,
+    render_chrome,
+    render_folded,
+    render_table,
+)
+
+
+def _span(name, start, end, **attrs):
+    return {"name": name, "start": start, "end": end, "attrs": attrs}
+
+
+#: A small fixed forest: two roots, one with nested children.
+SPANS = [
+    _span("kernel.run", 0.0, 100.0, host="thing1"),
+    _span("sensor.probe", 10.0, 12.0, host="thing1"),
+    _span("sensor.probe", 50.0, 53.0, host="thing1"),
+    _span("nws.query", 51.0, 52.0),
+    _span("kernel.run", 200.0, 250.0, host="conundrum"),
+]
+
+
+class TestTreeBuilding:
+    def test_containment_nesting(self):
+        roots = build_span_trees(SPANS)
+        assert [r.record.name for r in roots] == ["kernel.run", "kernel.run"]
+        first = roots[0]
+        assert [c.record.name for c in first.children] == [
+            "sensor.probe",
+            "sensor.probe",
+        ]
+        # nws.query nests inside the second probe, not the kernel root.
+        assert first.children[1].children[0].record.name == "nws.query"
+        assert roots[1].children == []
+
+    def test_identical_intervals_nest_deterministically(self):
+        spans = [_span("b", 0.0, 1.0), _span("a", 0.0, 1.0)]
+        roots = build_span_trees(spans)
+        # Ties sort by name: 'a' becomes the enclosing span.
+        assert len(roots) == 1
+        assert roots[0].record.name == "a"
+        assert roots[0].children[0].record.name == "b"
+
+    def test_overlapping_spans_become_siblings(self):
+        spans = [_span("a", 0.0, 10.0), _span("b", 5.0, 15.0)]
+        roots = build_span_trees(spans)
+        assert [r.record.name for r in roots] == ["a", "b"]
+
+    def test_self_time(self):
+        roots = build_span_trees(SPANS)
+        assert roots[0].self_time == pytest.approx(100.0 - 2.0 - 3.0)
+
+
+class TestProfileStats:
+    def test_inclusive_and_exclusive(self):
+        profile = profile_spans(SPANS)
+        by_name = {p.name: p for p in profile.phases}
+        kernel = by_name["kernel.run"]
+        assert kernel.count == 2
+        assert kernel.inclusive == pytest.approx(150.0)
+        assert kernel.exclusive == pytest.approx(145.0)
+        assert (kernel.min_duration, kernel.max_duration) == (50.0, 100.0)
+        probe = by_name["sensor.probe"]
+        assert probe.inclusive == pytest.approx(5.0)
+        assert probe.exclusive == pytest.approx(4.0)  # minus nws.query
+        assert profile.total == pytest.approx(150.0)
+        assert profile.span_count == 5
+
+    def test_phases_sorted_hottest_exclusive_first(self):
+        profile = profile_spans(SPANS)
+        exclusives = [p.exclusive for p in profile.phases]
+        assert exclusives == sorted(exclusives, reverse=True)
+
+    def test_span_counter_recorded(self):
+        with installed(MetricsRegistry()) as registry:
+            profile_spans(SPANS)
+        snap = registry.snapshot()
+        assert snap["repro_profile_spans_total"]["samples"][0]["value"] == 5.0
+
+    def test_accepts_tracer_spans(self):
+        tracer = Tracer(clock=lambda: 0.0)
+        tracer.record("kernel.run", start=0.0, end=10.0, host="x")
+        tracer.record("sensor.probe", start=2.0, end=3.0, host="x")
+        profile = profile_spans(tracer.spans)
+        assert profile.span_count == 2
+        assert profile.roots[0].children[0].record.name == "sensor.probe"
+
+
+class TestRenderings:
+    def test_table_shape(self):
+        out = render_table(profile_spans(SPANS))
+        lines = out.splitlines()
+        assert lines[0].split() == [
+            "phase", "count", "inclusive", "exclusive", "excl", "%", "min", "max",
+        ]
+        assert lines[-1] == "total 150.000000 over 5 spans"
+
+    def test_folded_format(self):
+        out = render_folded(SPANS)
+        entries = dict(
+            line.rsplit(" ", 1) for line in out.splitlines()
+        )
+        assert entries["kernel.run"] == str(int(145.0 * 1e6))
+        assert entries["kernel.run;sensor.probe"] == str(int(4.0 * 1e6))
+        assert entries["kernel.run;sensor.probe;nws.query"] == str(int(1.0 * 1e6))
+
+    def test_chrome_trace_is_valid_and_sorted(self):
+        doc = json.loads(render_chrome(SPANS))
+        events = doc["traceEvents"]
+        assert [e["ph"] for e in events] == ["X"] * 5
+        assert [e["ts"] for e in events] == sorted(e["ts"] for e in events)
+        kernel = events[0]
+        assert kernel == {
+            "name": "kernel.run",
+            "cat": "span",
+            "ph": "X",
+            "ts": 0,
+            "dur": int(100.0 * 1e6),
+            "pid": 1,
+            "tid": 1,
+            "args": {"status": "ok", "host": "thing1"},
+        }
+
+    @pytest.mark.parametrize("render", [render_folded, render_chrome])
+    def test_byte_stable(self, render):
+        assert render(list(SPANS)) == render(list(reversed(SPANS)))
+
+    def test_empty_stream(self):
+        profile = profile_spans([])
+        assert profile.span_count == 0
+        assert render_folded(profile) == ""
+        assert json.loads(render_chrome(profile))["traceEvents"] == []
+        assert "over 0 spans" in render_table(profile)

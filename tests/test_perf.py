@@ -1,0 +1,153 @@
+"""Perf records and the regression-diff policy."""
+
+import json
+
+import pytest
+
+from repro.perf import (
+    BenchRecord,
+    diff_records,
+    host_fingerprint,
+    load_records,
+    record,
+    render_diff,
+)
+
+
+class TestRecord:
+    def test_round_trip(self, tmp_path):
+        path = record(
+            "parallel_speedup",
+            2.5,
+            metric="speedup_ratio",
+            unit="x",
+            budget=1.0,
+            direction="higher",
+            directory=tmp_path,
+        )
+        assert path == tmp_path / "BENCH_parallel_speedup.json"
+        loaded = load_records(tmp_path)["parallel_speedup"]
+        assert loaded.value == 2.5
+        assert loaded.metric == "speedup_ratio"
+        assert loaded.unit == "x"
+        assert loaded.budget == 1.0
+        assert loaded.direction == "higher"
+        assert loaded.host == host_fingerprint()
+        assert loaded.schema == 1
+
+    def test_rerecord_overwrites(self, tmp_path):
+        record("x_bench", 1.0, directory=tmp_path)
+        record("x_bench", 2.0, directory=tmp_path)
+        assert load_records(tmp_path)["x_bench"].value == 2.0
+        assert len(list(tmp_path.glob("BENCH_*.json"))) == 1
+
+    def test_no_stray_temp_files(self, tmp_path):
+        record("x_bench", 1.0, directory=tmp_path)
+        assert list(tmp_path.iterdir()) == [tmp_path / "BENCH_x_bench.json"]
+
+    @pytest.mark.parametrize("name", ["", "has space", "sl/ash", "-leading"])
+    def test_invalid_names_rejected(self, name, tmp_path):
+        with pytest.raises(ValueError, match="invalid benchmark name"):
+            record(name, 1.0, directory=tmp_path)
+
+    def test_invalid_direction_rejected(self, tmp_path):
+        with pytest.raises(ValueError, match="direction"):
+            record("x_bench", 1.0, direction="sideways", directory=tmp_path)
+
+    def test_load_skips_corrupt_and_foreign_schema(self, tmp_path):
+        record("good", 1.0, directory=tmp_path)
+        (tmp_path / "BENCH_trunc.json").write_text('{"name": "trunc"')
+        (tmp_path / "BENCH_future.json").write_text(
+            json.dumps({"name": "future", "metric": "s", "value": 1, "schema": 99})
+        )
+        assert set(load_records(tmp_path)) == {"good"}
+
+    def test_load_missing_directory_raises(self, tmp_path):
+        with pytest.raises(FileNotFoundError):
+            load_records(tmp_path / "nope")
+
+
+def _rec(name, value, direction="lower", host="h1"):
+    return BenchRecord(
+        name=name,
+        metric="wall_seconds",
+        value=value,
+        direction=direction,
+        host={"machine": host},
+    )
+
+
+class TestDiffPolicy:
+    def test_2x_slowdown_is_flagged(self):
+        diff = diff_records(
+            {"b": _rec("b", 1.0)}, {"b": _rec("b", 2.0)}
+        )
+        assert [d.verdict for d in diff.deltas] == ["regression"]
+        assert diff.exit_code == 1
+
+    def test_5pct_noise_is_tolerated(self):
+        diff = diff_records(
+            {"b": _rec("b", 1.0)}, {"b": _rec("b", 1.049)}
+        )
+        assert diff.deltas[0].verdict == "ok"
+        assert diff.exit_code == 0
+
+    def test_absolute_floor_suppresses_tiny_benchmarks(self):
+        # 50% slower, but only 0.5 ms in absolute terms: noise.
+        diff = diff_records(
+            {"b": _rec("b", 0.001)}, {"b": _rec("b", 0.0015)}
+        )
+        assert diff.deltas[0].verdict == "ok"
+
+    def test_higher_is_better_direction(self):
+        base = {"s": _rec("s", 3.0, direction="higher")}
+        assert (
+            diff_records(base, {"s": _rec("s", 1.5, direction="higher")})
+            .deltas[0].verdict
+            == "regression"
+        )
+        assert (
+            diff_records(base, {"s": _rec("s", 6.0, direction="higher")})
+            .deltas[0].verdict
+            == "improvement"
+        )
+
+    def test_one_sided_benchmarks_never_fail(self):
+        diff = diff_records(
+            {"old": _rec("old", 1.0)}, {"new": _rec("new", 1.0)}
+        )
+        assert sorted(d.verdict for d in diff.deltas) == [
+            "baseline-only",
+            "current-only",
+        ]
+        assert diff.exit_code == 0
+
+    def test_cross_host_flagged(self):
+        diff = diff_records(
+            {"b": _rec("b", 1.0, host="laptop")},
+            {"b": _rec("b", 1.0, host="ci")},
+        )
+        assert diff.deltas[0].cross_host
+
+    def test_custom_tolerance(self):
+        base = {"b": _rec("b", 1.0)}
+        cur = {"b": _rec("b", 1.2)}
+        assert diff_records(base, cur, tolerance=0.5).ok
+        assert not diff_records(base, cur, tolerance=0.1).ok
+        with pytest.raises(ValueError, match="tolerance"):
+            diff_records(base, cur, tolerance=-0.1)
+
+    def test_directory_inputs(self, tmp_path):
+        base = tmp_path / "base"
+        cur = tmp_path / "cur"
+        record("b", 1.0, directory=base)
+        record("b", 3.0, directory=cur)
+        diff = diff_records(base, cur)
+        assert diff.deltas[0].verdict == "regression"
+
+    def test_render_mentions_regressions(self):
+        diff = diff_records({"b": _rec("b", 1.0)}, {"b": _rec("b", 2.0)})
+        out = render_diff(diff)
+        assert "regression" in out
+        assert "1 regression(s)" in out
+        assert "+100.0%" in out

@@ -120,9 +120,9 @@ class TestLayering:
         assert "sim_seconds=" in summary
 
 
-def _flaky_simulate_job(failures: int):
-    """A `_simulate_job` stand-in that fails ``failures`` times, then works."""
-    real = engine._simulate_job
+def _flaky_simulate_one(failures: int):
+    """A `_simulate_one` stand-in that fails ``failures`` times, then works."""
+    real = engine._simulate_one
     remaining = {"n": failures}
 
     def job(name, config):
@@ -154,7 +154,7 @@ class _BrokenPool:
 
 class TestRetries:
     def test_serial_failure_retried_and_counted(self, monkeypatch):
-        monkeypatch.setattr(engine, "_simulate_job", _flaky_simulate_job(1))
+        monkeypatch.setattr(engine, "_simulate_one", _flaky_simulate_one(1))
         with installed(MetricsRegistry()) as registry:
             runner = Runner()
             run = runner.run_one("thing1", TINY)
@@ -166,7 +166,7 @@ class TestRetries:
 
     def test_retried_result_is_bit_identical(self, monkeypatch):
         clean = Runner().run_one("thing1", TINY)
-        monkeypatch.setattr(engine, "_simulate_job", _flaky_simulate_job(2))
+        monkeypatch.setattr(engine, "_simulate_one", _flaky_simulate_one(2))
         retried = Runner().run_one("thing1", TINY)
         same_run(clean, retried)
 
@@ -174,7 +174,7 @@ class TestRetries:
         def always_fail(name, config):
             raise OSError(f"worker for {name} died")
 
-        monkeypatch.setattr(engine, "_simulate_job", always_fail)
+        monkeypatch.setattr(engine, "_simulate_one", always_fail)
         runner = Runner()
         with pytest.raises(HostSimulationError, match="'conundrum'") as info:
             runner.run_one("conundrum", TINY)
