@@ -1,0 +1,96 @@
+"""Benchmark guard: the forecast service sustains the acceptance load.
+
+Two gates on :mod:`repro.nws.loadtest` against the real service stack:
+
+* **Acceptance scale, in process.**  The default 1,000-series /
+  20,000-operation workload must complete through the in-process
+  transport with a deterministic report.  Its wall throughput is
+  recorded (``requests_per_second``, direction ``higher``) so
+  ``nws-repro perf diff`` catches service-layer slowdowns.
+* **HTTP parity under load.**  A smaller workload is replayed through a
+  live :class:`~repro.nws.ForecastServer`; its digest must equal the
+  in-process digest for the same config -- the transport-parity claim,
+  proven at load rather than per-call -- and throughput must clear a
+  deliberately loose floor (localhost HTTP easily does thousands of
+  requests per second; the floor only catches pathological stalls such
+  as a reintroduced Nagle/delayed-ACK interaction).
+
+Floors are generous because CI machines are time-shared; the recorded
+perf trajectory, not the assertion, is the sensitive signal.
+"""
+
+from __future__ import annotations
+
+from benchmarks.conftest import BENCH_RECORD_DIR, run_once
+from repro.nws import ForecastServer, NWSClient, ServiceCore
+from repro.nws.loadtest import LoadtestConfig, run_loadtest
+from repro.perf import record
+
+#: The ISSUE acceptance floor: >= 1000 concurrent series.
+ACCEPTANCE = LoadtestConfig(
+    series=1000, clients=16, operations=20000, seed=0, jobs=4
+)
+
+#: HTTP leg kept smaller: socket round-trips dominate, and parity (not
+#: scale) is the property under test.
+HTTP_CONFIG = LoadtestConfig(series=120, clients=8, operations=2000, seed=0, jobs=4)
+
+#: Wall-throughput floors (req/s).  In-process runs measure the service
+#: core itself; HTTP adds stdlib socket overhead.
+MIN_RPS_IN_PROCESS = 1000.0
+MIN_RPS_HTTP = 100.0
+
+
+def _run_in_process(config: LoadtestConfig):
+    with NWSClient.in_process(ServiceCore(tenants=config.tenants)) as base:
+        return run_loadtest(base.for_tenant, config)
+
+
+def _run_http(config: LoadtestConfig):
+    with ForecastServer(tenants=config.tenants) as server:
+        with NWSClient.connect(server.url) as base:
+            return run_loadtest(base.for_tenant, config)
+
+
+def test_bench_server_acceptance_load(benchmark):
+    _run_in_process(HTTP_CONFIG)  # warm imports outside the timed round
+    report = run_once(benchmark, _run_in_process, ACCEPTANCE)
+
+    assert sum(report.op_counts.values()) == ACCEPTANCE.operations + ACCEPTANCE.clients
+    assert report.series == 1000
+    # Same seed, same digest: the run is comparable across machines.
+    assert report.digest == _run_in_process(ACCEPTANCE).digest
+    assert report.wall_rps > MIN_RPS_IN_PROCESS, (
+        f"in-process loadtest ran at {report.wall_rps:.0f} req/s, "
+        f"floor {MIN_RPS_IN_PROCESS:.0f}"
+    )
+    record(
+        "server_inprocess_rps",
+        report.wall_rps,
+        metric="requests_per_second",
+        unit="req/s",
+        direction="higher",
+        directory=BENCH_RECORD_DIR,
+    )
+
+
+def test_bench_server_http_parity_under_load(benchmark):
+    local = _run_in_process(HTTP_CONFIG)
+    remote = run_once(benchmark, _run_http, HTTP_CONFIG)
+
+    assert remote.digest == local.digest, (
+        "HTTP and in-process transports diverged under load: "
+        f"{remote.digest} != {local.digest}"
+    )
+    assert remote.wall_rps > MIN_RPS_HTTP, (
+        f"HTTP loadtest ran at {remote.wall_rps:.0f} req/s, "
+        f"floor {MIN_RPS_HTTP:.0f}"
+    )
+    record(
+        "server_http_rps",
+        remote.wall_rps,
+        metric="requests_per_second",
+        unit="req/s",
+        direction="higher",
+        directory=BENCH_RECORD_DIR,
+    )

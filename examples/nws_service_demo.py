@@ -3,20 +3,21 @@
 
 Deploys the (in-process) Network Weather Service over four simulated
 hosts, lets it monitor them for two simulated hours, then plays the role
-of a grid scheduler client:
+of a grid scheduler client -- everything through the one public API,
+:class:`repro.nws.NWSClient`:
 
 1. discover CPU sensors through the name server;
 2. query the forecaster for each host's availability with its error bar;
 3. place a task on the best host and check how the forecast did;
 4. demonstrate memory persistence: the measurement history survives a
-   "restart" of the memory component.
+   "restart" of the memory component (``client.recover``).
 
 Run:  python examples/nws_service_demo.py
 """
 
 import tempfile
 
-from repro.nws import MemoryStore, NWSSystem
+from repro.nws import NWSSystem
 
 
 def main() -> None:
@@ -29,16 +30,25 @@ def main() -> None:
         print("monitoring 4 hosts for 2 simulated hours ...")
         system.advance(2 * 3600.0)
 
+        # The client adopts the running system's memory, forecaster and
+        # name server; the same calls would work over HTTP via
+        # NWSClient.connect(url) against `nws-repro serve`.
+        client = system.client()
+
         print("\nname-server discovery:")
-        for name in system.cpu_sensors():
-            print(f"  {name}")
-        registrations = system.nameserver.lookup()
+        for registration in client.lookup("sensor", resource="cpu"):
+            print(f"  {registration.name}")
+        registrations = client.lookup()
         print(f"  ({len(registrations)} live components total, incl. "
               f"memory.main and forecaster.main)")
 
         print(f"\n{'host':12s} {'forecast':>9s} {'error bar':>10s} "
               f"{'method':>20s} {'samples':>8s}")
-        reports = system.availability_map(method="load_average")
+        hosts = [h.profile for h in system.hosts]
+        reports = {
+            host: client.query(system.series_name(host, "load_average"))
+            for host in hosts
+        }
         for host, report in reports.items():
             print(f"{host:12s} {100 * report.forecast:8.1f}% "
                   f"{100 * report.error:9.2f}% {report.method:>20s} "
@@ -50,13 +60,12 @@ def main() -> None:
         print(" hybrid view would say otherwise -- try method='nws_hybrid')")
 
         # --- persistence: "restart" the memory and recover a series.
-        series = "cpu.thing1.load_average"
-        count_before = system.memory.count(series)
-        fresh = MemoryStore(capacity=8640, directory=tmp)
-        recovered = fresh.recover(series)
-        print(f"\nmemory restart: {recovered} of {count_before} samples "
+        series = system.series_name("thing1", "load_average")
+        times, _values = client.fetch(series)
+        recovered = client.recover(series)
+        print(f"\nmemory restart: {recovered} of {len(times)} samples "
               f"recovered from the journal")
-        assert recovered == count_before
+        assert recovered == len(times)
 
 
 if __name__ == "__main__":

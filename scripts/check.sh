@@ -46,6 +46,10 @@ echo "==> profiler / telemetry-merge overhead benchmark"
 PYTHONPATH="src${PYTHONPATH:+:$PYTHONPATH}" python -m pytest -q -p no:cacheprovider \
     --benchmark-disable-gc benchmarks/bench_profile.py
 
+echo "==> forecast server load / transport-parity benchmark"
+PYTHONPATH="src${PYTHONPATH:+:$PYTHONPATH}" python -m pytest -q -p no:cacheprovider \
+    --benchmark-disable-gc benchmarks/bench_server.py
+
 # Each benchmark above left a BENCH_<name>.json run record under
 # artifacts/bench/.  When a committed baseline exists (copy a known-good
 # artifacts/bench/ to benchmarks/baseline/ on this machine), diff

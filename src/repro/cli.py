@@ -51,6 +51,16 @@ go to stderr so stdout stays byte-stable.
     prediction-error inflation plus every injected / absorbed / failed
     fault event.  Output is byte-identical for a given seed + plan,
     regardless of ``--jobs``.
+``nws-repro serve [--host H] [--port P] [--tenants A,B] [--retention]``
+    Run the multi-tenant forecast server (publish / fetch / query /
+    register over versioned JSON; see the README's HTTP API table)
+    until interrupted, with background retention + liveness maintenance.
+``nws-repro loadtest [--url URL] [--series N] [--clients N] [--jobs N]``
+    Drive a forecast service (a running ``serve`` via ``--url``, else an
+    in-process core) with a seeded workload; the report is byte-identical
+    for a given seed regardless of ``--jobs`` or transport.  ``--chaos
+    PLAN`` routes publishes through a named fault plan; ``--perf-record``
+    writes wall throughput to ``artifacts/bench/``.
 """
 
 from __future__ import annotations
@@ -301,6 +311,90 @@ def build_parser() -> argparse.ArgumentParser:
         help="absolute floor below which a move never regresses (default: 0.002)",
     )
 
+    p_serve = sub.add_parser(
+        "serve", help="run the multi-tenant forecast server until interrupted"
+    )
+    p_serve.add_argument(
+        "--host", default="127.0.0.1", help="bind address (default: 127.0.0.1)"
+    )
+    p_serve.add_argument(
+        "--port", type=int, default=8123, help="bind port (0 = ephemeral)"
+    )
+    p_serve.add_argument(
+        "--tenants",
+        default="default",
+        metavar="A,B",
+        help="comma-separated tenant names to serve (default: default)",
+    )
+    p_serve.add_argument(
+        "--maintenance-interval",
+        type=float,
+        default=30.0,
+        metavar="SEC",
+        help="seconds between retention/liveness cycles (default: 30)",
+    )
+    p_serve.add_argument(
+        "--retention",
+        action="store_true",
+        help="compact old history onto a coarse grid (RetentionPolicy defaults)",
+    )
+    p_serve.add_argument(
+        "--directory",
+        default=None,
+        metavar="DIR",
+        help="persistence directory for per-tenant measurement journals",
+    )
+
+    p_load = sub.add_parser(
+        "loadtest", help="seeded, byte-reproducible load test of the service"
+    )
+    p_load.add_argument(
+        "--url",
+        default=None,
+        metavar="URL",
+        help="forecast server URL (default: fresh in-process core)",
+    )
+    p_load.add_argument(
+        "--series", type=int, default=1000, help="concurrent series (default: 1000)"
+    )
+    p_load.add_argument(
+        "--clients", type=int, default=16, help="synthetic clients (default: 16)"
+    )
+    p_load.add_argument(
+        "--operations",
+        type=int,
+        default=20000,
+        help="total operations across clients (default: 20000)",
+    )
+    p_load.add_argument("--seed", type=int, default=0, help="root seed (default: 0)")
+    p_load.add_argument(
+        "--jobs",
+        type=int,
+        default=1,
+        metavar="N",
+        help="worker threads (report identical to --jobs 1)",
+    )
+    p_load.add_argument(
+        "--tenants",
+        default="default",
+        metavar="A,B",
+        help="tenants addressed round-robin (default: default)",
+    )
+    p_load.add_argument(
+        "--chaos",
+        default=None,
+        metavar="PLAN",
+        help="route publishes through a named fault plan (see chaos --list-plans)",
+    )
+    p_load.add_argument(
+        "--horizon", type=int, default=1, help="forecast horizon for query ops"
+    )
+    p_load.add_argument(
+        "--perf-record",
+        action="store_true",
+        help="write wall throughput as a BENCH record under artifacts/bench/",
+    )
+
     p_lint = sub.add_parser(
         "lint", help="domain-aware static analysis (determinism, units, protocol)"
     )
@@ -480,7 +574,7 @@ def _cmd_obs(args) -> int:
         tracer = Tracer(clock=lambda: system.clock)
         with traced(tracer):
             system.advance(args.hours * 3600.0)
-            reports = system.forecaster.query_all()
+            reports = system.client().query_all()
         if args.output_format == "prometheus":
             print(render_prometheus(registry), end="")
         elif args.output_format == "json":
@@ -607,7 +701,7 @@ def _cmd_profile(args) -> int:
             tracer = Tracer(clock=lambda: system.clock)
             with traced(tracer):
                 system.advance(args.hours * 3600.0)
-                system.forecaster.query_all()
+                system.client().query_all()
     else:
         from repro.experiments.testbed import TestbedConfig
         from repro.runner import Runner
@@ -732,6 +826,94 @@ def _cmd_chaos(args) -> int:
     return 0
 
 
+def _cmd_serve(args) -> int:
+    import threading
+    import time
+
+    from repro.nws import ForecastServer, RetentionPolicy
+
+    tenants = [t.strip() for t in args.tenants.split(",") if t.strip()]
+    if not tenants:
+        print("nws-repro serve: no tenants given", file=sys.stderr)
+        return 2
+    try:
+        server = ForecastServer(
+            host=args.host,
+            port=args.port,
+            maintenance_interval=args.maintenance_interval,
+            tenants=tuple(tenants),
+            clock=time.time,
+            directory=args.directory,
+            retention=RetentionPolicy() if args.retention else None,
+        )
+    except (OSError, ValueError) as exc:
+        print(f"nws-repro serve: {exc}", file=sys.stderr)
+        return 2
+    with server:
+        print(
+            f"forecast server at {server.url} "
+            f"(tenants: {', '.join(tenants)}; ctrl-c to stop)",
+            file=sys.stderr,
+        )
+        try:
+            threading.Event().wait()
+        except KeyboardInterrupt:
+            pass
+    print("forecast server stopped", file=sys.stderr)
+    return 0
+
+
+def _cmd_loadtest(args) -> int:
+    from repro.nws import NWSClient, ServiceCore
+    from repro.nws.loadtest import LoadtestConfig, render, run_loadtest
+    from repro.perf import record
+
+    tenants = tuple(t.strip() for t in args.tenants.split(",") if t.strip())
+    try:
+        config = LoadtestConfig(
+            series=args.series,
+            clients=args.clients,
+            operations=args.operations,
+            seed=args.seed,
+            jobs=args.jobs,
+            tenants=tenants,
+            chaos=args.chaos,
+            horizon=args.horizon,
+        )
+    except ValueError as exc:
+        print(f"nws-repro loadtest: {exc}", file=sys.stderr)
+        return 2
+    if args.url is not None:
+        base = NWSClient.connect(args.url)
+    else:
+        base = NWSClient.in_process(ServiceCore(tenants=tenants))
+    try:
+        report = run_loadtest(base.for_tenant, config)
+    except KeyError as exc:
+        # Unknown chaos plan name (named_plan raises at plan-build time).
+        print(f"nws-repro loadtest: {exc.args[0]}", file=sys.stderr)
+        return 2
+    finally:
+        base.close()
+    print(render(report), end="")
+    transport = "http" if args.url is not None else "in-process"
+    print(
+        f"wall: {report.wall_seconds:.3f} s at {report.wall_rps:.1f} req/s "
+        f"(jobs={config.jobs}, transport={transport})",
+        file=sys.stderr,
+    )
+    if args.perf_record:
+        path = record(
+            "nws_loadtest_rps",
+            report.wall_rps,
+            metric="requests_per_second",
+            unit="req/s",
+            direction="higher",
+        )
+        print(f"wrote {path}", file=sys.stderr)
+    return 0
+
+
 def main(argv: list[str] | None = None) -> int:
     """CLI entry point; returns the process exit code."""
     args = build_parser().parse_args(argv)
@@ -747,6 +929,8 @@ def main(argv: list[str] | None = None) -> int:
         "perf": _cmd_perf,
         "lint": _cmd_lint,
         "chaos": _cmd_chaos,
+        "serve": _cmd_serve,
+        "loadtest": _cmd_loadtest,
     }
     return handlers[args.command](args)
 

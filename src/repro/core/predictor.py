@@ -16,7 +16,7 @@ from repro.core.forecasters import Forecaster
 from repro.core.mixture import AdaptiveForecaster
 from repro.lint.contracts import ensure_fraction
 
-__all__ = ["NWSPredictor"]
+__all__ = ["NWSPredictor", "PredictorMixture"]
 
 
 class NWSPredictor:
@@ -125,6 +125,24 @@ class NWSPredictor:
             return self.forecast_next()
         return self.forecast_block()
 
+    def forecast_with_error(self) -> tuple[float, float]:
+        """Short-term forecast plus the winning method's error bar.
+
+        Delegates to the short-term mixture's ``forecast_with_error``
+        (forecast clamped like :meth:`forecast_next`); requires the
+        mixture to expose that method, which the default
+        :class:`~repro.core.mixture.AdaptiveForecaster` does.
+        """
+        forecast, error = self._short.forecast_with_error()
+        return self._clip(forecast), float(error)
+
+    def chosen_name(self) -> str:
+        """Name of the short-term member the next forecast comes from."""
+        chosen = getattr(self._short, "chosen_name", None)
+        if callable(chosen):
+            return chosen()
+        return type(self._short).__name__
+
     def telemetry(self) -> dict[str, dict[str, dict[str, float]]]:
         """Per-horizon, per-member forecaster standings.
 
@@ -140,6 +158,16 @@ class NWSPredictor:
                 out[horizon] = report()
         return out
 
+    def forecast_horizon(self, horizon_frames: int) -> float:
+        """:meth:`forecast`, under the mixture-protocol method name.
+
+        :class:`~repro.nws.forecaster.ForecasterService` dispatches
+        multi-step queries to ``forecast_horizon(h)`` when the mixture
+        provides it; this alias makes the aggregated predictor speak
+        that protocol (see :class:`PredictorMixture`).
+        """
+        return self.forecast(horizon_frames)
+
     def expansion_factor(self, horizon_frames: int = 1) -> float:
         """Predicted execution-time multiplier for a CPU-bound process.
 
@@ -151,3 +179,38 @@ class NWSPredictor:
         if availability <= 1e-9:
             return float("inf")
         return 1.0 / availability
+
+
+class PredictorMixture:
+    """:class:`NWSPredictor` behind the forecaster-service mixture protocol.
+
+    :class:`~repro.nws.forecaster.ForecasterService` drives whatever its
+    factory builds through ``update`` / ``forecast_with_error`` /
+    ``chosen_name`` (plus ``forecast_horizon`` for multi-step queries).
+    This adapter exposes exactly that surface over an aggregated
+    predictor -- and deliberately nothing more: the predictor's
+    ``telemetry`` is per-horizon *nested*, which the service's flat
+    per-member collector must never be handed, so it is not forwarded.
+
+    NaN updates are skipped (the mixture-layer convention for dropped
+    sensor readings) before they reach the predictor's strict
+    fraction validation.
+    """
+
+    def __init__(self, *, aggregation: int = 30, clamp: bool = True):
+        self.predictor = NWSPredictor(aggregation=aggregation, clamp=clamp)
+
+    def update(self, value: float) -> None:
+        value = float(value)
+        if value != value:
+            return
+        self.predictor.observe(value)
+
+    def forecast_with_error(self) -> tuple[float, float]:
+        return self.predictor.forecast_with_error()
+
+    def chosen_name(self) -> str:
+        return self.predictor.chosen_name()
+
+    def forecast_horizon(self, horizon_frames: int) -> float:
+        return self.predictor.forecast_horizon(horizon_frames)

@@ -205,7 +205,7 @@ def _chaos_host(
 def _report_at(system: NWSSystem, profile: str, method: str):
     """The system's current forecast report, None when it cannot answer."""
     try:
-        return system.availability(profile, method)
+        return system.client().query(system.series_name(profile, method))
     except (SeriesUnavailable, ValueError):
         # No data yet for this series (and nothing to fall back on).
         return None

@@ -65,6 +65,13 @@ paper's results depend on:
     inventory of the :mod:`repro.obs` package docstring, so the
     inventory stays the single complete catalogue of what a running
     system exports.
+``API001``
+    Service API discipline: outside :mod:`repro.nws` itself, nothing
+    imports or constructs ``MemoryStore`` / ``ForecasterService``
+    directly -- a hand-built data plane bypasses tenancy, the
+    ``repro_server_*`` metrics and the keyword-normalized
+    :class:`repro.nws.client.NWSClient` facade, which is the one public
+    way in (``in_process`` / ``for_system`` / ``connect``).
 """
 
 from __future__ import annotations
@@ -91,6 +98,7 @@ __all__ = [
     "VectorizedBacktestRule",
     "ResilienceRule",
     "MetricInventoryRule",
+    "ServiceFacadeRule",
 ]
 
 
@@ -927,3 +935,71 @@ class MetricInventoryRule(Rule):
                     f"metric {name!r} is missing from the metrics inventory "
                     "in the repro.obs package docstring; document it there",
                 )
+
+
+# --------------------------------------------------------------------------
+# API001 -- service API discipline (no direct data-plane construction)
+# --------------------------------------------------------------------------
+
+#: Modules that export the data-plane constructors (what a bypass would
+#: import them from).
+_DATA_PLANE_HOMES = ("repro.nws.memory", "repro.nws.forecaster", "repro.nws")
+
+#: The constructors the client facade owns.
+_DATA_PLANE_NAMES = ("MemoryStore", "ForecasterService")
+
+#: Package whose modules legitimately build the data plane: the service
+#: layer itself (ServiceCore, NWSSystem, the transports and shims).
+_NWS_PREFIX = "repro.nws"
+
+
+@register
+class ServiceFacadeRule(Rule):
+    rule_id = "API001"
+    title = "service access goes through NWSClient, not raw data-plane parts"
+    rationale = (
+        "a hand-built MemoryStore or ForecasterService bypasses tenancy, "
+        "the service metrics and the keyword-normalized client API; "
+        "construct an NWSClient (in_process/for_system/connect) and let "
+        "ServiceCore own the triple"
+    )
+
+    def _allowed(self, module: str) -> bool:
+        return module == _NWS_PREFIX or module.startswith(_NWS_PREFIX + ".")
+
+    def check(self, ctx: ModuleContext) -> Iterator[Finding]:
+        if self._allowed(ctx.module):
+            return
+        aliases = _import_aliases(ctx.tree)
+        for node in ast.walk(ctx.tree):
+            if (
+                isinstance(node, ast.ImportFrom)
+                and node.level == 0
+                and node.module in _DATA_PLANE_HOMES
+            ):
+                for name in node.names:
+                    if name.name in _DATA_PLANE_NAMES:
+                        yield ctx.finding(
+                            node,
+                            self.rule_id,
+                            f"importing {name.name} outside repro.nws "
+                            "bypasses the client API; use "
+                            "NWSClient.in_process()/connect() instead",
+                        )
+            elif isinstance(node, ast.Call):
+                dotted = _dotted(node.func)
+                if dotted is None or "." not in dotted:
+                    continue  # a bare call is caught at its import
+                full = _resolve(dotted, aliases)
+                if full in tuple(
+                    f"{home}.{name}"
+                    for home in _DATA_PLANE_HOMES
+                    for name in _DATA_PLANE_NAMES
+                ):
+                    yield ctx.finding(
+                        node,
+                        self.rule_id,
+                        f"{full}() builds the data plane by hand, skipping "
+                        "tenancy and service metrics; construct an "
+                        "NWSClient and let ServiceCore own the triple",
+                    )

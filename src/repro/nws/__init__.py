@@ -10,35 +10,57 @@ FGCS '98) has four component kinds:
 * **forecasters** that fetch histories from memory and answer prediction
   queries.
 
-This subpackage reproduces that architecture in-process over the simulated
-testbed: components register with a :class:`~repro.nws.nameserver.
-NameServer`, sensors publish into a :class:`~repro.nws.memory.MemoryStore`
-(bounded, optionally disk-backed), and the :class:`~repro.nws.forecaster.
-ForecasterService` serves cached NWS-mixture predictions.
-:class:`~repro.nws.system.NWSSystem` wires a whole monitored grid together
-and is what `examples/nws_service_demo.py` and the scheduler integration
-use.
+This subpackage reproduces that architecture both in-process and as a
+long-running service:
+
+* :class:`~repro.nws.system.NWSSystem` wires a whole monitored grid of
+  simulated hosts together (sensors publishing into a
+  :class:`~repro.nws.memory.MemoryStore`, discovery through a
+  :class:`~repro.nws.nameserver.NameServer`, predictions from the
+  :class:`~repro.nws.forecaster.ForecasterService`).
+* :class:`~repro.nws.client.NWSClient` is the **one public API** over
+  all of it: the same keyword-normalized ``publish`` / ``fetch`` /
+  ``query`` / ``register`` surface whether the transport executes a
+  shared :class:`~repro.nws.service.ServiceCore` in-process or speaks
+  the versioned JSON wire format of :mod:`repro.nws.wire` to a
+  :class:`~repro.nws.server.ForecastServer` (a multi-tenant
+  ``ThreadingHTTPServer``; see ``nws-repro serve``).
+* :mod:`repro.nws.loadtest` drives either transport with a seeded,
+  byte-reproducible load test (see ``nws-repro loadtest``).
 
 Faithfulness notes: real NWS components are separate Unix processes
-speaking TCP; here they are objects with the same registration/lookup/
-publish/query protocol, so the control flow (who knows what, when data
-moves) matches while staying testable and deterministic.
+speaking TCP; the in-process form keeps the same registration/lookup/
+publish/query protocol while staying testable and deterministic, and the
+HTTP form restores the process boundary -- sockets, typed error
+envelopes, TTL'd liveness -- without changing a single payload (the two
+transports execute the same :class:`~repro.nws.service.ServiceCore`).
 """
 
-from repro.nws.errors import SeriesUnavailable
+from repro.nws.client import HTTPTransport, InProcessTransport, NWSClient
+from repro.nws.errors import RegistrationLapsed, SeriesUnavailable, UnknownTenant
 from repro.nws.forecaster import ForecastReport, ForecasterService
 from repro.nws.memory import MemoryStore
 from repro.nws.nameserver import NameServer, Registration
 from repro.nws.sensorhost import SensorHost
+from repro.nws.server import ForecastServer
+from repro.nws.service import RetentionPolicy, ServiceCore
 from repro.nws.system import NWSSystem
 
 __all__ = [
     "ForecastReport",
+    "ForecastServer",
     "ForecasterService",
+    "HTTPTransport",
+    "InProcessTransport",
     "MemoryStore",
+    "NWSClient",
     "NWSSystem",
     "NameServer",
     "Registration",
+    "RegistrationLapsed",
+    "RetentionPolicy",
     "SensorHost",
     "SeriesUnavailable",
+    "ServiceCore",
+    "UnknownTenant",
 ]

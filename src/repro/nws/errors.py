@@ -1,8 +1,15 @@
-"""Typed errors for the NWS service layer."""
+"""Typed errors for the NWS service layer.
+
+This is the error taxonomy the client/server wire format maps to HTTP
+status codes and back (see :mod:`repro.nws.wire`): every exception a
+transport can surface has one typed class here (or in
+:mod:`repro.faults.policy` for :class:`~repro.faults.RetryError`), so
+callers branch on meaning rather than on strings or status numbers.
+"""
 
 from __future__ import annotations
 
-__all__ = ["SeriesUnavailable"]
+__all__ = ["SeriesUnavailable", "RegistrationLapsed", "UnknownTenant"]
 
 
 class SeriesUnavailable(LookupError):
@@ -14,6 +21,8 @@ class SeriesUnavailable(LookupError):
     even be served from a last-known-good forecast.  Deliberately a
     :class:`LookupError` but *not* a :class:`KeyError`: callers should
     branch on data availability, not on dictionary plumbing.
+
+    Over HTTP this maps to ``404 series_unavailable``.
 
     Attributes
     ----------
@@ -28,4 +37,51 @@ class SeriesUnavailable(LookupError):
         self.known = tuple(known)
         super().__init__(
             f"series {series!r} unavailable; known series: {list(self.known)}"
+        )
+
+
+class RegistrationLapsed(LookupError):
+    """A name-server registration is unknown or its TTL has expired.
+
+    Raised by :meth:`~repro.nws.nameserver.NameServer.refresh` and
+    :meth:`~repro.nws.nameserver.NameServer.get`: a lapsed registration
+    is the NWS's crash signal, and callers must branch on it explicitly
+    (re-register, mark the component dead) rather than pattern-match a
+    generic :class:`KeyError`.
+
+    Over HTTP this maps to ``410 registration_lapsed`` -- the component
+    was (or may have been) registered once, and is gone now.
+
+    Attributes
+    ----------
+    name:
+        The component name whose registration lapsed.
+    """
+
+    def __init__(self, name: str):
+        self.name = name
+        super().__init__(f"no live registration for component {name!r}")
+
+
+class UnknownTenant(LookupError):
+    """The requested tenant is not served by this deployment.
+
+    Raised by a :class:`~repro.nws.service.ServiceCore` whose tenant set
+    is closed (an explicit allowlist was configured) when an operation
+    names a tenant outside it.  Over HTTP this maps to
+    ``403 unknown_tenant``.
+
+    Attributes
+    ----------
+    tenant:
+        The rejected tenant name.
+    known:
+        Tenants the deployment does serve (sorted).
+    """
+
+    def __init__(self, tenant: str, known=()):
+        self.tenant = tenant
+        self.known = tuple(known)
+        super().__init__(
+            f"tenant {tenant!r} not served here; known tenants: {list(self.known)}"
         )

@@ -45,6 +45,12 @@ class ForecastReport:
         History length the forecast is based on.
     as_of:
         Timestamp of the newest measurement consumed.
+    horizon:
+        Measurement steps ahead the forecast targets (default 1).  The
+        NWS battery predicts the next measurement; for longer horizons
+        the one-step estimate is held unless the mixture implements
+        ``forecast_horizon`` (e.g. the aggregated
+        :class:`~repro.core.predictor.NWSPredictor` surface).
     stale:
         True when the report is served degraded: either the series' data
         is older than the service's staleness horizon, or the series
@@ -60,6 +66,7 @@ class ForecastReport:
     n_measurements: int
     as_of: float
     stale: bool = False
+    horizon: int = 1
 
 
 class ForecasterService:
@@ -151,8 +158,15 @@ class ForecasterService:
         if times.size:
             self._last_time[series] = float(times[-1])
 
-    def query(self, series: str) -> ForecastReport:
-        """One-step-ahead forecast for ``series``.
+    def query(self, series: str, *, horizon: int = 1) -> ForecastReport:
+        """Forecast for ``series``, ``horizon`` measurement steps ahead.
+
+        The keyword name matches :meth:`repro.nws.client.NWSClient.query`
+        exactly -- one query signature across the whole stack.  The NWS
+        battery is a one-step predictor, so for ``horizon > 1`` the
+        one-step estimate is held unless the mixture implements a
+        ``forecast_horizon(h)`` method (the aggregated predictor surface
+        used by :class:`~repro.schedapp.grid.SimGrid` does).
 
         Degrades instead of failing wherever it honestly can: if the
         series has vanished from the memory but was forecast before, the
@@ -167,8 +181,12 @@ class ForecasterService:
             Unknown series with no last-known-good forecast to fall back
             on.
         ValueError
-            Series exists but holds no (finite) measurements yet.
+            Series exists but holds no (finite) measurements yet, or
+            ``horizon`` is not a positive integer.
         """
+        horizon = int(horizon)
+        if horizon < 1:
+            raise ValueError(f"horizon must be >= 1, got {horizon}")
         with get_tracer().span("nws.query", series=series):
             try:
                 self._advance(series)
@@ -177,10 +195,14 @@ class ForecasterService:
                 if base is None:
                     raise
                 self._obs_queries.inc()
-                return self._degrade(series, base)
+                return self._degrade(series, replace(base, horizon=horizon))
             self._obs_queries.inc()
             mixture = self._mixtures[series]
             forecast, error = mixture.forecast_with_error()
+            if horizon > 1:
+                forecast_horizon = getattr(mixture, "forecast_horizon", None)
+                if callable(forecast_horizon):
+                    forecast = float(forecast_horizon(horizon))
             report = ForecastReport(
                 series=series,
                 forecast=forecast,
@@ -188,6 +210,7 @@ class ForecasterService:
                 method=mixture.chosen_name(),
                 n_measurements=self._consumed[series],
                 as_of=self._last_time.get(series, float("nan")),
+                horizon=horizon,
             )
             self._last_good[series] = report
             self._degraded_streak.pop(series, None)

@@ -11,6 +11,7 @@ from __future__ import annotations
 
 import json
 import threading
+import warnings
 from pathlib import Path
 
 import numpy as np
@@ -108,16 +109,30 @@ class MemoryStore:
             return len(self._times.get(series, ()))
 
     def fetch(
-        self, series: str, *, since: float = -np.inf, limit: int | None = None
+        self,
+        series: str,
+        *,
+        start: float = -np.inf,
+        stop: float = np.inf,
+        limit: int | None = None,
+        since: float | None = None,
     ) -> tuple[np.ndarray, np.ndarray]:
         """(times, values) for ``series``, newest-retained window.
 
+        The keyword names match :meth:`repro.nws.client.NWSClient.fetch`
+        exactly -- one fetch signature across the whole stack.
+
         Parameters
         ----------
-        since:
-            Only samples with ``t >= since``.
+        start:
+            Only samples with ``t >= start``.
+        stop:
+            Only samples with ``t <= stop``.
         limit:
-            At most this many *most recent* samples.
+            At most this many *most recent* samples (applied after the
+            time window).
+        since:
+            Deprecated alias for ``start`` (pre-redesign drift).
 
         Raises
         ------
@@ -125,13 +140,20 @@ class MemoryStore:
             The series was never published here, or has been forgotten
             (a :class:`LookupError`, deliberately not ``KeyError``).
         """
+        if since is not None:
+            warnings.warn(
+                "MemoryStore.fetch(since=...) is deprecated; use start=",
+                DeprecationWarning,
+                stacklevel=2,
+            )
+            start = since
         with self._lock:
             if series not in self._times:
                 raise SeriesUnavailable(series, sorted(self._times))
             times = np.asarray(self._times[series])
             values = np.asarray(self._values[series])
         self._obs_fetches.inc()
-        keep = times >= since
+        keep = (times >= start) & (times <= stop)
         times, values = times[keep], values[keep]
         if limit is not None and times.size > limit:
             times, values = times[-limit:], values[-limit:]
@@ -141,6 +163,31 @@ class MemoryStore:
         """The retained history as a :class:`~repro.trace.series.TraceSeries`."""
         times, values = self.fetch(series)
         return TraceSeries(host or series, method or "memory", times, values)
+
+    def replace(self, series: str, times, values) -> int:
+        """Atomically replace a series' retained history.
+
+        The server's retention compactor uses this to swap an old raw
+        window for its downsampled equivalent; timestamps must be
+        non-decreasing and the two arrays equal-length.  The journal is
+        untouched (it remains the append-only crash record).  Returns
+        the new retained length.
+        """
+        times = [float(t) for t in times]
+        values = [float(v) for v in values]
+        if len(times) != len(values):
+            raise ValueError(
+                f"times/values length mismatch: {len(times)} != {len(values)}"
+            )
+        if any(b < a for a, b in zip(times, times[1:])):
+            raise ValueError(f"replacement history for {series!r} is unordered")
+        if len(times) > self.capacity:
+            times = times[-self.capacity :]
+            values = values[-self.capacity :]
+        with self._lock:
+            self._times[series] = times
+            self._values[series] = values
+        return len(times)
 
     def forget(self, series: str) -> bool:
         """Drop a series' retained history (the journal is untouched).

@@ -12,6 +12,7 @@ from __future__ import annotations
 import threading
 from dataclasses import dataclass, field, replace
 
+from repro.nws.errors import RegistrationLapsed
 from repro.obs.metrics import get_registry
 
 __all__ = ["NameServer", "Registration"]
@@ -114,8 +115,11 @@ class NameServer:
 
         Raises
         ------
-        KeyError
-            If the component is unknown or already expired.
+        RegistrationLapsed
+            If the component is unknown or already expired -- the same
+            typed error the HTTP ``410`` path maps to, so a client that
+            missed its refresh window sees one failure mode whether the
+            name server is an object or a socket away.
         """
         with self._lock:
             entry = self._require_live_locked(name)
@@ -135,7 +139,7 @@ class NameServer:
     def _require_live_locked(self, name: str) -> Registration:
         entry = self._entries.get(name)
         if entry is None or entry.expires_at <= self._clock():
-            raise KeyError(f"no live component {name!r}")
+            raise RegistrationLapsed(name)
         return entry
 
     def lookup(
@@ -165,7 +169,11 @@ class NameServer:
         return sorted(out, key=lambda e: e.name)
 
     def get(self, name: str) -> Registration:
-        """Fetch one live registration by name (KeyError if not live)."""
+        """Fetch one live registration by name.
+
+        Raises :class:`~repro.nws.errors.RegistrationLapsed` when the
+        component is unknown or its TTL has expired.
+        """
         return self._require_live(name)
 
     def __len__(self) -> int:

@@ -22,6 +22,7 @@ import threading
 import numpy as np
 
 from repro.faults.plan import HostFaults
+from repro.nws.errors import RegistrationLapsed
 from repro.nws.memory import MemoryStore
 from repro.nws.nameserver import NameServer
 from repro.obs.instrument import observe_kernel
@@ -174,6 +175,6 @@ class SensorHost:
     def _registration_lapsed(self) -> bool:
         try:
             self.nameserver.get(self.sensor_name)
-        except KeyError:
+        except RegistrationLapsed:
             return True
         return False

@@ -1,0 +1,404 @@
+"""The NWS forecast server: a multi-tenant HTTP front end over ServiceCore.
+
+A :class:`ForecastServer` wraps one
+:class:`~repro.nws.service.ServiceCore` in a stdlib
+``ThreadingHTTPServer`` speaking the versioned JSON wire format of
+:mod:`repro.nws.wire`.  Handlers execute exactly the same core methods
+the in-process transport calls, so the HTTP surface can never behave
+differently from the direct one -- the redesigned API's central
+guarantee.
+
+Routes (see the README's HTTP API table)::
+
+    GET  /v1/health                     liveness + per-tenant summary
+    GET  /v1/metrics                    metrics-registry snapshot
+    GET  /v1/<tenant>/series            series names
+    POST /v1/<tenant>/publish           {series, time, value}
+    POST /v1/<tenant>/fetch             {series, start?, stop?, limit?}
+    POST /v1/<tenant>/query             {series, horizon?}
+    POST /v1/<tenant>/query_all         {}
+    POST /v1/<tenant>/register          {name, kind, attributes?, ttl?}
+    POST /v1/<tenant>/refresh           {name, ttl}
+    POST /v1/<tenant>/lookup            {kind?, attributes?}
+    POST /v1/<tenant>/recover           {series}
+
+Failures become typed error envelopes (``envelope_for_exception``), so a
+lapsed registration is an HTTP 410 here and a
+:class:`~repro.nws.errors.RegistrationLapsed` after the client transport
+decodes it.
+
+The server practices the NWS liveness protocol on itself: at start it
+registers ``forecaster.server`` in every tenant's name server with a TTL,
+and the background maintenance worker refreshes that registration each
+cycle (re-registering if it lapsed, e.g. after a long stall) alongside
+the retention pass -- exactly the crash-detection contract sensors live
+under.
+"""
+
+from __future__ import annotations
+
+import json
+import threading
+import time
+from http.server import BaseHTTPRequestHandler, ThreadingHTTPServer
+
+from repro.nws.errors import RegistrationLapsed
+from repro.nws.service import ServiceCore
+from repro.nws.wire import (
+    WIRE_VERSION,
+    canonical,
+    encode_fetch,
+    encode_registration,
+    encode_report,
+    envelope_for_exception,
+)
+from repro.obs.metrics import get_registry
+
+__all__ = ["ForecastServer", "SERVER_REGISTRATION"]
+
+#: Name the server registers itself under in every tenant's name server.
+SERVER_REGISTRATION = "forecaster.server"
+
+#: Wall-clock request-latency buckets (seconds): HTTP round-trips on
+#: localhost land sub-millisecond; the tail catches stalls.
+_LATENCY_BUCKETS = (0.0005, 0.001, 0.0025, 0.005, 0.01, 0.025, 0.05, 0.1, 0.25, 0.5, 1.0)
+
+
+class _App(ThreadingHTTPServer):
+    """ThreadingHTTPServer that knows its ForecastServer."""
+
+    daemon_threads = True
+    forecast_server: "ForecastServer"
+
+
+class _Handler(BaseHTTPRequestHandler):
+    server_version = "nws-repro"
+    protocol_version = "HTTP/1.1"
+    # Responses are tiny and ping-pong on persistent connections; with
+    # Nagle on, every exchange eats a delayed-ACK stall (~40 ms).
+    disable_nagle_algorithm = True
+
+    def log_message(self, format, *args):  # noqa: A002 - stdlib signature
+        """Silenced: request accounting goes to repro.obs, not stderr."""
+
+    def do_GET(self):
+        self._handle("GET")
+
+    def do_POST(self):
+        self._handle("POST")
+
+    def _body(self) -> dict:
+        length = int(self.headers.get("Content-Length", 0) or 0)
+        if length == 0:
+            return {}
+        raw = self.rfile.read(length)
+        payload = json.loads(raw.decode("utf-8"))
+        if not isinstance(payload, dict):
+            raise ValueError("request body must be a JSON object")
+        return payload
+
+    def _handle(self, method: str) -> None:
+        app: ForecastServer = self.server.forecast_server
+        started = time.perf_counter()
+        try:
+            status, payload = app.dispatch(method, self.path, self._body())
+        except Exception as exc:
+            status, payload = envelope_for_exception(exc)
+            app.core.count_error(payload["error"]["code"])
+        body = canonical(payload)
+        self.send_response(status)
+        self.send_header("Content-Type", "application/json")
+        self.send_header("Content-Length", str(len(body)))
+        self.end_headers()
+        self.wfile.write(body)
+        app.observe_response(status, time.perf_counter() - started)
+
+
+_MISSING = object()
+
+
+def _field(body: dict, name: str, cast, default=_MISSING):
+    value = body.get(name, default)
+    if value is _MISSING:
+        raise ValueError(f"missing required field {name!r}")
+    try:
+        return cast(value)
+    except (TypeError, ValueError) as exc:
+        raise ValueError(f"bad value for field {name!r}: {exc}") from exc
+
+
+class ForecastServer:
+    """Long-running multi-tenant forecast server.
+
+    Parameters
+    ----------
+    core:
+        The :class:`~repro.nws.service.ServiceCore` to serve; one is
+        built from ``core_kwargs`` when omitted.
+    host / port:
+        Bind address (port 0 picks an ephemeral port; read it back from
+        :attr:`port` or :attr:`url`).
+    maintenance_interval:
+        Wall seconds between background maintenance cycles (retention
+        compaction + self-registration refresh).  None (default) runs no
+        worker -- call :meth:`maintain_once` yourself, as the tests do.
+    registration_ttl:
+        TTL (in the core's clock units) on the server's own
+        ``forecaster.server`` registrations.
+    """
+
+    def __init__(
+        self,
+        core: ServiceCore | None = None,
+        *,
+        host: str = "127.0.0.1",
+        port: int = 0,
+        maintenance_interval: float | None = None,
+        registration_ttl: float = 90.0,
+        **core_kwargs,
+    ):
+        if maintenance_interval is not None and maintenance_interval <= 0.0:
+            raise ValueError(
+                f"maintenance_interval must be positive, got {maintenance_interval}"
+            )
+        if registration_ttl <= 0.0:
+            raise ValueError(f"registration_ttl must be positive, got {registration_ttl}")
+        self.core = core if core is not None else ServiceCore(**core_kwargs)
+        self.registration_ttl = registration_ttl
+        self._maintenance_interval = maintenance_interval
+        self._httpd = _App((host, port), _Handler)
+        self._httpd.forecast_server = self
+        self.host, self.port = self._httpd.server_address[:2]
+        self._stop = threading.Event()
+        self._serve_thread: threading.Thread | None = None
+        self._maintenance_thread: threading.Thread | None = None
+        registry = get_registry()
+        self._registry = registry
+        self._obs_latency = registry.histogram(
+            "repro_server_request_seconds", buckets=_LATENCY_BUCKETS
+        )
+        self._obs_responses: dict[int, object] = {}
+        self._obs_maintenance = registry.counter(
+            "repro_server_maintenance_cycles_total"
+        )
+
+    # ----------------------------------------------------------- lifecycle
+
+    @property
+    def url(self) -> str:
+        return f"http://{self.host}:{self.port}"
+
+    def start(self) -> "ForecastServer":
+        """Bind the worker threads and announce the server to its tenants."""
+        if self._serve_thread is not None:
+            raise RuntimeError("server already started")
+        for tenant in self.core.tenant_names():
+            self.core.register(
+                tenant,
+                SERVER_REGISTRATION,
+                "forecaster",
+                {"url": self.url},
+                ttl=self.registration_ttl,
+            )
+        self._serve_thread = threading.Thread(
+            target=self._httpd.serve_forever,
+            kwargs={"poll_interval": 0.05},
+            name="nws-server-http",
+            daemon=True,
+        )
+        self._serve_thread.start()
+        if self._maintenance_interval is not None:
+            self._maintenance_thread = threading.Thread(
+                target=self._maintenance_worker,
+                name="nws-server-maintenance",
+                daemon=True,
+            )
+            self._maintenance_thread.start()
+        return self
+
+    def stop(self) -> None:
+        """Shut down the HTTP listener and the maintenance worker."""
+        self._stop.set()
+        self._httpd.shutdown()
+        self._httpd.server_close()
+        if self._serve_thread is not None:
+            self._serve_thread.join(timeout=5.0)
+        if self._maintenance_thread is not None:
+            self._maintenance_thread.join(timeout=5.0)
+
+    def __enter__(self) -> "ForecastServer":
+        return self.start()
+
+    def __exit__(self, *exc_info) -> None:
+        self.stop()
+
+    def _maintenance_worker(self) -> None:
+        # Event.wait gives both the cadence and an immediate, clean
+        # shutdown path (never time.sleep in a service loop -- FAULT001).
+        while not self._stop.wait(self._maintenance_interval):
+            self.maintain_once()
+
+    def maintain_once(self) -> int:
+        """One maintenance cycle: retention pass + liveness refresh.
+
+        Returns the number of series compacted.  The server refreshes its
+        own TTL'd ``forecaster.server`` registration per tenant,
+        re-registering when it lapsed -- the same recovery a crashed
+        sensor host performs.
+        """
+        compacted = self.core.maintain()
+        for tenant in self.core.tenant_names():
+            try:
+                self.core.refresh(
+                    tenant, SERVER_REGISTRATION, ttl=self.registration_ttl
+                )
+            except RegistrationLapsed:
+                self.core.register(
+                    tenant,
+                    SERVER_REGISTRATION,
+                    "forecaster",
+                    {"url": self.url},
+                    ttl=self.registration_ttl,
+                )
+        self._obs_maintenance.inc()
+        return compacted
+
+    # ------------------------------------------------------------ plumbing
+
+    def observe_response(self, status: int, seconds: float) -> None:
+        """Tally one finished HTTP exchange (wall latency + status)."""
+        self._obs_latency.observe(seconds)
+        counter = self._obs_responses.get(status)
+        if counter is None:
+            counter = self._registry.counter(
+                "repro_server_responses_total", status=str(status)
+            )
+            self._obs_responses[status] = counter
+        counter.inc()
+
+    # ------------------------------------------------------------ dispatch
+
+    def dispatch(self, method: str, path: str, body: dict) -> tuple[int, dict]:
+        """Route one request to the core; returns (status, payload)."""
+        parts = [p for p in path.split("/") if p]
+        if not parts or parts[0] != "v1":
+            raise LookupError(f"no such path {path!r}; the API lives under /v1")
+        if parts[1:] == ["health"]:
+            self._require(method, "GET", path)
+            return 200, {"version": WIRE_VERSION, "kind": "health", **self.core.health()}
+        if parts[1:] == ["metrics"]:
+            self._require(method, "GET", path)
+            return 200, {
+                "version": WIRE_VERSION,
+                "kind": "metrics",
+                "metrics": get_registry().snapshot(),
+            }
+        if len(parts) != 3:
+            raise LookupError(f"no such path {path!r}")
+        _, tenant, op = parts
+        if op == "series":
+            self._require(method, "GET", path)
+            return 200, {
+                "version": WIRE_VERSION,
+                "kind": "series",
+                "series": self.core.series_names(tenant),
+            }
+        self._require(method, "POST", path)
+        handler = getattr(self, f"_op_{op}", None)
+        if handler is None:
+            raise LookupError(f"no such operation {op!r}")
+        return 200, handler(tenant, body)
+
+    @staticmethod
+    def _require(method: str, expected: str, path: str) -> None:
+        if method != expected:
+            raise ValueError(f"{path} expects {expected}, got {method}")
+
+    # ----------------------------------------------------- POST operations
+
+    def _op_publish(self, tenant: str, body: dict) -> dict:
+        count = self.core.publish(
+            tenant,
+            _field(body, "series", str),
+            _field(body, "time", float),
+            _field(body, "value", float),
+        )
+        return {
+            "version": WIRE_VERSION,
+            "kind": "published",
+            "series": body["series"],
+            "count": count,
+        }
+
+    def _op_fetch(self, tenant: str, body: dict) -> dict:
+        series = _field(body, "series", str)
+        times, values = self.core.fetch(
+            tenant,
+            series,
+            start=_field(body, "start", float, float("-inf")),
+            stop=_field(body, "stop", float, float("inf")),
+            limit=(
+                None if body.get("limit") is None else _field(body, "limit", int)
+            ),
+        )
+        return encode_fetch(series, times, values)
+
+    def _op_query(self, tenant: str, body: dict) -> dict:
+        report = self.core.query(
+            tenant,
+            _field(body, "series", str),
+            horizon=_field(body, "horizon", int, 1),
+        )
+        return encode_report(report)
+
+    def _op_query_all(self, tenant: str, body: dict) -> dict:
+        reports = self.core.query_all(tenant)
+        return {
+            "version": WIRE_VERSION,
+            "kind": "forecasts",
+            "reports": {name: encode_report(r) for name, r in sorted(reports.items())},
+        }
+
+    def _op_register(self, tenant: str, body: dict) -> dict:
+        attributes = body.get("attributes") or {}
+        if not isinstance(attributes, dict):
+            raise ValueError("attributes must be a JSON object")
+        ttl = None if body.get("ttl") is None else _field(body, "ttl", float)
+        registration = self.core.register(
+            tenant,
+            _field(body, "name", str),
+            _field(body, "kind", str),
+            {str(k): str(v) for k, v in attributes.items()},
+            ttl=ttl,
+        )
+        return encode_registration(registration)
+
+    def _op_refresh(self, tenant: str, body: dict) -> dict:
+        registration = self.core.refresh(
+            tenant, _field(body, "name", str), ttl=_field(body, "ttl", float)
+        )
+        return encode_registration(registration)
+
+    def _op_lookup(self, tenant: str, body: dict) -> dict:
+        kind = None if body.get("kind") is None else _field(body, "kind", str)
+        filters = body.get("attributes") or {}
+        if not isinstance(filters, dict):
+            raise ValueError("attributes must be a JSON object")
+        registrations = self.core.lookup(
+            tenant, kind, **{str(k): str(v) for k, v in filters.items()}
+        )
+        return {
+            "version": WIRE_VERSION,
+            "kind": "registrations",
+            "registrations": [encode_registration(r) for r in registrations],
+        }
+
+    def _op_recover(self, tenant: str, body: dict) -> dict:
+        series = _field(body, "series", str)
+        count = self.core.recover(tenant, series)
+        return {
+            "version": WIRE_VERSION,
+            "kind": "recovered",
+            "series": series,
+            "count": count,
+        }

@@ -1,0 +1,384 @@
+"""Shared data plane of the NWS forecast service.
+
+:class:`ServiceCore` owns the per-tenant NWS triples (memory + forecaster
++ name server) and implements every operation the public API exposes:
+publish, fetch, query, register/refresh/lookup, recovery and retention
+maintenance.  Both transports execute *this* code --
+:class:`~repro.nws.client.InProcessTransport` calls it directly and
+:class:`~repro.nws.server.ForecastServer` calls it from HTTP handlers --
+so in-process and over-the-wire behaviour cannot diverge: same
+validation, same typed errors, same metrics.
+
+Tenancy is isolation, not namespacing: each tenant gets its own
+:class:`~repro.nws.memory.MemoryStore`,
+:class:`~repro.nws.forecaster.ForecasterService` and
+:class:`~repro.nws.nameserver.NameServer`, so one tenant's series names,
+registrations and forecaster state are invisible to every other.
+Addressing a tenant this core does not serve raises
+:class:`~repro.nws.errors.UnknownTenant` (the HTTP ``403``).
+
+Retention: a :class:`RetentionPolicy` bounds how much raw history a
+series may accumulate before the old prefix is downsampled with
+:func:`~repro.trace.resample.resample_mean` -- the NWS memory's
+fixed-size-file discipline, but lossy-gracefully: old data gets coarser
+instead of vanishing.
+"""
+
+from __future__ import annotations
+
+import threading
+from dataclasses import dataclass
+from pathlib import Path
+
+from repro.nws.errors import UnknownTenant
+from repro.nws.forecaster import ForecastReport, ForecasterService
+from repro.nws.memory import MemoryStore
+from repro.nws.nameserver import NameServer, Registration
+from repro.obs.metrics import get_registry
+from repro.obs.tracing import get_tracer
+from repro.trace.resample import resample_mean
+from repro.trace.series import TraceSeries
+
+__all__ = ["RetentionPolicy", "ServiceCore", "TenantState"]
+
+#: Default tenant name -- single-tenant callers never need to know
+#: tenancy exists.
+DEFAULT_TENANT = "default"
+
+
+@dataclass(frozen=True)
+class RetentionPolicy:
+    """When and how a series' old history is downsampled.
+
+    Attributes
+    ----------
+    compact_above:
+        Retained-sample count that triggers compaction.
+    keep_recent:
+        Newest samples kept at raw resolution (the forecaster's working
+        set -- compaction must never coarsen what the mixture is scoring
+        against).
+    period:
+        Grid period the old prefix is mean-resampled onto.
+    """
+
+    compact_above: int = 2048
+    keep_recent: int = 512
+    period: float = 60.0
+
+    def __post_init__(self):
+        if self.compact_above < 2:
+            raise ValueError(f"compact_above must be >= 2, got {self.compact_above}")
+        if not 0 < self.keep_recent < self.compact_above:
+            raise ValueError(
+                f"keep_recent must be in (0, compact_above), got {self.keep_recent}"
+            )
+        if self.period <= 0.0:
+            raise ValueError(f"period must be positive, got {self.period}")
+
+
+class TenantState:
+    """One tenant's isolated NWS triple plus its serialization lock."""
+
+    def __init__(
+        self,
+        name: str,
+        *,
+        clock,
+        memory_capacity: int,
+        directory,
+        stale_after: float | None,
+        forecaster_factory=None,
+    ):
+        self.name = name
+        self.memory = MemoryStore(capacity=memory_capacity, directory=directory)
+        self.forecaster = ForecasterService(
+            self.memory,
+            forecaster_factory,
+            clock=clock if stale_after is not None else None,
+            stale_after=stale_after,
+        )
+        self.nameserver = NameServer(clock=clock)
+        # MemoryStore and NameServer lock internally, but the forecaster's
+        # incremental per-series state does not -- concurrent HTTP queries
+        # for one tenant serialize here.
+        self.lock = threading.Lock()
+
+    @classmethod
+    def adopt(cls, name, memory, forecaster, nameserver) -> "TenantState":
+        """Wrap pre-built components (an existing deployment) as a tenant."""
+        state = cls.__new__(cls)
+        state.name = name
+        state.memory = memory
+        state.forecaster = forecaster
+        state.nameserver = nameserver
+        state.lock = threading.Lock()
+        return state
+
+
+class ServiceCore:
+    """Every forecast-service operation, transport-agnostic.
+
+    Parameters
+    ----------
+    tenants:
+        Tenant names served (default just ``"default"``).  Requests for
+        any other tenant raise :class:`~repro.nws.errors.UnknownTenant`.
+    clock:
+        Zero-argument callable giving the service's notion of time, used
+        for registration TTLs and forecast staleness (default: constant
+        0.0, i.e. nothing ages).
+    memory_capacity / directory / stale_after / forecaster_factory:
+        Forwarded to each tenant's triple; ``directory`` gets one
+        subdirectory per tenant so journals never collide.
+    retention:
+        Optional :class:`RetentionPolicy` applied by :meth:`maintain`.
+    """
+
+    def __init__(
+        self,
+        tenants=(DEFAULT_TENANT,),
+        *,
+        clock=None,
+        memory_capacity: int = 8640,
+        directory=None,
+        stale_after: float | None = None,
+        forecaster_factory=None,
+        retention: RetentionPolicy | None = None,
+    ):
+        names = list(tenants)
+        if not names:
+            raise ValueError("need at least one tenant")
+        if len(set(names)) != len(names):
+            raise ValueError(f"duplicate tenant names in {names}")
+        self.clock = clock if clock is not None else (lambda: 0.0)
+        self.retention = retention
+        self._tenants: dict[str, TenantState] = {}
+        for name in names:
+            tenant_dir = None
+            if directory is not None:
+                tenant_dir = Path(directory) / name
+            self._tenants[name] = TenantState(
+                name,
+                clock=self.clock,
+                memory_capacity=memory_capacity,
+                directory=tenant_dir,
+                stale_after=stale_after,
+                forecaster_factory=forecaster_factory,
+            )
+        self._init_obs()
+
+    @classmethod
+    def adopt(
+        cls,
+        memory,
+        forecaster,
+        nameserver,
+        *,
+        tenant: str = DEFAULT_TENANT,
+        clock=None,
+        retention: RetentionPolicy | None = None,
+    ) -> "ServiceCore":
+        """A core serving one pre-built NWS triple as ``tenant``.
+
+        The bridge from the old API to the new: an
+        :class:`~repro.nws.system.NWSSystem`'s memory, forecaster and
+        name server become a tenant the client (or a server) can address
+        without copying any state.
+        """
+        core = cls.__new__(cls)
+        core.clock = clock if clock is not None else (lambda: 0.0)
+        core.retention = retention
+        core._tenants = {
+            tenant: TenantState.adopt(tenant, memory, forecaster, nameserver)
+        }
+        core._init_obs()
+        return core
+
+    def _init_obs(self) -> None:
+        registry = get_registry()
+        self._registry = registry
+        self._obs_lock = threading.Lock()
+        self._obs_requests: dict[str, object] = {}
+        self._obs_errors: dict[str, object] = {}
+        self._obs_compactions = registry.counter("repro_server_compactions_total")
+        self._obs_compacted = registry.counter(
+            "repro_server_compacted_samples_total"
+        )
+        registry.register_callback(
+            lambda r: r.gauge("repro_server_tenants").set(len(self._tenants))
+        )
+
+    # ----------------------------------------------------------- plumbing
+
+    def tenant_names(self) -> list[str]:
+        return sorted(self._tenants)
+
+    def tenant(self, name: str) -> TenantState:
+        """The tenant's state, or :class:`UnknownTenant` (the HTTP 403)."""
+        state = self._tenants.get(name)
+        if state is None:
+            raise UnknownTenant(name, sorted(self._tenants))
+        return state
+
+    def _count(self, op: str) -> None:
+        counter = self._obs_requests.get(op)
+        if counter is None:
+            with self._obs_lock:
+                counter = self._obs_requests.get(op)
+                if counter is None:
+                    counter = self._registry.counter(
+                        "repro_server_requests_total", op=op
+                    )
+                    self._obs_requests[op] = counter
+        counter.inc()
+
+    def count_error(self, code: str) -> None:
+        """Tally one failed operation by wire error code."""
+        counter = self._obs_errors.get(code)
+        if counter is None:
+            with self._obs_lock:
+                counter = self._obs_errors.get(code)
+                if counter is None:
+                    counter = self._registry.counter(
+                        "repro_server_errors_total", code=code
+                    )
+                    self._obs_errors[code] = counter
+        counter.inc()
+
+    # ----------------------------------------------------------- data ops
+
+    def publish(self, tenant: str, series: str, time: float, value: float) -> int:
+        """Append one measurement; returns the series' retained count."""
+        state = self.tenant(tenant)
+        self._count("publish")
+        with get_tracer().span("server.publish", tenant=tenant, series=series):
+            state.memory.publish(series, float(time), float(value))
+            return state.memory.count(series)
+
+    def fetch(
+        self,
+        tenant: str,
+        series: str,
+        *,
+        start: float = float("-inf"),
+        stop: float = float("inf"),
+        limit: int | None = None,
+    ):
+        """(times, values) arrays for a series window."""
+        state = self.tenant(tenant)
+        self._count("fetch")
+        with get_tracer().span("server.fetch", tenant=tenant, series=series):
+            return state.memory.fetch(series, start=start, stop=stop, limit=limit)
+
+    def query(self, tenant: str, series: str, *, horizon: int = 1) -> ForecastReport:
+        """One forecast with error bar, ``horizon`` steps ahead."""
+        state = self.tenant(tenant)
+        self._count("query")
+        with get_tracer().span("server.query", tenant=tenant, series=series):
+            with state.lock:
+                return state.forecaster.query(series, horizon=horizon)
+
+    def query_all(self, tenant: str) -> dict[str, ForecastReport]:
+        """Forecasts for every non-empty series of the tenant."""
+        state = self.tenant(tenant)
+        self._count("query_all")
+        with get_tracer().span("server.query_all", tenant=tenant):
+            with state.lock:
+                return state.forecaster.query_all()
+
+    def series_names(self, tenant: str) -> list[str]:
+        self._count("series")
+        return self.tenant(tenant).memory.series_names()
+
+    def recover(self, tenant: str, series: str) -> int:
+        """Reload a series from the tenant's persistence journal."""
+        state = self.tenant(tenant)
+        self._count("recover")
+        with get_tracer().span("server.recover", tenant=tenant, series=series):
+            with state.lock:
+                return state.memory.recover(series)
+
+    # ------------------------------------------------------- registrations
+
+    def register(
+        self,
+        tenant: str,
+        name: str,
+        kind: str,
+        attributes: dict[str, str] | None = None,
+        *,
+        ttl: float | None = None,
+    ) -> Registration:
+        state = self.tenant(tenant)
+        self._count("register")
+        with get_tracer().span("server.register", tenant=tenant, component=name):
+            return state.nameserver.register(name, kind, attributes, ttl=ttl)
+
+    def refresh(self, tenant: str, name: str, *, ttl: float) -> Registration:
+        state = self.tenant(tenant)
+        self._count("refresh")
+        with get_tracer().span("server.refresh", tenant=tenant, component=name):
+            return state.nameserver.refresh(name, ttl=ttl)
+
+    def lookup(
+        self, tenant: str, kind: str | None = None, **attribute_filters: str
+    ) -> list[Registration]:
+        state = self.tenant(tenant)
+        self._count("lookup")
+        with get_tracer().span("server.lookup", tenant=tenant):
+            return state.nameserver.lookup(kind, **attribute_filters)
+
+    # ---------------------------------------------------------- lifecycle
+
+    def health(self) -> dict:
+        """Liveness summary: per-tenant series and registration counts."""
+        self._count("health")
+        tenants = {}
+        for name in sorted(self._tenants):
+            state = self._tenants[name]
+            tenants[name] = {
+                "series": len(state.memory.series_names()),
+                "registrations": len(state.nameserver),
+            }
+        return {"status": "ok", "tenants": tenants}
+
+    def maintain(self) -> int:
+        """One retention pass over every tenant; returns series compacted.
+
+        For each series holding more than ``retention.compact_above``
+        samples, the prefix older than the newest ``keep_recent`` raw
+        samples is mean-resampled onto the retention grid and swapped in
+        via :meth:`MemoryStore.replace`.  No-op without a policy.
+        """
+        policy = self.retention
+        if policy is None:
+            return 0
+        compacted = 0
+        with get_tracer().span("server.maintain"):
+            for state in self._tenants.values():
+                with state.lock:
+                    for series in state.memory.series_names():
+                        compacted += self._compact_locked(state, series, policy)
+        return compacted
+
+    def _compact_locked(
+        self, state: TenantState, series: str, policy: RetentionPolicy
+    ) -> int:
+        count = state.memory.count(series)
+        if count <= policy.compact_above:
+            return 0
+        times, values = state.memory.fetch(series)
+        split = len(times) - policy.keep_recent
+        head = TraceSeries(series, "retention", times[:split], values[:split])
+        if len(head) >= 2:
+            # The grid starts at the prefix's first stamp, so its last
+            # point is <= the prefix's last stamp <= the raw tail's first
+            # stamp: the spliced history stays non-decreasing.
+            head = resample_mean(head, policy.period)
+        new_times = list(head.times) + list(times[split:])
+        new_values = list(head.values) + list(values[split:])
+        state.memory.replace(series, new_times, new_values)
+        self._obs_compactions.inc()
+        self._obs_compacted.inc(count - len(new_times))
+        return 1

@@ -18,6 +18,8 @@ error bars.
 
 from __future__ import annotations
 
+import warnings
+
 import numpy as np
 
 from repro.faults.plan import FaultPlan
@@ -131,18 +133,61 @@ class NWSSystem:
         """Names of live CPU sensors (via name-server discovery)."""
         return [r.name for r in self.nameserver.lookup("sensor", resource="cpu")]
 
-    def availability(
-        self, profile: str, method: str = "nws_hybrid"
-    ) -> ForecastReport:
-        """Forecast availability of one monitored host."""
+    def client(self):
+        """The :class:`~repro.nws.client.NWSClient` over this deployment.
+
+        The redesigned query surface: one facade, the same signatures the
+        HTTP transport speaks.  Cached -- repeated calls return the same
+        client, which adopts (not copies) this system's memory,
+        forecaster and name server.
+        """
+        cached = getattr(self, "_client", None)
+        if cached is None:
+            from repro.nws.client import NWSClient
+
+            cached = self._client = NWSClient.for_system(self)
+        return cached
+
+    def series_name(self, profile: str, method: str = "nws_hybrid") -> str:
+        """The series a monitored host's sensor publishes under.
+
+        Raises ``KeyError`` for unmonitored profiles -- the lookup half
+        of the old ``availability`` helper, kept so call sites can
+        resolve names and then query through :meth:`client`.
+        """
         matches = [h for h in self.hosts if h.profile == profile]
         if not matches:
             raise KeyError(
                 f"no monitored host {profile!r}; have "
                 f"{[h.profile for h in self.hosts]}"
             )
-        return self.forecaster.query(matches[0].series_name(method))
+        return matches[0].series_name(method)
+
+    def availability(
+        self, profile: str, method: str = "nws_hybrid"
+    ) -> ForecastReport:
+        """Deprecated: use ``system.client().query(series, horizon=...)``.
+
+        Kept as a shim (the ``run_host`` pattern): warns, then delegates
+        to the client so behaviour stays identical during migration.
+        """
+        warnings.warn(
+            "NWSSystem.availability is deprecated; use "
+            "system.client().query(system.series_name(profile, method))",
+            DeprecationWarning,
+            stacklevel=2,
+        )
+        return self.client().query(self.series_name(profile, method))
 
     def availability_map(self, method: str = "nws_hybrid") -> dict[str, ForecastReport]:
-        """Forecasts for every monitored host (keyed by profile)."""
-        return {h.profile: self.forecaster.query(h.series_name(method)) for h in self.hosts}
+        """Deprecated: query through ``system.client()`` instead."""
+        warnings.warn(
+            "NWSSystem.availability_map is deprecated; use "
+            "system.client().query(...) per host",
+            DeprecationWarning,
+            stacklevel=2,
+        )
+        client = self.client()
+        return {
+            h.profile: client.query(h.series_name(method)) for h in self.hosts
+        }

@@ -1,0 +1,278 @@
+"""Versioned JSON wire format for the NWS forecast service.
+
+One module owns the bytes: the HTTP server encodes responses with these
+functions and :class:`~repro.nws.client.HTTPTransport` decodes them with
+the inverse functions, so the two can never drift apart.  Every payload
+carries ``"version": 1``; a major-version mismatch raises
+:class:`ProtocolError` instead of silently misreading fields.
+
+Error envelopes map the typed service exceptions onto HTTP statuses and
+back::
+
+    {"version": 1, "error": {"code": "series_unavailable",
+                             "message": "...", "series": "cpu.x.hybrid",
+                             "known": [...]}}
+
++--------------------------+--------+---------------------------------------------+
+| code                     | status | raised client-side as                       |
++==========================+========+=============================================+
+| ``bad_request``          | 400    | :class:`ValueError`                         |
+| ``unknown_tenant``       | 403    | :class:`~repro.nws.errors.UnknownTenant`    |
+| ``series_unavailable``   | 404    | :class:`~repro.nws.errors.SeriesUnavailable`|
+| ``not_found``            | 404    | :class:`LookupError`                        |
+| ``registration_lapsed``  | 410    | :class:`~repro.nws.errors.RegistrationLapsed`|
+| ``retry_exhausted``      | 503    | :class:`~repro.faults.RetryError`           |
+| ``internal``             | 500    | :class:`ProtocolError`                      |
++--------------------------+--------+---------------------------------------------+
+
+Encoding is canonical (sorted keys, compact separators), so identical
+responses are identical bytes -- the property the deterministic loadtest
+digests rely on.
+"""
+
+from __future__ import annotations
+
+import json
+import math
+
+from repro.faults.policy import RetryError
+from repro.nws.errors import RegistrationLapsed, SeriesUnavailable, UnknownTenant
+from repro.nws.forecaster import ForecastReport
+from repro.nws.nameserver import Registration
+
+__all__ = [
+    "WIRE_VERSION",
+    "ProtocolError",
+    "canonical",
+    "code_for_exception",
+    "decode_fetch",
+    "decode_registration",
+    "decode_report",
+    "encode_fetch",
+    "encode_registration",
+    "encode_report",
+    "error_envelope",
+    "envelope_for_exception",
+    "raise_for_envelope",
+]
+
+#: Wire format major version; bumped on incompatible payload changes.
+WIRE_VERSION = 1
+
+
+class ProtocolError(RuntimeError):
+    """The peer spoke a shape (or version) this client cannot read."""
+
+
+def canonical(payload: dict) -> bytes:
+    """Canonical UTF-8 JSON bytes: sorted keys, compact separators.
+
+    ``NaN`` is emitted as the literal ``NaN`` (stock ``json`` behaviour,
+    accepted by the stock parser); forecast error bars are NaN until the
+    mixture has scored once, and round-tripping that honestly matters
+    more than strict-JSON purity.
+    """
+    return (json.dumps(payload, sort_keys=True, separators=(",", ":")) + "\n").encode(
+        "utf-8"
+    )
+
+
+def _check_version(payload: dict) -> dict:
+    version = payload.get("version")
+    if version != WIRE_VERSION:
+        raise ProtocolError(
+            f"wire version mismatch: got {version!r}, speak {WIRE_VERSION}"
+        )
+    return payload
+
+
+def _finite_or_none(value: float) -> float | None:
+    """JSON-safe float: NaN/inf become None on the wire (and back)."""
+    value = float(value)
+    return value if math.isfinite(value) else None
+
+
+def _float_or_nan(value) -> float:
+    return float("nan") if value is None else float(value)
+
+
+# ------------------------------------------------------------------ reports
+
+
+def encode_report(report: ForecastReport) -> dict:
+    """One forecast report as a versioned JSON-safe dict."""
+    return {
+        "version": WIRE_VERSION,
+        "kind": "forecast",
+        "series": report.series,
+        "forecast": float(report.forecast),
+        "error": _finite_or_none(report.error),
+        "method": report.method,
+        "n_measurements": int(report.n_measurements),
+        "as_of": _finite_or_none(report.as_of),
+        "stale": bool(report.stale),
+        "horizon": int(report.horizon),
+    }
+
+
+def decode_report(payload: dict) -> ForecastReport:
+    _check_version(payload)
+    try:
+        return ForecastReport(
+            series=str(payload["series"]),
+            forecast=float(payload["forecast"]),
+            error=_float_or_nan(payload["error"]),
+            method=str(payload["method"]),
+            n_measurements=int(payload["n_measurements"]),
+            as_of=_float_or_nan(payload["as_of"]),
+            stale=bool(payload["stale"]),
+            horizon=int(payload.get("horizon", 1)),
+        )
+    except (KeyError, TypeError, ValueError) as exc:
+        raise ProtocolError(f"malformed forecast payload: {exc}") from exc
+
+
+# ------------------------------------------------------------------ fetches
+
+
+def encode_fetch(series: str, times, values) -> dict:
+    """A fetched (times, values) window as a versioned JSON-safe dict."""
+    return {
+        "version": WIRE_VERSION,
+        "kind": "samples",
+        "series": series,
+        "times": [float(t) for t in times],
+        "values": [_finite_or_none(v) for v in values],
+        "n": int(len(times)),
+    }
+
+
+def decode_fetch(payload: dict) -> tuple[list[float], list[float]]:
+    _check_version(payload)
+    try:
+        times = [float(t) for t in payload["times"]]
+        values = [_float_or_nan(v) for v in payload["values"]]
+    except (KeyError, TypeError, ValueError) as exc:
+        raise ProtocolError(f"malformed samples payload: {exc}") from exc
+    if len(times) != len(values):
+        raise ProtocolError("malformed samples payload: times/values mismatch")
+    return times, values
+
+
+# -------------------------------------------------------------- registrations
+
+
+def encode_registration(registration: Registration) -> dict:
+    """A registration as seen by clients.
+
+    ``expires_at`` is deliberately server-internal: clients reason in
+    TTLs, and leaking the server's clock would make otherwise identical
+    responses differ between deployments.
+    """
+    return {
+        "version": WIRE_VERSION,
+        "kind": "registration",
+        "name": registration.name,
+        "component": registration.kind,
+        "attributes": dict(sorted(registration.attributes.items())),
+    }
+
+
+def decode_registration(payload: dict) -> Registration:
+    _check_version(payload)
+    try:
+        return Registration(
+            name=str(payload["name"]),
+            kind=str(payload["component"]),
+            attributes={str(k): str(v) for k, v in payload["attributes"].items()},
+        )
+    except (AttributeError, KeyError, TypeError, ValueError) as exc:
+        raise ProtocolError(f"malformed registration payload: {exc}") from exc
+
+
+# ------------------------------------------------------------------- errors
+
+#: code -> HTTP status, in taxonomy order.
+ERROR_STATUS = {
+    "bad_request": 400,
+    "unknown_tenant": 403,
+    "series_unavailable": 404,
+    "not_found": 404,
+    "registration_lapsed": 410,
+    "retry_exhausted": 503,
+    "internal": 500,
+}
+
+
+def code_for_exception(exc: BaseException) -> str:
+    """The wire error code a service exception maps to.
+
+    Shared by the HTTP error path and the loadtest digest, so a failed
+    operation hashes identically whether it failed in-process (typed
+    exception) or over the wire (envelope round-trip).
+    """
+    if isinstance(exc, SeriesUnavailable):
+        return "series_unavailable"
+    if isinstance(exc, RegistrationLapsed):
+        return "registration_lapsed"
+    if isinstance(exc, UnknownTenant):
+        return "unknown_tenant"
+    if isinstance(exc, RetryError):
+        return "retry_exhausted"
+    if isinstance(exc, ValueError):
+        return "bad_request"
+    if isinstance(exc, LookupError):
+        return "not_found"
+    return "internal"
+
+
+def error_envelope(code: str, message: str, **details) -> dict:
+    """A versioned error payload; ``details`` become envelope fields."""
+    if code not in ERROR_STATUS:
+        raise ValueError(f"unknown error code {code!r}; use {sorted(ERROR_STATUS)}")
+    error = {"code": code, "message": message}
+    error.update(details)
+    return {"version": WIRE_VERSION, "error": error}
+
+
+def envelope_for_exception(exc: BaseException) -> tuple[int, dict]:
+    """(HTTP status, envelope) for a service exception."""
+    code = code_for_exception(exc)
+    details: dict = {}
+    if isinstance(exc, SeriesUnavailable):
+        details = {"series": exc.series, "known": sorted(exc.known)}
+    elif isinstance(exc, RegistrationLapsed):
+        details = {"name": exc.name}
+    elif isinstance(exc, UnknownTenant):
+        details = {"tenant": exc.tenant, "known": sorted(exc.known)}
+    message = str(exc) if code != "internal" else f"internal error: {exc}"
+    return ERROR_STATUS[code], error_envelope(code, message, **details)
+
+
+def raise_for_envelope(status: int, payload: dict) -> None:
+    """Re-raise the typed exception an error envelope encodes.
+
+    The inverse of :func:`envelope_for_exception`: a 404 with code
+    ``series_unavailable`` raises the same
+    :class:`~repro.nws.errors.SeriesUnavailable` the in-process
+    transport would, so client code branches identically either way.
+    """
+    _check_version(payload)
+    error = payload.get("error")
+    if not isinstance(error, dict) or "code" not in error:
+        raise ProtocolError(f"HTTP {status} with malformed error envelope")
+    code = error["code"]
+    message = error.get("message", "")
+    if code == "series_unavailable":
+        raise SeriesUnavailable(error.get("series", "?"), error.get("known", ()))
+    if code == "registration_lapsed":
+        raise RegistrationLapsed(error.get("name", "?"))
+    if code == "unknown_tenant":
+        raise UnknownTenant(error.get("tenant", "?"), error.get("known", ()))
+    if code == "retry_exhausted":
+        raise RetryError(message)
+    if code == "bad_request":
+        raise ValueError(message)
+    if code == "not_found":
+        raise LookupError(message)
+    raise ProtocolError(f"HTTP {status}: {message}")

@@ -45,7 +45,7 @@ the system -- handles bind at construction time::
     with installed(MetricsRegistry()) as registry:
         system = NWSSystem(["thing1", "conundrum"], seed=7)
         system.advance(3600.0)
-        system.forecaster.query_all()
+        system.client().query_all()
     print(render_prometheus(registry))
 
 Metrics inventory
@@ -131,6 +131,26 @@ Sensor hosts (``repro.nws.sensorhost``; label ``host``):
 * ``repro_nws_ttl_lapses_total`` (counter) -- registrations found expired
   at pump time and re-registered (crash recovery / missed refreshes).
 
+Forecast service (``repro.nws.service`` / ``repro.nws.server``; see
+``nws-repro serve``):
+
+* ``repro_server_requests_total`` (counter; label ``op``) -- service
+  operations executed by the shared core, both transports.
+* ``repro_server_errors_total`` (counter; label ``code``) -- failed
+  operations by wire error code (``bad_request``, ``unknown_tenant``,
+  ``series_unavailable``, ``registration_lapsed``, ...).
+* ``repro_server_tenants`` (gauge) -- tenants served by the core.
+* ``repro_server_compactions_total`` /
+  ``repro_server_compacted_samples_total`` (counters) -- retention
+  passes: series compacted and raw samples folded onto the coarse grid.
+* ``repro_server_request_seconds`` (histogram; label ``status``) -- HTTP
+  handler wall latency (wall-clock; excluded from the deterministic
+  view).
+* ``repro_server_responses_total`` (counter; label ``status``) -- HTTP
+  responses by status code.
+* ``repro_server_maintenance_cycles_total`` (counter) -- background
+  retention/liveness cycles completed.
+
 Fault injection & resilience (``repro.faults``; see
 ``nws-repro chaos``):
 
@@ -178,7 +198,11 @@ Scheduling application (``repro.schedapp``):
 * ``repro_sched_makespan_seconds`` (gauge) -- last executed plan.
 
 Spans: ``kernel.run``, ``nws.advance``, ``nws.query``, ``sensor.probe``,
-``sched.execute`` (sim-clock timestamps; see :mod:`repro.obs.tracing`).
+``sched.execute``, and the service operations ``server.publish``,
+``server.fetch``, ``server.query``, ``server.query_all``,
+``server.register``, ``server.refresh``, ``server.lookup``,
+``server.recover``, ``server.maintain`` (sim-clock timestamps; see
+:mod:`repro.obs.tracing`).
 """
 
 from repro.obs.exporters import (

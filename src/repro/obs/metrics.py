@@ -69,6 +69,7 @@ WALL_METRICS = frozenset(
         "repro_runner_host_seconds",
         "repro_runner_worker_utilization",
         "repro_forecast_seconds",
+        "repro_server_request_seconds",
     }
 )
 

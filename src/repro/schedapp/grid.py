@@ -2,12 +2,19 @@
 
 Each grid host is a testbed machine (background workload included) with an
 NWS measurement suite (sensors + probe, no ground-truth test processes)
-feeding an :class:`~repro.core.predictor.NWSPredictor`.  The grid can:
+publishing into the grid's forecast service.  The grid can:
 
 * warm up (run the hosts so sensors and forecasters have history);
 * report each host's current medium-term availability forecast;
 * execute a static assignment ``{host: [tasks]}`` sequentially per host
   (AppLeS-style independent-task schedule) and report the makespan.
+
+Forecasts flow through the one public API: measurements are published via
+an in-process :class:`~repro.nws.client.NWSClient` whose
+:class:`~repro.nws.service.ServiceCore` runs an aggregated
+:class:`~repro.core.predictor.PredictorMixture` per series, so the grid
+asks ``client.query(series, horizon=30)`` exactly like a remote scheduler
+talking to ``nws-repro serve`` would.
 
 Hosts do not interact, so the grid advances each kernel independently --
 the simulated clocks stay aligned at observation points.
@@ -19,7 +26,8 @@ from dataclasses import dataclass, field
 
 import numpy as np
 
-from repro.core.predictor import NWSPredictor
+from repro.core.predictor import PredictorMixture
+from repro.nws.client import NWSClient
 from repro.obs.metrics import get_registry
 from repro.obs.tracing import get_tracer
 from repro.schedapp.tasks import GridTask, TaskResult
@@ -92,9 +100,14 @@ class SimGrid:
         self._obs_makespan = registry.gauge("repro_sched_makespan_seconds")
         root = np.random.SeedSequence(seed)
         children = root.spawn(len(host_names))
+        # One forecast service for the whole grid: each host's hybrid
+        # series gets its own aggregated predictor, queried through the
+        # client API a remote scheduler would use.
+        self.client = NWSClient.in_process(
+            forecaster_factory=lambda: PredictorMixture(aggregation=30)
+        )
         self.hosts = []
         self.suites: list[MeasurementSuite] = []
-        self.predictors: list[NWSPredictor] = []
         self._fed: list[int] = []
         self.names: list[str] = []
         for i, (name, child) in enumerate(zip(host_names, children)):
@@ -104,20 +117,27 @@ class SimGrid:
             ).attach(host)
             self.hosts.append(host)
             self.suites.append(suite)
-            self.predictors.append(NWSPredictor(aggregation=30))
             self._fed.append(0)
             self.names.append(f"{name}#{i}")
+            self.client.register(
+                f"sensor.{name}#{i}", "sensor", {"resource": "cpu", "host": name}
+            )
+
+    def series_name(self, grid_name: str) -> str:
+        """The service series a grid host's suite publishes under."""
+        return f"cpu.{grid_name}.{self.method}"
 
     def advance(self, t: float) -> None:
-        """Run every host to absolute simulated time ``t``, feeding the
-        predictors with any new hybrid-sensor measurements."""
-        for host, suite, predictor, idx in zip(
-            self.hosts, self.suites, self.predictors, range(len(self.hosts))
+        """Run every host to absolute simulated time ``t``, publishing any
+        new hybrid-sensor measurements into the forecast service."""
+        for host, suite, name, idx in zip(
+            self.hosts, self.suites, self.names, range(len(self.hosts))
         ):
             host.run_until(t)
             times, values = suite.series(self.method, include_warmup=True)
-            for v in values[self._fed[idx] :]:
-                predictor.observe(float(v))
+            series = self.series_name(name)
+            for tt, v in zip(times[self._fed[idx] :], values[self._fed[idx] :]):
+                self.client.publish(series, time=float(tt), value=float(v))
             self._fed[idx] = len(values)
 
     @property
@@ -127,8 +147,10 @@ class SimGrid:
     def forecasts(self, horizon_frames: int = 30) -> dict[str, float]:
         """Current availability forecast per host (medium-term by default)."""
         return {
-            name: predictor.forecast(horizon_frames)
-            for name, predictor in zip(self.names, self.predictors)
+            name: self.client.query(
+                self.series_name(name), horizon=horizon_frames
+            ).forecast
+            for name in self.names
         }
 
     def execute(self, assignment: dict[str, list[GridTask]]) -> GridRunResult:

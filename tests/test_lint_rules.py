@@ -746,3 +746,60 @@ class TestMachinery:
         assert finding.line == 5
         assert finding.rule_id == "DET001"
         assert "time.time" in finding.message
+
+
+# -----------------------------------------------------------------------
+# API001 -- service API discipline
+# -----------------------------------------------------------------------
+
+class TestServiceFacade:
+    def test_direct_import_flagged(self):
+        src = """
+        from repro.nws.memory import MemoryStore
+
+        def build():
+            return MemoryStore(capacity=10)
+        """
+        assert rule_ids(src, module="repro.schedapp.fake") == ["API001"]
+
+    def test_package_reexport_import_flagged(self):
+        src = """
+        from repro.nws import ForecasterService
+        """
+        assert rule_ids(src, module="repro.experiments.fake") == ["API001"]
+
+    def test_attribute_construction_flagged(self):
+        src = """
+        import repro.nws.forecaster as fc
+
+        def build(memory):
+            return fc.ForecasterService(memory)
+        """
+        assert rule_ids(src, module="repro.report.fake") == ["API001"]
+
+    def test_allowed_inside_nws_package(self):
+        src = """
+        from repro.nws.memory import MemoryStore
+
+        def build():
+            return MemoryStore(capacity=10)
+        """
+        assert rule_ids(src, module="repro.nws.service") == []
+        assert rule_ids(src, module="repro.nws") == []
+
+    def test_client_usage_clean(self):
+        src = """
+        from repro.nws import NWSClient
+
+        def build():
+            client = NWSClient.in_process()
+            client.publish("cpu.a", time=0.0, value=0.5)
+            return client
+        """
+        assert rule_ids(src, module="repro.schedapp.fake") == []
+
+    def test_unrelated_names_from_nws_clean(self):
+        src = """
+        from repro.nws import NWSSystem, SeriesUnavailable
+        """
+        assert rule_ids(src, module="repro.experiments.fake") == []

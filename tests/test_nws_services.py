@@ -3,9 +3,9 @@
 import numpy as np
 import pytest
 
-from repro.nws.errors import SeriesUnavailable
-from repro.nws.forecaster import ForecasterService
-from repro.nws.memory import MemoryStore
+from repro.nws.errors import RegistrationLapsed, SeriesUnavailable
+from repro.nws.forecaster import ForecasterService  # lint: ignore[API001] -- unit-tests the data plane itself
+from repro.nws.memory import MemoryStore  # lint: ignore[API001] -- unit-tests the data plane itself
 from repro.nws.nameserver import NameServer
 from repro.nws.system import NWSSystem
 
@@ -31,7 +31,7 @@ class TestNameServer:
         assert len(ns.lookup("sensor")) == 1
         clock["t"] = 31.0
         assert ns.lookup("sensor") == []
-        with pytest.raises(KeyError):
+        with pytest.raises(RegistrationLapsed):
             ns.get("sensor.cpu.a")
 
     def test_refresh_extends_ttl(self):
@@ -48,7 +48,7 @@ class TestNameServer:
         ns = NameServer(clock=lambda: clock["t"])
         ns.register("sensor.cpu.a", "sensor", ttl=10.0)
         clock["t"] = 20.0
-        with pytest.raises(KeyError):
+        with pytest.raises(RegistrationLapsed):
             ns.refresh("sensor.cpu.a", ttl=10.0)
 
     def test_reregistration_replaces(self):
@@ -92,10 +92,20 @@ class TestMemoryStore:
         mem = MemoryStore()
         for i in range(10):
             mem.publish("s", float(i), float(i))
-        times, _ = mem.fetch("s", since=5.0)
+        times, _ = mem.fetch("s", start=5.0)
         assert times[0] == 5.0
+        times, _ = mem.fetch("s", stop=3.0)
+        assert times[-1] == 3.0
         times, _ = mem.fetch("s", limit=2)
         np.testing.assert_allclose(times, [8.0, 9.0])
+
+    def test_fetch_since_alias_deprecated(self):
+        mem = MemoryStore()
+        for i in range(10):
+            mem.publish("s", float(i), float(i))
+        with pytest.warns(DeprecationWarning, match="since"):
+            times, _ = mem.fetch("s", since=5.0)
+        assert times[0] == 5.0
 
     def test_unknown_series_rejected(self):
         with pytest.raises(SeriesUnavailable, match="nope"):
@@ -235,18 +245,30 @@ class TestNWSSystem:
         assert system.memory.count("cpu.kongo.nws_hybrid") > 100
 
     def test_availability_queries(self, system):
-        report = system.availability("kongo", method="load_average")
+        report = system.client().query(
+            system.series_name("kongo", "load_average")
+        )
         # kongo's hog pins availability near 0.5.
         assert report.forecast == pytest.approx(0.5, abs=0.1)
         assert report.n_measurements > 100
 
-    def test_availability_map(self, system):
-        out = system.availability_map()
+    def test_availability_shim_warns_and_matches(self, system):
+        with pytest.warns(DeprecationWarning, match="client"):
+            shimmed = system.availability("kongo", method="load_average")
+        direct = system.client().query(
+            system.series_name("kongo", "load_average")
+        )
+        assert shimmed.forecast == direct.forecast
+        assert shimmed.method == direct.method
+
+    def test_availability_map_shim_warns(self, system):
+        with pytest.warns(DeprecationWarning, match="client"):
+            out = system.availability_map()
         assert set(out) == {"thing1", "kongo"}
 
     def test_unknown_host(self, system):
         with pytest.raises(KeyError):
-            system.availability("nonesuch")
+            system.series_name("nonesuch")
 
     def test_validation(self):
         with pytest.raises(ValueError):

@@ -6,7 +6,8 @@ from __future__ import annotations
 import pytest
 
 from repro.faults import FaultPlan
-from repro.nws.memory import MemoryStore
+from repro.nws.errors import RegistrationLapsed
+from repro.nws.memory import MemoryStore  # lint: ignore[API001] -- unit-tests the data plane itself
 from repro.nws.nameserver import NameServer
 from repro.nws.sensorhost import SensorHost
 from repro.nws.system import NWSSystem
@@ -26,7 +27,7 @@ class TestExpiryBoundary:
         clock, ns = clocked()
         ns.register("sensor.cpu.a", "sensor", ttl=30.0)
         clock["t"] = 30.0
-        with pytest.raises(KeyError, match="sensor.cpu.a"):
+        with pytest.raises(RegistrationLapsed, match="sensor.cpu.a"):
             ns.refresh("sensor.cpu.a", ttl=30.0)
 
     def test_refresh_one_tick_before_expiry_lives(self):
@@ -44,7 +45,7 @@ class TestExpiryBoundary:
         assert ns.lookup("sensor") == []
         # The lookup garbage-collected the lapsed entry, not just hid it.
         assert len(ns._entries) == 0
-        with pytest.raises(KeyError):
+        with pytest.raises(RegistrationLapsed):
             ns.get("sensor.cpu.a")
 
     def test_len_counts_only_live(self):
@@ -77,7 +78,7 @@ class TestSensorHostLapseRecovery:
             host = SensorHost("thing1", ns, MemoryStore(), seed=3)
             assert ns.get(host.sensor_name)  # registered at construction
             clock["t"] = 120.0  # TTL is 30 s: long lapsed
-            with pytest.raises(KeyError):
+            with pytest.raises(RegistrationLapsed):
                 ns.get(host.sensor_name)
             host.pump(120.0)
             assert ns.get(host.sensor_name).expires_at == pytest.approx(150.0)
