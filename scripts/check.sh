@@ -50,6 +50,10 @@ echo "==> forecast server load / transport-parity benchmark"
 PYTHONPATH="src${PYTHONPATH:+:$PYTHONPATH}" python -m pytest -q -p no:cacheprovider \
     --benchmark-disable-gc benchmarks/bench_server.py
 
+echo "==> sim engine speedup / dispatch-overhead benchmark"
+PYTHONPATH="src${PYTHONPATH:+:$PYTHONPATH}" python -m pytest -q -p no:cacheprovider \
+    --benchmark-disable-gc benchmarks/bench_sim.py
+
 # Each benchmark above left a BENCH_<name>.json run record under
 # artifacts/bench/.  When a committed baseline exists (copy a known-good
 # artifacts/bench/ to benchmarks/baseline/ on this machine), diff

@@ -30,26 +30,31 @@ FIGURE_HOSTS = ("thing1", "thing2")
 WEEK = 7 * DAY
 
 
-def _resolve(runner, config, *, seed: int, duration: float):
+def _resolve(runner, config, *, seed: int, duration: float, sim_engine: str = "auto"):
     """Fill in the defaults of the uniform ``(runner, config)`` signature."""
     if runner is None:
         from repro.runner import default_runner
 
         runner = default_runner()
     if config is None:
-        config = TestbedConfig(duration=duration, seed=seed)
+        config = TestbedConfig(duration=duration, seed=seed, sim_engine=sim_engine)
     return runner, config
 
 
 def figure1(
-    runner=None, config: TestbedConfig | None = None, *, seed: int = 7, duration: float = DAY
+    runner=None,
+    config: TestbedConfig | None = None,
+    *,
+    seed: int = 7,
+    duration: float = DAY,
+    sim_engine: str = "auto",
 ) -> FigureResult:
     """CPU availability measurements (Unix load average), thing1 & thing2.
 
     The raw 10-second availability series over 24 hours -- the traces whose
     slow wandering motivates the whole study.
     """
-    runner, config = _resolve(runner, config, seed=seed, duration=duration)
+    runner, config = _resolve(runner, config, seed=seed, duration=duration, sim_engine=sim_engine)
     panels = {}
     for run in runner.run(FIGURE_HOSTS, config):
         series = run.series["load_average"]
@@ -74,13 +79,14 @@ def figure2(
     seed: int = 7,
     duration: float = DAY,
     nlags: int = 360,
+    sim_engine: str = "auto",
 ) -> FigureResult:
     """First 360 autocorrelations of each availability series.
 
     The slow decay (events hours apart still correlated) is the evidence
     for long-range dependence.
     """
-    runner, config = _resolve(runner, config, seed=seed, duration=duration)
+    runner, config = _resolve(runner, config, seed=seed, duration=duration, sim_engine=sim_engine)
     panels = {}
     notes = {}
     for run in runner.run(FIGURE_HOSTS, config):
@@ -103,7 +109,12 @@ def figure2(
 
 
 def figure3(
-    runner=None, config: TestbedConfig | None = None, *, seed: int = 7, duration: float = WEEK
+    runner=None,
+    config: TestbedConfig | None = None,
+    *,
+    seed: int = 7,
+    duration: float = WEEK,
+    sim_engine: str = "auto",
 ) -> FigureResult:
     """Pox plots of R/S statistics over a one-week trace, thing1 & thing2.
 
@@ -111,7 +122,7 @@ def figure3(
     of dyadic lengths; the regression through per-length means estimates
     the Hurst parameter (the paper finds 0.70 for both hosts).
     """
-    runner, config = _resolve(runner, config, seed=seed, duration=duration)
+    runner, config = _resolve(runner, config, seed=seed, duration=duration, sim_engine=sim_engine)
     panels = {}
     notes = {}
     for run in runner.run(FIGURE_HOSTS, config):
@@ -140,6 +151,7 @@ def figure4(
     seed: int = 7,
     duration: float = DAY,
     m: int = 30,
+    sim_engine: str = "auto",
 ) -> FigureResult:
     """5-minute aggregated availability, thing1 & thing2 (Table 6 run).
 
@@ -147,7 +159,7 @@ def figure4(
     the given base config, so the periodic signature of the intrusive test
     process is visible, exactly as the paper remarks.
     """
-    runner, config = _resolve(runner, config, seed=seed, duration=duration)
+    runner, config = _resolve(runner, config, seed=seed, duration=duration, sim_engine=sim_engine)
     config = config.derive(test_period=3600.0, test_duration=300.0)
     panels = {}
     for run in runner.run(FIGURE_HOSTS, config):

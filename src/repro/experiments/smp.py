@@ -118,7 +118,7 @@ def smp_study(
 
     kernel.after(10.0, measure)
     kernel.after(max(warmup, test_period) + 5.0, launch_test)
-    host.run_until(duration)
+    host.run_until(duration)  # lint: ignore[VEC002] -- custom ncpu kernels with mid-run callbacks
 
     if not samples:
         raise RuntimeError("no ground-truth samples collected")

@@ -23,8 +23,18 @@ Public surface:
   is the default; round-robin and fair-share exist for ablations).
 * :class:`repro.sim.host.SimHost` -- a kernel plus attached workload and
   sensors, the unit the experiment harness manipulates.
+* :mod:`repro.sim.batch` -- the array-at-a-time twin of
+  ``Kernel.run_until`` (byte-identical by contract); ``run_batch`` /
+  ``batch_unsupported_reason`` / ``ParityUnsupported`` back the
+  ``sim_engine`` dispatch in ``simulate_host``.
 """
 
+from repro.sim.batch import (
+    BATCH_KERNEL_VERSION,
+    ParityUnsupported,
+    batch_unsupported_reason,
+    run_batch,
+)
 from repro.sim.engine import EventQueue
 from repro.sim.host import SimHost
 from repro.sim.kernel import Kernel, KernelConfig
@@ -37,8 +47,12 @@ from repro.sim.scheduler import (
 )
 
 __all__ = [
+    "BATCH_KERNEL_VERSION",
     "DecayUsageScheduler",
     "EventQueue",
+    "ParityUnsupported",
+    "batch_unsupported_reason",
+    "run_batch",
     "FairShareScheduler",
     "Kernel",
     "KernelConfig",

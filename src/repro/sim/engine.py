@@ -16,6 +16,13 @@ from typing import Callable
 
 __all__ = ["EventQueue"]
 
+#: Slack allowed when comparing times against the pop horizon.  The kernel
+#: pops with ``now = time + 1e-9`` and schedules "immediate" events at
+#: ``time`` itself (one epsilon behind the horizon), and re-derived stop
+#: times can differ from the horizon by a final-rounding ulp (~1.5e-11 at
+#: t = 86400); two epsilons cover both without masking real time travel.
+_PAST_TOLERANCE = 2e-9
+
 
 class EventQueue:
     """Min-heap of timed callbacks.
@@ -24,13 +31,20 @@ class EventQueue:
     which keeps simulations deterministic.  ``n_scheduled`` counts every
     accepted event over the queue's lifetime (exported as
     ``repro_sim_events_scheduled_total``).
+
+    The queue tracks the largest ``now`` ever passed to :meth:`pop_due`
+    (its *horizon*) and rejects both non-monotonic pops and scheduling
+    meaningfully into the past: either would silently fire events out of
+    timestamp order, which downstream code (sensor counter differencing,
+    the batch engine's segmenter) relies on never happening.
     """
 
-    __slots__ = ("_counter", "_heap", "n_scheduled")
+    __slots__ = ("_counter", "_heap", "_horizon", "n_scheduled")
 
     def __init__(self):
         self._heap: list[tuple[float, int, Callable[[], None]]] = []
         self._counter = itertools.count()
+        self._horizon = 0.0
         self.n_scheduled = 0
 
     def __len__(self) -> int:
@@ -42,11 +56,14 @@ class EventQueue:
         Parameters
         ----------
         time:
-            Absolute simulation time; must be finite and non-negative.
-            NaN, infinities and negative times are rejected -- NaN in
+            Absolute simulation time; must be finite, non-negative, and
+            not earlier than the latest :meth:`pop_due` horizon.  NaN,
+            infinities and negative times are rejected -- NaN in
             particular would silently corrupt the heap invariant (NaN
             compares false against everything) and break FIFO ordering
-            for every later event.
+            for every later event.  Times behind the pop horizon used to
+            be accepted and silently fired late, out of timestamp order;
+            they are now an explicit error.
         callback:
             Zero-argument callable.
         """
@@ -54,6 +71,11 @@ class EventQueue:
         if not (isfinite(time) and time >= 0.0):
             raise ValueError(
                 f"event time must be finite and >= 0, got {time!r}"
+            )
+        if time < self._horizon - _PAST_TOLERANCE:
+            raise ValueError(
+                f"cannot schedule into the past: event time {time!r} is "
+                f"before the pop horizon {self._horizon!r}"
             )
         heapq.heappush(self._heap, (time, next(self._counter), callback))
         self.n_scheduled += 1
@@ -66,12 +88,36 @@ class EventQueue:
         """Remove and return all callbacks with deadline <= ``now``.
 
         Returned in deadline order (FIFO within a deadline); the caller is
-        responsible for invoking them.
+        responsible for invoking them.  ``now`` must be non-decreasing
+        across calls (the clock never runs backwards); a lower ``now``
+        raises instead of silently leaving later-deadline events to fire
+        out of order.
         """
+        if now < self._horizon - _PAST_TOLERANCE:
+            raise ValueError(
+                f"pop_due times must be non-decreasing: got {now!r} after "
+                f"horizon {self._horizon!r}"
+            )
+        if now > self._horizon:
+            self._horizon = now
         due = []
         while self._heap and self._heap[0][0] <= now:
             due.append(heapq.heappop(self._heap)[2])
         return due
+
+    def peek_batch(self, t_end: float) -> list[tuple[float, Callable[[], None]]]:
+        """``(time, callback)`` pairs with deadline <= ``t_end``, pop order.
+
+        Non-destructive: nothing is removed.  The batch engine's segmenter
+        uses this to classify a due batch (all-inlinable vs. needs a state
+        flush) before popping it, and to find the next segment boundary.
+        """
+        return [
+            (time, callback)
+            for time, _, callback in sorted(
+                entry for entry in self._heap if entry[0] <= t_end
+            )
+        ]
 
     def clear(self) -> None:
         """Drop every pending event."""

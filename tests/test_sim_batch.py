@@ -1,0 +1,313 @@
+"""Parity matrix for the batch sim engine (repro.sim.batch).
+
+The batch engine's contract is *bit-identical* state, not approximate
+agreement: after ``run_batch(kernel, t)`` the kernel, every live process
+and the attached measurement suite must be byte-for-byte equal to what
+``kernel.run_until(t)`` would have produced.  These tests pin that down
+across the scheduler x workload x ncpu matrix, through ``simulate_host``
+dispatch, and for the fallback paths (counted under "auto", an error
+only when the batch engine is forced).
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.core.mixture import AdaptiveForecaster, forecast_series
+from repro.experiments.testbed import TestbedConfig, simulate_host
+from repro.obs.exporters import deterministic_view, render_prometheus
+from repro.obs.metrics import MetricsRegistry, installed
+from repro.sensors.suite import METHODS, MeasurementSuite
+from repro.sim.batch import (
+    BATCH_KERNEL_VERSION,
+    ParityUnsupported,
+    batch_unsupported_reason,
+    run_batch,
+)
+from repro.sim.host import SimHost
+from repro.sim.kernel import Kernel, KernelConfig
+from repro.sim.process import Process
+from repro.sim.scheduler import (
+    DecayUsageScheduler,
+    FairShareScheduler,
+    RoundRobinScheduler,
+)
+from repro.workload.arrivals import PoissonArrivals
+from repro.workload.distributions import Pareto
+from repro.workload.jobs import BatchJobStream, Daemon, PeriodicJob
+from repro.workload.sessions import OnOffSession
+
+SCHEDULERS = {
+    "decay_usage": DecayUsageScheduler,
+    "round_robin": RoundRobinScheduler,
+    "fair_share": FairShareScheduler,
+}
+
+WORKLOADS = {
+    # Pure idle: only the measurement suite's own probes and tests run.
+    "idle": lambda: [],
+    # Console users coming and going, plus a background daemon.
+    "bursty": lambda: [
+        OnOffSession("alice", initial_delay=40.0),
+        OnOffSession("bob", nice=4, initial_delay=200.0),
+        Daemon("cron", sys_fraction=0.4),
+    ],
+    # A grid storm: batch arrivals stacked on periodic jobs and a hog.
+    "grid_storm": lambda: [
+        BatchJobStream(
+            "grid",
+            arrivals=PoissonArrivals(1.0 / 240.0),
+            demand=Pareto(1.4, 45.0),
+            max_concurrent=6,
+        ),
+        PeriodicJob("backup", period=900.0, demand=60.0, offset=120.0),
+        Daemon("hog", nice=10),
+    ],
+}
+
+#: Checkpoints straddle measurement boundaries on purpose: 3599.2 lands
+#: mid-round, 3600.0 puts the (float-drifted) measure event inside the
+#: trailing ``[t_end - eps, t_end)`` window where the event path fires it
+#: after the boundary tick, and 4321.7 is nothing-aligned.
+CHECKPOINTS = (3599.2, 3600.0, 4321.7)
+
+
+def build_pair(sched_key: str, wl_key: str, ncpu: int):
+    """Two identically-seeded (host, suite) pairs for one matrix cell."""
+
+    def build():
+        host = SimHost(
+            f"{sched_key}-{wl_key}-{ncpu}",
+            config=KernelConfig(ncpu=ncpu),
+            scheduler=SCHEDULERS[sched_key](),
+            seed=np.random.SeedSequence([11, ncpu]),
+        )
+        host.attach(*WORKLOADS[wl_key]())
+        suite = MeasurementSuite(host=host.name).attach(host)
+        return host, suite
+
+    return build(), build()
+
+
+def kernel_state(kernel: Kernel):
+    """Everything the engines must agree on, floats kept exact via bytes."""
+    scalars = np.asarray(
+        [
+            kernel.time,
+            kernel.load_average,
+            kernel.cum_user,
+            kernel.cum_sys,
+            kernel.cum_idle,
+            kernel.cum_nrun_time,
+        ]
+    )
+    procs = kernel.processes
+    per_proc = np.asarray(
+        [
+            [p.cpu_time, p.sys_time, p.user_time, p.estcpu, p.last_dispatch]
+            for p in procs
+        ]
+    )
+    return {
+        "scalars": scalars.tobytes(),
+        "counters": (kernel.n_ticks, kernel.n_dispatches, kernel.n_events_fired),
+        "procs": [(p.name, p.nice, p.state) for p in procs],
+        "proc_floats": per_proc.tobytes(),
+    }
+
+
+def suite_state(suite: MeasurementSuite):
+    out = {}
+    for method in METHODS:
+        times, values = suite.series(method, include_warmup=True)
+        out[method] = (
+            np.asarray(times).tobytes(),
+            np.asarray(values).tobytes(),
+        )
+    out["observations"] = [
+        (o.observed, tuple(sorted(o.premeasurements.items())))
+        for o in suite.test_observations
+    ]
+    return out
+
+
+@pytest.mark.parametrize("sched_key", sorted(SCHEDULERS))
+@pytest.mark.parametrize("wl_key", sorted(WORKLOADS))
+@pytest.mark.parametrize("ncpu", [1, 2, 4])
+def test_parity_matrix(sched_key, wl_key, ncpu):
+    (host_e, suite_e), (host_b, suite_b) = build_pair(sched_key, wl_key, ncpu)
+    assert batch_unsupported_reason(host_b.kernel, suite_b) is None
+    for t_end in CHECKPOINTS:
+        host_e.run_until(t_end)
+        run_batch(host_b.kernel, t_end, suite=suite_b)
+        label = f"{sched_key}/{wl_key}/ncpu={ncpu} @ t={t_end}"
+        assert kernel_state(host_e.kernel) == kernel_state(host_b.kernel), label
+        assert suite_state(suite_e) == suite_state(suite_b), label
+
+
+def test_mixture_winners_identical():
+    """Byte-equal series must leave the forecast mixture in the same state."""
+    (host_e, suite_e), (host_b, suite_b) = build_pair("decay_usage", "bursty", 1)
+    host_e.run_until(7200.0)
+    run_batch(host_b.kernel, 7200.0, suite=suite_b)
+    for method in METHODS:
+        _, values_e = suite_e.series(method)
+        _, values_b = suite_b.series(method)
+        mix_e, mix_b = AdaptiveForecaster(), AdaptiveForecaster()
+        out_e = forecast_series(values_e, mix_e)
+        out_b = forecast_series(values_b, mix_b)
+        assert out_e.tobytes() == out_b.tobytes(), method
+        assert mix_e.bank.best_name() == mix_b.bank.best_name(), method
+
+
+def test_run_batch_without_suite():
+    def build():
+        k = Kernel()
+        k.spawn(Process("hog"))
+        k.spawn(Process("soak", nice=19, sys_fraction=0.3))
+        return k
+
+    k_event, k_batch = build(), build()
+    k_event.run_until(5000.0)
+    run_batch(k_batch, 5000.0)
+    assert kernel_state(k_event) == kernel_state(k_batch)
+
+
+def test_run_batch_refuses_backwards():
+    k = Kernel()
+    run_batch(k, 100.0)
+    with pytest.raises(ValueError, match="backwards"):
+        run_batch(k, 50.0)
+
+
+class TestUnsupportedDetection:
+    def test_clean_kernel_supported(self):
+        assert batch_unsupported_reason(Kernel()) is None
+
+    def test_kernel_subclass(self):
+        class MyKernel(Kernel):
+            pass
+
+        assert batch_unsupported_reason(MyKernel()) == "kernel_subclass"
+
+    def test_tick_listeners(self):
+        k = Kernel()
+        k.on_tick(lambda kernel: None)
+        assert batch_unsupported_reason(k) == "tick_listeners"
+
+    def test_custom_scheduler(self):
+        class MyScheduler(DecayUsageScheduler):
+            pass
+
+        k = Kernel(None, MyScheduler())
+        assert batch_unsupported_reason(k) == "custom_scheduler"
+
+    def test_process_subclass(self):
+        class MyProcess(Process):
+            pass
+
+        k = Kernel()
+        k.spawn(MyProcess("weird"))
+        assert batch_unsupported_reason(k) == "process_subclass"
+
+    def test_round_listeners(self):
+        host = SimHost("h", seed=0)
+        suite = MeasurementSuite(host="h").attach(host)
+        suite.on_round(lambda *a, **kw: None)
+        assert batch_unsupported_reason(host.kernel, suite) == "round_listeners"
+
+    def test_detached_suite(self):
+        host_a = SimHost("a", seed=0)
+        host_b = SimHost("b", seed=0)
+        suite = MeasurementSuite(host="a").attach(host_a)
+        assert batch_unsupported_reason(host_b.kernel, suite) == "suite_detached"
+
+    def test_forced_run_batch_raises(self):
+        k = Kernel()
+        k.on_tick(lambda kernel: None)
+        with pytest.raises(ParityUnsupported, match="tick_listeners"):
+            run_batch(k, 100.0)
+
+
+class TestSimulateHostDispatch:
+    CONFIG = TestbedConfig(duration=3600.0)
+
+    def run_state(self, run):
+        return {
+            "series": {
+                m: (s.times.tobytes(), s.values.tobytes())
+                for m, s in run.series.items()
+            },
+            "observed": run.observed().tobytes(),
+        }
+
+    def test_engines_byte_identical_through_simulate_host(self):
+        for host in ("kongo", "thing1"):
+            runs = {}
+            views = {}
+            for engine in ("event", "batch"):
+                config = TestbedConfig(duration=3600.0, sim_engine=engine)
+                with installed(MetricsRegistry()) as registry:
+                    runs[engine] = simulate_host(host, config)
+                    views[engine] = render_prometheus(deterministic_view(registry))
+            assert self.run_state(runs["event"]) == self.run_state(runs["batch"])
+            # Engine choice and wall time are excluded from the
+            # deterministic view, so telemetry is identical too.
+            assert views["event"] == views["batch"], host
+
+    def test_auto_uses_batch_and_counts_it(self):
+        with installed(MetricsRegistry()) as registry:
+            simulate_host("kongo", self.CONFIG)
+            snapshot = registry.snapshot()
+        totals = snapshot["repro_sim_engine_total"]["samples"]
+        assert [(s["labels"]["engine"], s["value"]) for s in totals] == [
+            ("batch", 1.0)
+        ]
+        assert "repro_sim_engine_fallback_total" not in snapshot
+        assert "repro_sim_engine_seconds" in snapshot
+
+    def test_auto_falls_back_counted_not_error(self, monkeypatch):
+        import repro.experiments.testbed as testbed
+
+        monkeypatch.setattr(
+            testbed, "batch_unsupported_reason", lambda k, s=None: "tick_listeners"
+        )
+        with installed(MetricsRegistry()) as registry:
+            run = simulate_host("kongo", self.CONFIG)
+            snapshot = registry.snapshot()
+        assert run.series  # the run completed on the event engine
+        totals = snapshot["repro_sim_engine_total"]["samples"]
+        assert totals[0]["labels"]["engine"] == "event"
+        fallbacks = snapshot["repro_sim_engine_fallback_total"]["samples"]
+        assert fallbacks[0]["labels"]["reason"] == "tick_listeners"
+        assert fallbacks[0]["value"] == 1.0
+
+    def test_forced_batch_raises_on_unsupported(self, monkeypatch):
+        import repro.experiments.testbed as testbed
+
+        monkeypatch.setattr(
+            testbed, "batch_unsupported_reason", lambda k, s=None: "tick_listeners"
+        )
+        config = TestbedConfig(duration=3600.0, sim_engine="batch")
+        with pytest.raises(ParityUnsupported, match="tick_listeners"):
+            simulate_host("kongo", config)
+
+    def test_forced_event_never_consults_support(self, monkeypatch):
+        import repro.experiments.testbed as testbed
+
+        def boom(*a, **kw):  # pragma: no cover - must not be called
+            raise AssertionError("support check must be skipped")
+
+        monkeypatch.setattr(testbed, "batch_unsupported_reason", boom)
+        config = TestbedConfig(duration=3600.0, sim_engine="event")
+        run = simulate_host("kongo", config)
+        assert run.series
+
+    def test_invalid_engine_rejected(self):
+        with pytest.raises(ValueError, match="unknown sim engine"):
+            TestbedConfig(sim_engine="warp")
+
+
+def test_batch_kernel_version_is_positive_int():
+    assert isinstance(BATCH_KERNEL_VERSION, int) and BATCH_KERNEL_VERSION >= 1

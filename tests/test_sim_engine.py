@@ -68,3 +68,55 @@ class TestEventQueue:
         for i in range(5):
             q.schedule(float(i + 1), lambda: None)
         assert len(q) == 5
+
+
+class TestHorizonDiscipline:
+    """Monotonic pops and no scheduling into the past (the batch engine's
+    segmenter depends on both never happening silently)."""
+
+    def test_non_monotonic_pop_rejected(self):
+        q = EventQueue()
+        q.schedule(1.0, lambda: None)
+        q.pop_due(5.0)
+        with pytest.raises(ValueError, match="non-decreasing"):
+            q.pop_due(2.0)
+
+    def test_schedule_behind_horizon_rejected(self):
+        q = EventQueue()
+        q.pop_due(100.0)
+        with pytest.raises(ValueError, match="into the past"):
+            q.schedule(50.0, lambda: None)
+        assert q.n_scheduled == 0
+
+    def test_immediate_events_at_horizon_accepted(self):
+        # The kernel pops with now = time + eps and schedules "immediate"
+        # events at time itself -- one epsilon behind the horizon must
+        # stay legal.
+        q = EventQueue()
+        q.pop_due(10.0 + 1e-9)
+        q.schedule(10.0, lambda: None)
+        assert len(q) == 1
+
+    def test_equal_pop_times_accepted(self):
+        q = EventQueue()
+        q.pop_due(5.0)
+        assert q.pop_due(5.0) == []
+
+
+class TestPeekBatch:
+    def test_matches_pop_order_without_removing(self):
+        q = EventQueue()
+        cb_a, cb_b, cb_c = (lambda: "a"), (lambda: "b"), (lambda: "c")
+        q.schedule(2.0, cb_b)
+        q.schedule(1.0, cb_a)
+        q.schedule(2.0, cb_c)
+        q.schedule(9.0, lambda: None)
+        peeked = q.peek_batch(2.5)
+        assert peeked == [(1.0, cb_a), (2.0, cb_b), (2.0, cb_c)]
+        assert len(q) == 4  # non-destructive
+        assert [cb for cb in q.pop_due(2.5)] == [cb_a, cb_b, cb_c]
+
+    def test_empty_window(self):
+        q = EventQueue()
+        q.schedule(5.0, lambda: None)
+        assert q.peek_batch(4.0) == []
