@@ -1,0 +1,138 @@
+"""Benchmark guard: durability is fast to recover and cheap to run.
+
+Two gates on the :mod:`repro.nws.durable` persistence layer:
+
+* **Recovery wall-time budget.**  Restoring a 1,000-series state
+  directory (the acceptance scale) via :meth:`ServiceCore.restore` must
+  finish well inside the budget -- a restarted forecast server should be
+  answering queries in seconds, not minutes.  The measured wall time is
+  recorded (``wall_seconds``, direction ``lower``) so ``nws-repro perf
+  diff`` catches recovery slowdowns before they reach the budget.
+* **Publish-path overhead.**  With persistence on (group-commit
+  journaling), the served HTTP publish path must cost less than 5% more
+  than the same path with persistence off.  Localhost HTTP has a few
+  percent of run-to-run noise, so the overhead is estimated from the
+  minimum of several interleaved A/B pairs -- the min is the least
+  noise-contaminated observation of each leg.
+
+The budgets are generous for the same reason as :mod:`bench_server`:
+CI machines are time-shared, so the recorded perf trajectory (not the
+assertion) is the sensitive signal.
+"""
+
+from __future__ import annotations
+
+import time
+
+from benchmarks.conftest import BENCH_RECORD_DIR, run_once
+from repro.nws import ForecastServer, NWSClient, ServiceCore
+from repro.perf import record
+
+#: Acceptance scale for recovery: 1,000 series, a publish window each.
+RECOVERY_SERIES = 1000
+SAMPLES_PER_SERIES = 32
+
+#: Recovery must finish comfortably inside this many seconds (measured
+#: ~0.1s on a developer laptop; the budget is a pathology guard).
+MAX_RESTORE_SECONDS = 5.0
+
+#: Journaling may add at most this fraction to the served publish path.
+MAX_PUBLISH_OVERHEAD = 0.05
+
+#: A/B measurement shape for the overhead estimate.
+OVERHEAD_OPS = 4000
+OVERHEAD_SERIES = 100
+OVERHEAD_PAIRS = 5
+
+
+def _populate(state_dir) -> None:
+    """Write the acceptance-scale state directory (setup, not timed)."""
+    core = ServiceCore(
+        ("default",),
+        clock=time.time,
+        directory=state_dir,
+        journal_flush_lines=512,
+    )
+    try:
+        for s in range(RECOVERY_SERIES):
+            name = f"cpu.{s:04d}"
+            for i in range(SAMPLES_PER_SERIES):
+                core.publish("default", name, 10.0 * i, 0.5)
+    finally:
+        core.close()
+
+
+def _publish_leg(directory=None) -> float:
+    """Steady-state wall seconds for OVERHEAD_OPS served publishes."""
+    kwargs = {}
+    if directory is not None:
+        kwargs = dict(directory=directory, journal_flush_lines=64)
+    core = ServiceCore(("default",), clock=time.time, **kwargs)
+    with ForecastServer(core=core) as server:
+        with NWSClient.connect(server.url) as base:
+            client = base.for_tenant("default")
+            # Steady state: every series already has a journal file and a
+            # catalog entry, so the timed loop sees only per-sample cost.
+            for i in range(OVERHEAD_SERIES):
+                client.publish(f"cpu.{i}", time=0.0, value=0.5)
+            start = time.perf_counter()
+            for i in range(OVERHEAD_OPS):
+                client.publish(
+                    f"cpu.{i % OVERHEAD_SERIES}",
+                    time=10.0 * (i + 1),
+                    value=0.5,
+                )
+            return time.perf_counter() - start
+
+
+def _measure_overhead(tmp_path) -> tuple[float, float]:
+    """(memory_seconds, persistent_seconds) -- min over interleaved pairs."""
+    memory_runs, persistent_runs = [], []
+    for r in range(OVERHEAD_PAIRS):
+        memory_runs.append(_publish_leg())
+        persistent_runs.append(_publish_leg(tmp_path / f"overhead_{r}"))
+    return min(memory_runs), min(persistent_runs)
+
+
+def test_bench_recovery_restore_1000_series(benchmark, tmp_path):
+    state_dir = tmp_path / "state"
+    _populate(state_dir)
+
+    core = run_once(benchmark, ServiceCore.restore, state_dir)
+    try:
+        names = core.series_names("default")
+        assert len(names) == RECOVERY_SERIES
+        state = core.tenant("default")
+        assert (
+            sum(state.memory.count(n) for n in names)
+            == RECOVERY_SERIES * SAMPLES_PER_SERIES
+        )
+    finally:
+        core.close()
+
+    elapsed = benchmark.stats.stats.min
+    assert elapsed < MAX_RESTORE_SECONDS, (
+        f"restoring {RECOVERY_SERIES} series took {elapsed:.2f}s, "
+        f"budget {MAX_RESTORE_SECONDS:.0f}s"
+    )
+
+
+def test_bench_recovery_publish_overhead(benchmark, tmp_path):
+    memory_s, persistent_s = run_once(benchmark, _measure_overhead, tmp_path)
+
+    overhead = persistent_s / memory_s - 1.0
+    assert overhead < MAX_PUBLISH_OVERHEAD, (
+        f"persistence adds {overhead:+.1%} to the served publish path, "
+        f"budget {MAX_PUBLISH_OVERHEAD:.0%}"
+    )
+    # Record the cost *ratio* (persistent as % of the memory leg, ~100),
+    # not the overhead itself: an overhead near zero would make perf
+    # diff's relative comparison degenerate.
+    record(
+        "recovery_publish_cost_ratio",
+        persistent_s / memory_s * 100.0,
+        metric="publish_cost_ratio",
+        unit="percent",
+        direction="lower",
+        directory=BENCH_RECORD_DIR,
+    )

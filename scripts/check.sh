@@ -54,6 +54,10 @@ echo "==> sim engine speedup / dispatch-overhead benchmark"
 PYTHONPATH="src${PYTHONPATH:+:$PYTHONPATH}" python -m pytest -q -p no:cacheprovider \
     --benchmark-disable-gc benchmarks/bench_sim.py
 
+echo "==> durability recovery / publish-overhead benchmark"
+PYTHONPATH="src${PYTHONPATH:+:$PYTHONPATH}" python -m pytest -q -p no:cacheprovider \
+    --benchmark-disable-gc benchmarks/bench_recovery.py
+
 # Each benchmark above left a BENCH_<name>.json run record under
 # artifacts/bench/.  When a committed baseline exists (copy a known-good
 # artifacts/bench/ to benchmarks/baseline/ on this machine), diff

@@ -58,6 +58,14 @@ go to stderr so stdout stays byte-stable.
     Run the multi-tenant forecast server (publish / fetch / query /
     register over versioned JSON; see the README's HTTP API table)
     until interrupted, with background retention + liveness maintenance.
+    ``--state-dir DIR`` makes the server crash-safe: state persists as
+    snapshot + journal and an existing state directory is restored on
+    startup; ``--max-inflight N`` bounds concurrency and sheds the
+    excess with HTTP 429 + ``Retry-After``.
+``nws-repro recover --state-dir DIR``
+    Restore a crash-safe state directory off-line and print a
+    deterministic per-tenant summary (series / samples / registrations
+    recovered) -- the smoke test for "would this server come back?".
 ``nws-repro loadtest [--url URL] [--series N] [--clients N] [--jobs N]``
     Drive a forecast service (a running ``serve`` via ``--url``, else an
     in-process core) with a seeded workload; the report is byte-identical
@@ -364,6 +372,35 @@ def build_parser() -> argparse.ArgumentParser:
         default=None,
         metavar="DIR",
         help="persistence directory for per-tenant measurement journals",
+    )
+    p_serve.add_argument(
+        "--state-dir",
+        default=None,
+        metavar="DIR",
+        help=(
+            "crash-safe state directory: restored on startup when it holds "
+            "a manifest, created fresh otherwise (supersedes --directory)"
+        ),
+    )
+    p_serve.add_argument(
+        "--max-inflight",
+        type=int,
+        default=None,
+        metavar="N",
+        help=(
+            "bound concurrent in-flight requests; the excess is shed with "
+            "HTTP 429 + Retry-After (default: unbounded)"
+        ),
+    )
+
+    p_recover = sub.add_parser(
+        "recover", help="restore a crash-safe state directory and summarize it"
+    )
+    p_recover.add_argument(
+        "--state-dir",
+        required=True,
+        metavar="DIR",
+        help="state directory written by serve --state-dir",
     )
 
     p_load = sub.add_parser(
@@ -859,23 +896,62 @@ def _cmd_chaos(args) -> int:
 def _cmd_serve(args) -> int:
     import threading
     import time
+    from pathlib import Path
 
-    from repro.nws import ForecastServer, RetentionPolicy
+    from repro.nws import ForecastServer, RetentionPolicy, ServiceCore
+    from repro.nws.service import MANIFEST_NAME
 
     tenants = [t.strip() for t in args.tenants.split(",") if t.strip()]
     if not tenants:
         print("nws-repro serve: no tenants given", file=sys.stderr)
         return 2
+    retention = RetentionPolicy() if args.retention else None
+    core = None
+    if args.state_dir is not None:
+        # --state-dir supersedes --directory: same persistence layer, plus
+        # restore-on-startup when a manifest is already there.
+        state_dir = Path(args.state_dir)
+        try:
+            if (state_dir / MANIFEST_NAME).exists():
+                core = ServiceCore.restore(
+                    state_dir, clock=time.time, retention=retention
+                )
+                print(
+                    f"restored state from {state_dir} "
+                    f"(tenants: {', '.join(core.tenant_names())})",
+                    file=sys.stderr,
+                )
+                tenants = core.tenant_names()
+            else:
+                core = ServiceCore(
+                    tuple(tenants),
+                    clock=time.time,
+                    directory=state_dir,
+                    retention=retention,
+                )
+        except (OSError, ValueError) as exc:
+            print(f"nws-repro serve: {exc}", file=sys.stderr)
+            return 2
     try:
-        server = ForecastServer(
-            host=args.host,
-            port=args.port,
-            maintenance_interval=args.maintenance_interval,
-            tenants=tuple(tenants),
-            clock=time.time,
-            directory=args.directory,
-            retention=RetentionPolicy() if args.retention else None,
-        )
+        if core is not None:
+            server = ForecastServer(
+                core=core,
+                host=args.host,
+                port=args.port,
+                maintenance_interval=args.maintenance_interval,
+                max_inflight=args.max_inflight,
+            )
+        else:
+            server = ForecastServer(
+                host=args.host,
+                port=args.port,
+                maintenance_interval=args.maintenance_interval,
+                max_inflight=args.max_inflight,
+                tenants=tuple(tenants),
+                clock=time.time,
+                directory=args.directory,
+                retention=retention,
+            )
     except (OSError, ValueError) as exc:
         print(f"nws-repro serve: {exc}", file=sys.stderr)
         return 2
@@ -890,6 +966,29 @@ def _cmd_serve(args) -> int:
         except KeyboardInterrupt:
             pass
     print("forecast server stopped", file=sys.stderr)
+    return 0
+
+
+def _cmd_recover(args) -> int:
+    from repro.nws import ServiceCore
+
+    try:
+        core = ServiceCore.restore(args.state_dir)
+    except (OSError, ValueError) as exc:
+        print(f"nws-repro recover: {exc}", file=sys.stderr)
+        return 2
+    try:
+        print(f"recovered state from {args.state_dir}")
+        print(f"  {'tenant':<16} {'series':>8} {'samples':>10} {'registrations':>14}")
+        for name in core.tenant_names():
+            state = core.tenant(name)
+            with state.lock:
+                series = state.memory.series_names()
+                samples = sum(state.memory.count(s) for s in series)
+                registrations = len(state.nameserver.entries())
+            print(f"  {name:<16} {len(series):>8} {samples:>10} {registrations:>14}")
+    finally:
+        core.close()
     return 0
 
 
@@ -929,7 +1028,8 @@ def _cmd_loadtest(args) -> int:
     transport = "http" if args.url is not None else "in-process"
     print(
         f"wall: {report.wall_seconds:.3f} s at {report.wall_rps:.1f} req/s "
-        f"(jobs={config.jobs}, transport={transport})",
+        f"(jobs={config.jobs}, transport={transport}, "
+        f"shed retries={report.shed_retries})",
         file=sys.stderr,
     )
     if args.perf_record:
@@ -960,6 +1060,7 @@ def main(argv: list[str] | None = None) -> int:
         "lint": _cmd_lint,
         "chaos": _cmd_chaos,
         "serve": _cmd_serve,
+        "recover": _cmd_recover,
         "loadtest": _cmd_loadtest,
     }
     return handlers[args.command](args)

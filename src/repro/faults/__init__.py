@@ -15,6 +15,10 @@ mechanism.  This package makes those conditions reproducible:
 * :class:`RetryPolicy` -- bounded, seeded exponential backoff with
   injected sleeping; the one sanctioned retry primitive for the service
   layer (lint rule FAULT001).
+* :class:`CircuitBreaker` -- seeded closed/open/half-open breaker with a
+  probe budget, layered *outside* retries by
+  :class:`~repro.nws.client.NWSClient` so a dead server fails fast
+  instead of being hammered.
 * :func:`named_plans` -- built-in scenarios used by ``nws-repro chaos``
   and :mod:`repro.experiments.chaos`.
 
@@ -37,9 +41,17 @@ from repro.faults.plan import (
     named_plan,
     named_plans,
 )
-from repro.faults.policy import RetryError, RetryPolicy, seed_entropy
+from repro.faults.policy import (
+    CircuitBreaker,
+    CircuitOpenError,
+    RetryError,
+    RetryPolicy,
+    seed_entropy,
+)
 
 __all__ = [
+    "CircuitBreaker",
+    "CircuitOpenError",
     "FaultPlan",
     "FaultSpec",
     "HostFaults",

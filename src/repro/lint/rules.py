@@ -81,6 +81,13 @@ paper's results depend on:
     ``repro_server_*`` metrics and the keyword-normalized
     :class:`repro.nws.client.NWSClient` facade, which is the one public
     way in (``in_process`` / ``for_system`` / ``connect``).
+``DUR001``
+    Durability discipline: persistence writes inside :mod:`repro.nws`
+    must go through :mod:`repro.nws.durable` (``atomic_replace_bytes`` /
+    ``atomic_replace_json`` for whole files, ``JournalWriter`` for
+    appends).  A bare ``open(..., "w")`` / ``Path.write_text`` leaves a
+    torn file when the process dies mid-write, which breaks the
+    byte-identical restore guarantee.
 """
 
 from __future__ import annotations
@@ -110,6 +117,7 @@ __all__ = [
     "ResilienceRule",
     "MetricInventoryRule",
     "ServiceFacadeRule",
+    "DurabilityRule",
 ]
 
 
@@ -1068,3 +1076,91 @@ class ServiceFacadeRule(Rule):
                         "tenancy and service metrics; construct an "
                         "NWSClient and let ServiceCore own the triple",
                     )
+
+
+# --------------------------------------------------------------------------
+# DUR001 -- durability discipline (atomic persistence writes)
+# --------------------------------------------------------------------------
+
+#: The one module allowed to open files for writing: it owns the
+#: temp-file + fsync + ``os.replace`` discipline everything else reuses.
+_DURABLE_MODULE = "repro.nws.durable"
+
+#: Any of these in an ``open`` mode string means the call can write.
+_WRITE_MODE_CHARS = frozenset("wxa+")
+
+
+def _literal_write_mode(call: ast.Call, position: int) -> str | None:
+    """The literal write-capable mode of an ``open``-style call, if any.
+
+    ``position`` is where the mode argument sits positionally (1 for the
+    builtin ``open(file, mode)``, 0 for ``Path.open(mode)``); a ``mode=``
+    keyword wins over it.  Non-literal modes are ignored -- the rule only
+    flags what it can prove.
+    """
+    mode = None
+    if len(call.args) > position:
+        node = call.args[position]
+        if isinstance(node, ast.Constant) and isinstance(node.value, str):
+            mode = node.value
+    for keyword in call.keywords:
+        if (
+            keyword.arg == "mode"
+            and isinstance(keyword.value, ast.Constant)
+            and isinstance(keyword.value.value, str)
+        ):
+            mode = keyword.value.value
+    if mode is not None and _WRITE_MODE_CHARS & set(mode):
+        return mode
+    return None
+
+
+@register
+class DurabilityRule(Rule):
+    rule_id = "DUR001"
+    title = "persistence writes go through repro.nws.durable"
+    rationale = (
+        "a bare write tears the file if the process dies mid-write; the "
+        "atomic helpers (temp file + fsync + os.replace) and JournalWriter "
+        "are what make restored state byte-identical to an uninterrupted "
+        "run"
+    )
+    scope = ("repro.nws",)
+
+    def check(self, ctx: ModuleContext) -> Iterator[Finding]:
+        if ctx.module == _DURABLE_MODULE:
+            return
+        for node in ast.walk(ctx.tree):
+            if not isinstance(node, ast.Call):
+                continue
+            dotted = _dotted(node.func)
+            if dotted is None:
+                continue
+            if dotted in ("open", "io.open", "os.fdopen"):
+                mode = _literal_write_mode(node, 1)
+                if mode is not None:
+                    yield ctx.finding(
+                        node,
+                        self.rule_id,
+                        f"open(..., {mode!r}) can tear on crash; use "
+                        "repro.nws.durable.atomic_replace_bytes/_json "
+                        "(or JournalWriter for appends)",
+                    )
+            elif dotted.endswith(".open") and "." in dotted:
+                mode = _literal_write_mode(node, 0)
+                if mode is not None:
+                    yield ctx.finding(
+                        node,
+                        self.rule_id,
+                        f".open({mode!r}) can tear on crash; use "
+                        "repro.nws.durable.atomic_replace_bytes/_json "
+                        "(or JournalWriter for appends)",
+                    )
+            elif dotted.endswith((".write_text", ".write_bytes")):
+                yield ctx.finding(
+                    node,
+                    self.rule_id,
+                    f"{dotted.rsplit('.', 1)[1]}() rewrites the file "
+                    "in place and can tear on crash; use "
+                    "repro.nws.durable.atomic_replace_bytes/_json",
+                )

@@ -37,7 +37,12 @@ transports execute the same :class:`~repro.nws.service.ServiceCore`).
 """
 
 from repro.nws.client import HTTPTransport, InProcessTransport, NWSClient
-from repro.nws.errors import RegistrationLapsed, SeriesUnavailable, UnknownTenant
+from repro.nws.errors import (
+    RegistrationLapsed,
+    SeriesUnavailable,
+    ServerOverloaded,
+    UnknownTenant,
+)
 from repro.nws.forecaster import ForecastReport, ForecasterService
 from repro.nws.memory import MemoryStore
 from repro.nws.nameserver import NameServer, Registration
@@ -61,6 +66,7 @@ __all__ = [
     "RetentionPolicy",
     "SensorHost",
     "SeriesUnavailable",
+    "ServerOverloaded",
     "ServiceCore",
     "UnknownTenant",
 ]

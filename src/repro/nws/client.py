@@ -24,6 +24,16 @@ Signatures are keyword-normalized across the whole stack:
 ``fetch(series, start=, stop=, limit=)`` and ``query(series, horizon=)``
 mean the same thing here, on :class:`~repro.nws.memory.MemoryStore`, on
 :class:`~repro.nws.forecaster.ForecasterService` and on the wire.
+
+Resilience is layered, both parts optional and seeded:
+
+* a :class:`~repro.faults.RetryPolicy` (``retry=``) re-attempts
+  *transient* failures -- shed requests
+  (:class:`~repro.nws.errors.ServerOverloaded`), socket errors, HTTP
+  breakage -- while typed application errors pass straight through;
+* a :class:`~repro.faults.CircuitBreaker` (``breaker=``) sits outside
+  the retries and fails fast once the server looks dead, probing it
+  back to health on a budget.
 """
 
 from __future__ import annotations
@@ -36,10 +46,13 @@ from urllib.parse import urlsplit
 
 import numpy as np
 
+from repro.faults.policy import CircuitBreaker, RetryError, RetryPolicy
+from repro.nws.errors import ServerOverloaded
 from repro.nws.forecaster import ForecastReport
 from repro.nws.nameserver import Registration
 from repro.nws.service import DEFAULT_TENANT, ServiceCore
 from repro.nws.wire import (
+    DEADLINE_HEADER,
     ProtocolError,
     canonical,
     decode_fetch,
@@ -49,6 +62,29 @@ from repro.nws.wire import (
 )
 
 __all__ = ["NWSClient", "InProcessTransport", "HTTPTransport"]
+
+#: Failures worth re-attempting: the server shed us, or the transport
+#: broke underneath the request.  Typed application errors (unknown
+#: series, lapsed registration, bad request) are never retried.
+_RETRYABLE = (ServerOverloaded, OSError, http.client.HTTPException)
+
+#: Failures that count against the circuit breaker: the server did not
+#: give a usable answer.  ServerOverloaded is deliberately absent -- a
+#: shedding server is alive and protecting itself; opening the circuit
+#: on top of it would just delay recovery.
+_BREAKER_FAILURES = (OSError, http.client.HTTPException, ProtocolError, RetryError)
+
+
+def _classified(fn, args, kwargs):
+    # Retry-policy adapter: transient failures propagate (and are
+    # retried); application errors return as values so the policy never
+    # burns attempts on them.
+    try:
+        return "ok", fn(*args, **kwargs)
+    except _RETRYABLE:
+        raise
+    except Exception as exc:
+        return "app", exc
 
 
 class InProcessTransport:
@@ -126,16 +162,25 @@ class HTTPTransport:
 
     Connections are per-thread (``http.client`` is not thread-safe), so
     one transport may be shared by a whole thread pool.  A request that
-    dies on a stale keep-alive connection is retried once on a fresh
-    connection; HTTP-level failures surface as the typed errors of
-    :func:`~repro.nws.wire.raise_for_envelope`.
+    dies on a stale keep-alive connection -- the normal aftermath of a
+    server restart invalidating every pooled socket -- is retried once
+    on a fresh connection; HTTP-level failures surface as the typed
+    errors of :func:`~repro.nws.wire.raise_for_envelope`.
+
+    ``deadline`` attaches a per-request time budget (seconds) as the
+    ``X-NWS-Deadline`` header; the server sheds the request (HTTP 429,
+    ``reason="deadline"``) once the budget is spent instead of finishing
+    work this client has already given up on.
     """
 
-    def __init__(self, url: str, *, timeout: float = 10.0):
+    def __init__(self, url: str, *, timeout: float = 10.0, deadline: float | None = None):
         parsed = urlsplit(url)
         if parsed.scheme != "http" or not parsed.hostname:
             raise ValueError(f"need an http://host:port URL, got {url!r}")
+        if deadline is not None and deadline <= 0.0:
+            raise ValueError(f"deadline must be positive, got {deadline}")
         self.url = url.rstrip("/")
+        self.deadline = None if deadline is None else float(deadline)
         self._host = parsed.hostname
         self._port = parsed.port if parsed.port is not None else 80
         self._timeout = float(timeout)
@@ -165,6 +210,8 @@ class HTTPTransport:
     def _exchange(self, method: str, path: str, body: dict | None):
         payload = None if body is None else canonical(body)
         headers = {"Content-Type": "application/json"} if payload else {}
+        if self.deadline is not None:
+            headers[DEADLINE_HEADER] = repr(self.deadline)
         conn = self._connection()
         conn.request(method, path, body=payload, headers=headers)
         response = conn.getresponse()
@@ -278,11 +325,28 @@ class NWSClient:
     (HTTP to a :class:`~repro.nws.server.ForecastServer`) -- or pass any
     transport explicitly.  A client is bound to one tenant;
     :meth:`for_tenant` derives a sibling on the same transport.
+
+    ``retry`` (a seeded :class:`~repro.faults.RetryPolicy`) re-attempts
+    transient failures; ``breaker`` (a seeded
+    :class:`~repro.faults.CircuitBreaker`) wraps every data/discovery
+    call and fails fast with
+    :class:`~repro.faults.CircuitOpenError` while the server looks dead.
+    :meth:`health` deliberately bypasses both -- it is how you find out
+    whether an open circuit may close.
     """
 
-    def __init__(self, transport, *, tenant: str = DEFAULT_TENANT):
+    def __init__(
+        self,
+        transport,
+        *,
+        tenant: str = DEFAULT_TENANT,
+        retry: RetryPolicy | None = None,
+        breaker: CircuitBreaker | None = None,
+    ):
         self.transport = transport
         self.tenant = tenant
+        self.retry = retry
+        self.breaker = breaker
 
     # -------------------------------------------------------- constructors
 
@@ -304,19 +368,75 @@ class NWSClient:
         return cls(InProcessTransport.for_system(system), tenant=tenant)
 
     @classmethod
-    def connect(cls, url: str, *, tenant: str = DEFAULT_TENANT, timeout: float = 10.0) -> "NWSClient":
+    def connect(
+        cls,
+        url: str,
+        *,
+        tenant: str = DEFAULT_TENANT,
+        timeout: float = 10.0,
+        deadline: float | None = None,
+        retry: RetryPolicy | None = None,
+        breaker: CircuitBreaker | None = None,
+    ) -> "NWSClient":
         """A client speaking HTTP to a running forecast server."""
-        return cls(HTTPTransport(url, timeout=timeout), tenant=tenant)
+        return cls(
+            HTTPTransport(url, timeout=timeout, deadline=deadline),
+            tenant=tenant,
+            retry=retry,
+            breaker=breaker,
+        )
 
     def for_tenant(self, tenant: str) -> "NWSClient":
-        """A sibling client for another tenant, sharing the transport."""
-        return type(self)(self.transport, tenant=tenant)
+        """A sibling client for another tenant, sharing the transport.
+
+        The retry policy and circuit breaker are shared too: they track
+        the health of the *server*, which is tenant-independent.
+        """
+        return type(self)(
+            self.transport, tenant=tenant, retry=self.retry, breaker=self.breaker
+        )
+
+    # ----------------------------------------------------------- resilience
+
+    def _call(self, op: str, fn, *args, **kwargs):
+        """Run one transport operation under the breaker + retry layers.
+
+        Ordering matters: the breaker gates (and observes) the whole
+        retried operation, so a server that dies mid-burst costs one
+        breaker failure, not ``retries + 1``.
+        """
+        if self.breaker is not None:
+            self.breaker.before_call()
+        try:
+            if self.retry is None:
+                result = fn(*args, **kwargs)
+            else:
+                kind, value = self.retry.call(
+                    _classified, fn, args, kwargs, describe=op
+                )
+                if kind == "app":
+                    raise value
+                result = value
+        except Exception as exc:
+            if self.breaker is not None:
+                if isinstance(exc, _BREAKER_FAILURES):
+                    self.breaker.record_failure()
+                else:
+                    # The server answered (typed application error, or a
+                    # shed): it is alive, whatever it said.
+                    self.breaker.record_success()
+            raise
+        if self.breaker is not None:
+            self.breaker.record_success()
+        return result
 
     # ----------------------------------------------------------- data API
 
     def publish(self, series: str, *, time: float, value: float) -> int:
         """Append one measurement; returns the series' retained count."""
-        return self.transport.publish(self.tenant, series, time, value)
+        return self._call(
+            "publish", self.transport.publish, self.tenant, series, time, value
+        )
 
     def fetch(
         self,
@@ -327,8 +447,14 @@ class NWSClient:
         limit: int | None = None,
     ) -> tuple[np.ndarray, np.ndarray]:
         """(times, values) arrays for a series window (inclusive bounds)."""
-        return self.transport.fetch(
-            self.tenant, series, start=start, stop=stop, limit=limit
+        return self._call(
+            "fetch",
+            self.transport.fetch,
+            self.tenant,
+            series,
+            start=start,
+            stop=stop,
+            limit=limit,
         )
 
     def query(self, series: str, *, horizon: int = 1) -> ForecastReport:
@@ -341,19 +467,23 @@ class NWSClient:
         ValueError
             Empty series or bad horizon (HTTP 400).
         """
-        return self.transport.query(self.tenant, series, horizon=horizon)
+        return self._call(
+            "query", self.transport.query, self.tenant, series, horizon=horizon
+        )
 
     def query_all(self) -> dict[str, ForecastReport]:
         """Forecasts for every non-empty series of this tenant."""
-        return self.transport.query_all(self.tenant)
+        return self._call("query_all", self.transport.query_all, self.tenant)
 
     def series_names(self) -> list[str]:
         """Sorted names of every series this tenant holds."""
-        return self.transport.series_names(self.tenant)
+        return self._call(
+            "series_names", self.transport.series_names, self.tenant
+        )
 
     def recover(self, series: str) -> int:
         """Reload a series from the persistence journal; returns samples."""
-        return self.transport.recover(self.tenant, series)
+        return self._call("recover", self.transport.recover, self.tenant, series)
 
     # ------------------------------------------------------ discovery API
 
@@ -366,8 +496,14 @@ class NWSClient:
         ttl: float | None = None,
     ) -> Registration:
         """Register a component (TTL'd when ``ttl`` is given)."""
-        return self.transport.register(
-            self.tenant, name, kind, attributes, ttl=ttl
+        return self._call(
+            "register",
+            self.transport.register,
+            self.tenant,
+            name,
+            kind,
+            attributes,
+            ttl=ttl,
         )
 
     def refresh(self, name: str, *, ttl: float) -> Registration:
@@ -378,18 +514,27 @@ class NWSClient:
         RegistrationLapsed
             The registration is unknown or expired (HTTP 410).
         """
-        return self.transport.refresh(self.tenant, name, ttl=ttl)
+        return self._call(
+            "refresh", self.transport.refresh, self.tenant, name, ttl=ttl
+        )
 
     def lookup(
         self, kind: str | None = None, **attribute_filters: str
     ) -> list[Registration]:
         """Live components by kind and exact attribute matches."""
-        return self.transport.lookup(self.tenant, kind, **attribute_filters)
+        return self._call(
+            "lookup", self.transport.lookup, self.tenant, kind, **attribute_filters
+        )
 
     # ----------------------------------------------------------- lifecycle
 
     def health(self) -> dict:
-        """Service liveness summary (all tenants)."""
+        """Service liveness summary (all tenants).
+
+        Bypasses the retry policy and circuit breaker: a health probe
+        must reflect the server's actual state, not the client's
+        protective layers.
+        """
         return self.transport.health()
 
     def close(self) -> None:

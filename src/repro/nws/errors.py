@@ -9,7 +9,12 @@ callers branch on meaning rather than on strings or status numbers.
 
 from __future__ import annotations
 
-__all__ = ["SeriesUnavailable", "RegistrationLapsed", "UnknownTenant"]
+__all__ = [
+    "SeriesUnavailable",
+    "RegistrationLapsed",
+    "UnknownTenant",
+    "ServerOverloaded",
+]
 
 
 class SeriesUnavailable(LookupError):
@@ -85,3 +90,39 @@ class UnknownTenant(LookupError):
         super().__init__(
             f"tenant {tenant!r} not served here; known tenants: {list(self.known)}"
         )
+
+
+class ServerOverloaded(RuntimeError):
+    """The server shed this request instead of serving it.
+
+    Raised when admission control rejects a request (too many in flight,
+    the server is draining for shutdown) or when the request's
+    propagated deadline expired before the work completed.  Deliberately
+    a :class:`RuntimeError`, not a :class:`LookupError`/:class:`ValueError`:
+    nothing is wrong with the request itself -- retrying after
+    ``retry_after`` seconds is the correct response, and
+    :class:`~repro.nws.client.NWSClient` does exactly that.
+
+    Over HTTP this maps to ``429 overloaded`` with a ``Retry-After``
+    header.
+
+    Attributes
+    ----------
+    reason:
+        Why the request was shed: ``"overload"`` (in-flight bound),
+        ``"draining"`` (graceful shutdown), or ``"deadline"`` (the
+        client's budget expired).
+    retry_after:
+        Suggested wait before retrying, in seconds.
+    """
+
+    def __init__(
+        self,
+        message: str = "server overloaded",
+        *,
+        reason: str = "overload",
+        retry_after: float = 0.05,
+    ):
+        self.reason = str(reason)
+        self.retry_after = float(retry_after)
+        super().__init__(message)

@@ -158,6 +158,25 @@ class ForecasterService:
         if times.size:
             self._last_time[series] = float(times[-1])
 
+    def invalidate(self, series: str) -> bool:
+        """Drop all per-series forecaster state; rebuilt on next query.
+
+        Retention compaction calls this after rewriting a series'
+        history: the next :meth:`query` replays the *retained* samples
+        through a fresh mixture, making the forecast a pure function of
+        retained history.  That is what lets a crash-restored server
+        (journal replay through fresh mixtures) produce byte-identical
+        forecasts to an uninterrupted one even across compactions.
+        Returns whether any state existed.
+        """
+        existed = series in self._mixtures
+        self._mixtures.pop(series, None)
+        self._consumed.pop(series, None)
+        self._last_time.pop(series, None)
+        self._last_good.pop(series, None)
+        self._degraded_streak.pop(series, None)
+        return existed
+
     def query(self, series: str, *, horizon: int = 1) -> ForecastReport:
         """Forecast for ``series``, ``horizon`` measurement steps ahead.
 

@@ -29,6 +29,17 @@ uniform drizzle.  A :class:`~repro.faults.FaultPlan` can be attached
 (``chaos=<plan name>``): each client compiles the plan with its own
 seeded stream and routes publishes through it, which makes the chaos
 plans from the resilience PR double as the server's availability suite.
+
+**Load shedding does not perturb the digest.**  A server running with
+``max_inflight`` may shed requests with
+:class:`~repro.nws.errors.ServerOverloaded` (HTTP 429).  Each synthetic
+client retries *only* sheds through its own seeded
+:class:`~repro.faults.RetryPolicy` (real ``time.sleep`` backoff, since
+shedding is a wall-clock phenomenon) until the op lands, so the
+responses folded into the digest are the same whether the server shed
+zero times or a thousand.  The retry tally is reported as
+``shed_retries`` -- a wall-side measurement, deliberately excluded from
+:func:`render` and the digest, exactly like ``wall_seconds``.
 """
 
 from __future__ import annotations
@@ -42,10 +53,11 @@ from dataclasses import dataclass, field
 import numpy as np
 
 from repro.faults.plan import FaultPlan, HostFaults, named_plan
-from repro.faults.policy import RetryError, seed_entropy
+from repro.faults.policy import RetryError, RetryPolicy, seed_entropy
 from repro.nws.errors import (
     RegistrationLapsed,
     SeriesUnavailable,
+    ServerOverloaded,
     UnknownTenant,
 )
 from repro.nws.wire import (
@@ -62,6 +74,9 @@ __all__ = ["LoadtestConfig", "LoadtestReport", "build_plans", "run_loadtest", "r
 #: Domain separator (b"LOAD") keeping loadtest draws independent of every
 #: other stream derived from the same root seed.
 _LOAD_STREAM = 0x4C4F4144
+
+#: Domain separator (b"SHED") for the per-client shed-retry jitter.
+_SHED_STREAM = 0x53484544
 
 #: Simulated per-op base cost (milliseconds) and per-returned-sample
 #: charge.  Chosen to resemble localhost HTTP round-trips; what matters
@@ -172,9 +187,11 @@ class LoadtestReport:
     """Everything :func:`render` prints, plus wall-clock extras.
 
     The deterministic fields (everything except ``wall_seconds`` /
-    ``wall_rps``) are byte-stable for a fixed config seed; the two wall
-    fields are measurement, reported only via stderr and
-    :mod:`repro.perf` records.
+    ``wall_rps`` / ``shed_retries``) are byte-stable for a fixed config
+    seed; the wall fields are measurement, reported only via stderr and
+    :mod:`repro.perf` records.  ``shed_retries`` counts how often shed
+    ops (HTTP 429) had to be retried before landing -- it depends on
+    server load, so it is wall-side too.
     """
 
     series: int
@@ -192,6 +209,7 @@ class LoadtestReport:
     digest: str
     wall_seconds: float
     wall_rps: float
+    shed_retries: int = 0
 
 
 # ---------------------------------------------------------------- planning
@@ -343,14 +361,70 @@ def _execute_op(op: _Op, client, plan: _ClientPlan) -> tuple[bytes, float]:
     raise ValueError(f"unknown op kind {op.kind!r}")
 
 
-def _run_client(plan: _ClientPlan, client) -> dict:
+def _shed_policy(config: LoadtestConfig, plan: _ClientPlan) -> RetryPolicy:
+    """The per-client retry policy that absorbs server load shedding.
+
+    Backoff sleeps on the real clock (shedding is a wall phenomenon) but
+    draws its jitter from a per-client seeded stream, so two clients
+    sharing a root seed still de-synchronize their retry stampede
+    reproducibly.  The budget (16 retries, capped at 100 ms apiece) far
+    exceeds any drain or overload window the harness creates; exhaustion
+    surfaces as ``retry_exhausted`` in the digest rather than hanging.
+    """
+    return RetryPolicy(
+        retries=16,
+        base_delay=0.002,
+        factor=2.0,
+        max_delay=0.1,
+        jitter=0.5,
+        seed=(*seed_entropy(config.seed), plan.index, _SHED_STREAM),
+        sleep=time.sleep,
+    )
+
+
+def _shed_classified(op: _Op, client, plan: _ClientPlan) -> tuple[str, object]:
+    """One attempt, classified for the shed-retry policy.
+
+    :meth:`RetryPolicy.call` retries on any ``Exception``, but only a
+    shed (:class:`~repro.nws.errors.ServerOverloaded`) should consume
+    retry budget -- a typed application error is a deterministic answer,
+    not a transient.  So sheds re-raise (retryable) and every other
+    exception tunnels out as a ``("raise", exc)`` value for the caller
+    to re-raise untouched.
+    """
+    try:
+        return "ok", _execute_op(op, client, plan)
+    except ServerOverloaded:
+        raise
+    except Exception as exc:
+        return "raise", exc
+
+
+def _run_client(plan: _ClientPlan, client, shed_retry: RetryPolicy | None = None) -> dict:
     digest = hashlib.sha256()
     costs: dict[str, list[float]] = {}
     op_counts: dict[str, int] = {}
     error_counts: dict[str, int] = {}
     for op in plan.ops:
         try:
-            payload, cost = _execute_op(op, client, plan)
+            try:
+                # Optimistic fast path: the retry machinery costs more
+                # than an in-process op, so it is engaged only after the
+                # server actually shed this request.
+                payload, cost = _execute_op(op, client, plan)
+            except ServerOverloaded:
+                if shed_retry is None:
+                    raise
+                kind, value = shed_retry.call(
+                    _shed_classified,
+                    op,
+                    client,
+                    plan,
+                    describe=f"loadtest {op.kind}",
+                )
+                if kind == "raise":
+                    raise value
+                payload, cost = value
         except _TYPED_ERRORS as exc:
             code = code_for_exception(exc)
             error_counts[code] = error_counts.get(code, 0) + 1
@@ -388,14 +462,18 @@ def run_loadtest(client_factory, config: LoadtestConfig) -> LoadtestReport:
         The :class:`LoadtestConfig`.
     """
     plans = build_plans(config)
+    policies = [_shed_policy(config, plan) for plan in plans]
     started = time.perf_counter()
     if config.jobs == 1:
-        results = [_run_client(plan, client_factory(plan.tenant)) for plan in plans]
+        results = [
+            _run_client(plan, client_factory(plan.tenant), policy)
+            for plan, policy in zip(plans, policies)
+        ]
     else:
         with ThreadPoolExecutor(max_workers=config.jobs) as pool:
             futures = [
-                pool.submit(_run_client, plan, client_factory(plan.tenant))
-                for plan in plans
+                pool.submit(_run_client, plan, client_factory(plan.tenant), policy)
+                for plan, policy in zip(plans, policies)
             ]
             results = [f.result() for f in futures]
     wall = time.perf_counter() - started
@@ -449,6 +527,7 @@ def run_loadtest(client_factory, config: LoadtestConfig) -> LoadtestReport:
         digest=combined.hexdigest(),
         wall_seconds=wall,
         wall_rps=(total_ops / wall if wall > 0.0 else 0.0),
+        shed_retries=sum(policy.retries_used for policy in policies),
     )
 
 

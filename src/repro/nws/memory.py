@@ -5,22 +5,58 @@ bounded circular history per series, and serves range fetches to
 forecasters.  Optionally the store journals to disk (JSON lines per
 series) so histories survive restarts -- the real memory's flat-file
 persistence.
+
+Persistence layout (``directory`` set)::
+
+    <directory>/
+        series.json        # catalog: series name -> journal filename
+        <safe-name>.jsonl  # append-only write-ahead journal per series
+
+Journal appends go through a :class:`~repro.nws.durable.JournalWriter`
+(group commit every ``journal_flush_lines`` appends); whole-file state
+-- the catalog, and the journal itself when :meth:`replace` checkpoints
+it after retention compaction -- is rewritten atomically via
+``os.replace`` so a crash can never tear it.
 """
 
 from __future__ import annotations
 
 import json
+import math
 import threading
 import warnings
 from pathlib import Path
 
 import numpy as np
 
+from repro.nws.durable import JournalWriter, atomic_replace_bytes, atomic_replace_json
 from repro.nws.errors import SeriesUnavailable
 from repro.obs.metrics import get_registry
 from repro.trace.series import TraceSeries
 
 __all__ = ["MemoryStore"]
+
+_CATALOG_NAME = "series.json"
+
+
+def _json_float(x: float) -> str:
+    """``json.dumps``-compatible rendering of one float.
+
+    Hand-rolled because sample encoding sits on the publish hot path
+    (see ``benchmarks/bench_recovery.py``); ``repr`` round-trips floats
+    exactly, so journal replay reproduces bit-identical histories.
+    """
+    if math.isfinite(x):
+        return repr(x)
+    if x != x:
+        return "NaN"
+    return "Infinity" if x > 0 else "-Infinity"
+
+
+def _encode_sample(t: float, v: float) -> str:
+    # Byte-identical to json.dumps({"t": t, "v": v}) with default
+    # separators, so journals written before group commit still parse.
+    return '{"t": %s, "v": %s}' % (_json_float(t), _json_float(v))
 
 
 class MemoryStore:
@@ -34,15 +70,33 @@ class MemoryStore:
     directory:
         Optional persistence directory; each series appends to
         ``<name>.jsonl`` and can be recovered with :meth:`recover`.
+    journal_flush_lines:
+        Group-commit size for journal appends.  ``1`` (the default)
+        writes every sample through to the OS immediately; larger values
+        buffer in memory and amortize the write, trading at most
+        ``journal_flush_lines - 1`` samples of crash-loss window.
+        :meth:`sync` / :meth:`close` always flush the buffer.
     """
 
-    def __init__(self, capacity: int = 4096, directory=None):
+    def __init__(
+        self,
+        capacity: int = 4096,
+        directory=None,
+        *,
+        journal_flush_lines: int = 1,
+    ):
         if capacity < 1:
             raise ValueError(f"capacity must be >= 1, got {capacity}")
         self.capacity = int(capacity)
         self.directory = Path(directory) if directory is not None else None
+        self._journal = JournalWriter(flush_lines=journal_flush_lines)
+        self._catalog: dict[str, str] = {}
+        # Per-series journal Path cache, written only under self._lock
+        # (the publish hot path) and read lock-free elsewhere.
+        self._journal_paths: dict[str, Path] = {}
         if self.directory is not None:
             self.directory.mkdir(parents=True, exist_ok=True)
+            self._catalog = self._load_catalog()
         # Publishes arrive from sensor-host pump threads while fetches come
         # from the main/forecaster path; every access to the series maps
         # goes through this lock.
@@ -58,6 +112,9 @@ class MemoryStore:
         self._obs_recovered = registry.counter("repro_memory_recovered_samples_total")
         self._obs_corrupt = registry.counter(
             "repro_memory_corrupt_journal_lines_total"
+        )
+        self._obs_checkpoints = registry.counter(
+            "repro_memory_journal_checkpoints_total"
         )
         registry.register_callback(
             lambda r: r.gauge("repro_memory_series").set(len(self._times))
@@ -93,10 +150,23 @@ class MemoryStore:
                 del times[:dropped]
                 del values[:dropped]
                 self._obs_evictions.inc(dropped)
-        path = self.journal_path(series)
-        if path is not None:
-            with path.open("a") as f:
-                f.write(json.dumps({"t": float(time), "v": float(value)}) + "\n")
+            # Journal while still holding the lock so a concurrent
+            # checkpoint (replace) can never drop an in-flight append.
+            if self.directory is not None:
+                if series not in self._catalog:
+                    self._catalog[series] = f"{_safe(series)}.jsonl"
+                    self._write_catalog()
+                # Resolve-and-cache here, under the lock: building a Path
+                # (and re-hashing it inside JournalWriter) per sample
+                # costs more than the buffered append itself.
+                path = self._journal_paths.get(series)
+                if path is None:
+                    path = self.directory / f"{_safe(series)}.jsonl"
+                    self._journal_paths[series] = path
+                self._journal.append(
+                    path,
+                    _encode_sample(float(time), float(value)),
+                )
 
     # --------------------------------------------------------------- fetch
 
@@ -169,9 +239,12 @@ class MemoryStore:
 
         The server's retention compactor uses this to swap an old raw
         window for its downsampled equivalent; timestamps must be
-        non-decreasing and the two arrays equal-length.  The journal is
-        untouched (it remains the append-only crash record).  Returns
-        the new retained length.
+        non-decreasing and the two arrays equal-length.  When
+        persistence is on, the journal is checkpointed in the same
+        critical section -- atomically rewritten (``os.replace``) to
+        exactly the new retained history -- so journals stop growing
+        without bound and :meth:`recover` always reproduces what
+        retention kept.  Returns the new retained length.
         """
         times = [float(t) for t in times]
         values = [float(v) for v in values]
@@ -187,7 +260,30 @@ class MemoryStore:
         with self._lock:
             self._times[series] = times
             self._values[series] = values
+            if self.directory is not None:
+                self._checkpoint_locked(series)
         return len(times)
+
+    def _checkpoint_locked(self, series: str) -> None:
+        """Rewrite ``series``' journal to the retained history (atomic).
+
+        Caller holds ``self._lock``, so no publish can append between
+        the snapshot and the rewrite.  Pending buffered lines and the
+        cached append handle are invalidated first: the replacement file
+        supersedes them, and ``os.replace`` swaps the inode out from
+        under any cached ``O_APPEND`` handle.
+        """
+        if series not in self._catalog:
+            self._catalog[series] = f"{_safe(series)}.jsonl"
+            self._write_catalog()
+        path = self.journal_path(series)
+        data = "".join(
+            _encode_sample(t, v) + "\n"
+            for t, v in zip(self._times.get(series, ()), self._values.get(series, ()))
+        )
+        self._journal.invalidate(path)
+        atomic_replace_bytes(path, data.encode("utf-8"))
+        self._obs_checkpoints.inc()
 
     def forget(self, series: str) -> bool:
         """Drop a series' retained history (the journal is untouched).
@@ -209,7 +305,12 @@ class MemoryStore:
         """Where ``series`` journals to (None when persistence is off)."""
         if self.directory is None:
             return None
-        return self.directory / f"{_safe(series)}.jsonl"
+        # Read-only against the publish-side cache (no write here: this
+        # accessor is also called without the lock held).
+        path = self._journal_paths.get(series)
+        if path is None:
+            path = self.directory / f"{_safe(series)}.jsonl"
+        return path
 
     def recover(self, series: str) -> int:
         """Reload ``series`` from the persistence journal.
@@ -229,6 +330,10 @@ class MemoryStore:
         path = self.journal_path(series)
         if path is None:
             raise RuntimeError("this MemoryStore has no persistence directory")
+        # Read barrier: surface this store's own buffered appends before
+        # reading the file, so publish -> recover on one store is lossless
+        # even with group commit.
+        self._journal.flush(path)
         if not path.exists():
             return 0
         times: list[float] = []
@@ -258,6 +363,60 @@ class MemoryStore:
         self._obs_recoveries.inc()
         self._obs_recovered.inc(len(times))
         return len(times)
+
+    def recover_all(self) -> dict[str, int]:
+        """Recover every series named in the on-disk catalog.
+
+        The journal filename mangles series names lossily (``_safe``),
+        so restarts read the real names back from ``series.json``.
+        Returns ``{series: samples_recovered}`` in sorted series order.
+
+        Raises
+        ------
+        RuntimeError
+            If the store has no persistence directory.
+        """
+        if self.directory is None:
+            raise RuntimeError("this MemoryStore has no persistence directory")
+        return {series: self.recover(series) for series in sorted(self._catalog)}
+
+    def sync(self) -> None:
+        """Flush buffered journal appends and fsync the journal files."""
+        self._journal.sync()
+
+    def close(self) -> None:
+        """Durably flush and release all journal handles."""
+        self._journal.close()
+
+    def discard_unflushed(self) -> None:
+        """Drop buffered journal appends without writing (crash simulation)."""
+        self._journal.discard()
+
+    def _load_catalog(self) -> dict[str, str]:
+        path = self.directory / _CATALOG_NAME
+        if not path.exists():
+            # Pre-catalog state directory (or first boot): fall back to
+            # the journal filenames themselves.  Best-effort -- mangled
+            # names stay mangled, but no history is stranded.
+            return {
+                p.stem: p.name for p in sorted(self.directory.glob("*.jsonl"))
+            }
+        try:
+            payload = json.loads(path.read_text(encoding="utf-8"))
+            series = payload["series"]
+            return {str(name): str(file) for name, file in series.items()}
+        except (json.JSONDecodeError, KeyError, TypeError, ValueError, AttributeError):
+            # Corrupt catalog: the journals themselves are still intact,
+            # so rebuild the mapping from their filenames (best-effort).
+            return {
+                p.stem: p.name for p in sorted(self.directory.glob("*.jsonl"))
+            }
+
+    def _write_catalog(self) -> None:
+        atomic_replace_json(
+            self.directory / _CATALOG_NAME,
+            {"version": 1, "series": dict(sorted(self._catalog.items()))},
+        )
 
 
 def _safe(name: str) -> str:

@@ -176,6 +176,37 @@ class NameServer:
         """
         return self._require_live(name)
 
+    # ----------------------------------------------------------- snapshot
+
+    def entries(self) -> list[Registration]:
+        """Every registration (including expired), sorted by name.
+
+        The durable-snapshot view used by
+        :meth:`repro.nws.service.ServiceCore.restore`: expiry is
+        preserved verbatim so a restarted server makes the same
+        liveness decisions an uninterrupted one would.
+        """
+        with self._lock:
+            return sorted(self._entries.values(), key=lambda e: e.name)
+
+    def restore(self, entries) -> int:
+        """Re-insert registrations recovered from a durable snapshot.
+
+        ``expires_at`` is preserved exactly (no TTL re-derivation); a
+        registration that lapsed while the server was down stays lapsed.
+        Entries with an unknown ``kind`` are skipped -- snapshot files
+        are written atomically, so this only guards against foreign
+        files.  Returns the number restored.
+        """
+        restored = 0
+        with self._lock:
+            for entry in entries:
+                if entry.kind not in self.KINDS:
+                    continue
+                self._entries[entry.name] = entry
+                restored += 1
+        return restored
+
     def __len__(self) -> int:
         now = self._clock()
         with self._lock:

@@ -33,18 +33,32 @@ and the background maintenance worker refreshes that registration each
 cycle (re-registering if it lapsed, e.g. after a long stall) alongside
 the retention pass -- exactly the crash-detection contract sensors live
 under.
+
+Overload protection: with ``max_inflight`` set, admission control bounds
+concurrent request handling and sheds the excess deterministically --
+HTTP ``429`` with an ``overloaded`` envelope and a ``Retry-After``
+header -- instead of letting queue growth take every tenant down.
+Clients propagate a remaining-time budget in the ``X-NWS-Deadline``
+header; expired budgets are shed at admission (or mid-operation, see
+:func:`~repro.nws.service.set_request_deadline`).  :meth:`stop` drains:
+new requests are shed with ``reason="draining"`` while in-flight ones
+finish, journals are fsynced, and a worker thread that outlives its
+join window is counted in ``repro_server_unclean_shutdown_total`` and
+surfaced in ``/v1/health`` rather than silently leaked.
 """
 
 from __future__ import annotations
 
 import json
+import math
 import threading
 import time
 from http.server import BaseHTTPRequestHandler, ThreadingHTTPServer
 
-from repro.nws.errors import RegistrationLapsed
-from repro.nws.service import ServiceCore
+from repro.nws.errors import RegistrationLapsed, ServerOverloaded
+from repro.nws.service import ServiceCore, set_request_deadline
 from repro.nws.wire import (
+    DEADLINE_HEADER,
     WIRE_VERSION,
     canonical,
     encode_fetch,
@@ -54,7 +68,7 @@ from repro.nws.wire import (
 )
 from repro.obs.metrics import get_registry
 
-__all__ = ["ForecastServer", "SERVER_REGISTRATION"]
+__all__ = ["ForecastServer", "SERVER_REGISTRATION", "DEADLINE_HEADER"]
 
 #: Name the server registers itself under in every tenant's name server.
 SERVER_REGISTRATION = "forecaster.server"
@@ -97,18 +111,59 @@ class _Handler(BaseHTTPRequestHandler):
             raise ValueError("request body must be a JSON object")
         return payload
 
+    def _deadline(self) -> float | None:
+        value = self.headers.get(DEADLINE_HEADER)
+        if value is None:
+            return None
+        try:
+            budget = float(value)
+        except ValueError:
+            return None
+        return time.monotonic() + budget
+
     def _handle(self, method: str) -> None:
         app: ForecastServer = self.server.forecast_server
         started = time.perf_counter()
-        try:
-            status, payload = app.dispatch(method, self.path, self._body())
-        except Exception as exc:
+        deadline_at = self._deadline()
+        retry_after: float | None = None
+        shed_reason = app.try_admit(deadline_at)
+        if shed_reason is not None:
+            exc = ServerOverloaded(
+                f"request shed: {shed_reason}",
+                reason=shed_reason,
+                retry_after=0.0 if shed_reason == "deadline" else app.shed_retry_after,
+            )
             status, payload = envelope_for_exception(exc)
-            app.core.count_error(payload["error"]["code"])
+            app.count_shed(shed_reason)
+            app.core.count_error("overloaded")
+            retry_after = exc.retry_after
+        else:
+            set_request_deadline(deadline_at)
+            try:
+                status, payload = app.dispatch(method, self.path, self._body())
+            except Exception as exc:
+                status, payload = envelope_for_exception(exc)
+                app.core.count_error(payload["error"]["code"])
+                if isinstance(exc, ServerOverloaded):
+                    app.count_shed(exc.reason)
+                    retry_after = exc.retry_after
+            finally:
+                set_request_deadline(None)
+                app.release()
         body = canonical(payload)
         self.send_response(status)
         self.send_header("Content-Type", "application/json")
         self.send_header("Content-Length", str(len(body)))
+        if retry_after is not None:
+            # RFC 9110 Retry-After is integer delta-seconds; round up so
+            # "wait 0.05 s" never becomes "retry immediately".
+            self.send_header("Retry-After", str(max(0, math.ceil(retry_after))))
+            # A shed connection must not be reused: a draining server's
+            # keep-alive handler threads would otherwise answer 429
+            # forever, and a retrying client must reconnect to reach the
+            # (possibly restarted) listener instead.
+            self.send_header("Connection", "close")
+            self.close_connection = True
         self.end_headers()
         self.wfile.write(body)
         app.observe_response(status, time.perf_counter() - started)
@@ -145,6 +200,19 @@ class ForecastServer:
     registration_ttl:
         TTL (in the core's clock units) on the server's own
         ``forecaster.server`` registrations.
+    max_inflight:
+        Bound on concurrently handled requests; the excess is shed with
+        HTTP 429 (``overloaded``, ``reason="overload"``).  None
+        (default) admits everything -- the pre-overload-protection
+        behavior.
+    shed_retry_after:
+        ``retry_after`` hint (seconds) attached to shed responses.
+    drain_timeout:
+        Wall seconds :meth:`stop` waits for in-flight requests to finish
+        before closing the listener.
+    shutdown_timeout:
+        Wall seconds :meth:`stop` waits for each worker thread to join;
+        a thread that outlives it is counted as an unclean shutdown.
     """
 
     def __init__(
@@ -155,6 +223,10 @@ class ForecastServer:
         port: int = 0,
         maintenance_interval: float | None = None,
         registration_ttl: float = 90.0,
+        max_inflight: int | None = None,
+        shed_retry_after: float = 0.05,
+        drain_timeout: float = 5.0,
+        shutdown_timeout: float = 5.0,
         **core_kwargs,
     ):
         if maintenance_interval is not None and maintenance_interval <= 0.0:
@@ -163,8 +235,17 @@ class ForecastServer:
             )
         if registration_ttl <= 0.0:
             raise ValueError(f"registration_ttl must be positive, got {registration_ttl}")
+        if max_inflight is not None and max_inflight < 0:
+            raise ValueError(f"max_inflight must be >= 0, got {max_inflight}")
+        if shed_retry_after < 0.0:
+            raise ValueError(f"shed_retry_after must be >= 0, got {shed_retry_after}")
         self.core = core if core is not None else ServiceCore(**core_kwargs)
         self.registration_ttl = registration_ttl
+        self.max_inflight = max_inflight
+        self.shed_retry_after = shed_retry_after
+        self.drain_timeout = drain_timeout
+        self.shutdown_timeout = shutdown_timeout
+        self.unclean_shutdowns = 0
         self._maintenance_interval = maintenance_interval
         self._httpd = _App((host, port), _Handler)
         self._httpd.forecast_server = self
@@ -172,14 +253,23 @@ class ForecastServer:
         self._stop = threading.Event()
         self._serve_thread: threading.Thread | None = None
         self._maintenance_thread: threading.Thread | None = None
+        # Admission state: handler threads take this condition for every
+        # admit/release; stop() waits on it for the drain barrier.
+        self._inflight = 0
+        self._draining = False
+        self._inflight_cond = threading.Condition()
         registry = get_registry()
         self._registry = registry
         self._obs_latency = registry.histogram(
             "repro_server_request_seconds", buckets=_LATENCY_BUCKETS
         )
         self._obs_responses: dict[int, object] = {}
+        self._obs_shed: dict[str, object] = {}
         self._obs_maintenance = registry.counter(
             "repro_server_maintenance_cycles_total"
+        )
+        self._obs_unclean = registry.counter(
+            "repro_server_unclean_shutdown_total"
         )
 
     # ----------------------------------------------------------- lifecycle
@@ -216,15 +306,50 @@ class ForecastServer:
             self._maintenance_thread.start()
         return self
 
+    def begin_drain(self) -> None:
+        """Stop admitting requests; in-flight ones run to completion.
+
+        New arrivals are shed with ``reason="draining"`` until
+        :meth:`stop` closes the listener.
+        """
+        with self._inflight_cond:
+            self._draining = True
+
     def stop(self) -> None:
-        """Shut down the HTTP listener and the maintenance worker."""
+        """Graceful shutdown: drain, close, persist, join -- and report.
+
+        In order: stop admitting (drain), wait up to ``drain_timeout``
+        for in-flight requests, shut the listener and maintenance worker
+        down, fsync every tenant's journals, then join each worker
+        thread.  A thread still alive after ``shutdown_timeout`` is a
+        leak, not a shrug: it increments
+        ``repro_server_unclean_shutdown_total`` and
+        :attr:`unclean_shutdowns` (surfaced in ``/v1/health``).
+        """
+        self.begin_drain()
+        with self._inflight_cond:
+            self._inflight_cond.wait_for(
+                lambda: self._inflight == 0, timeout=self.drain_timeout
+            )
         self._stop.set()
-        self._httpd.shutdown()
-        self._httpd.server_close()
         if self._serve_thread is not None:
-            self._serve_thread.join(timeout=5.0)
-        if self._maintenance_thread is not None:
-            self._maintenance_thread.join(timeout=5.0)
+            # shutdown() blocks forever unless serve_forever is running.
+            self._httpd.shutdown()
+        self._httpd.server_close()
+        for thread in (self._serve_thread, self._maintenance_thread):
+            if thread is None:
+                continue
+            thread.join(timeout=self.shutdown_timeout)
+            if thread.is_alive():
+                self.unclean_shutdowns += 1
+                self._obs_unclean.inc()
+        # Durability barrier: whatever the journals buffered is on disk
+        # before the process can exit.
+        self.core.sync()
+
+    def close(self) -> None:
+        """Alias for :meth:`stop` (file-like lifecycle naming)."""
+        self.stop()
 
     def __enter__(self) -> "ForecastServer":
         return self.start()
@@ -263,6 +388,43 @@ class ForecastServer:
         self._obs_maintenance.inc()
         return compacted
 
+    # ------------------------------------------------------------ admission
+
+    def try_admit(self, deadline_at: float | None = None) -> str | None:
+        """Admission control for one request.
+
+        Returns None and takes an in-flight slot when the request may
+        proceed (the caller MUST pair it with :meth:`release`), or the
+        shed reason -- ``"draining"``, ``"deadline"``, ``"overload"`` --
+        without taking a slot.
+        """
+        with self._inflight_cond:
+            if self._draining:
+                return "draining"
+            if deadline_at is not None and time.monotonic() >= deadline_at:
+                return "deadline"
+            if self.max_inflight is not None and self._inflight >= self.max_inflight:
+                return "overload"
+            self._inflight += 1
+            return None
+
+    def release(self) -> None:
+        """Give back an in-flight slot taken by :meth:`try_admit`."""
+        with self._inflight_cond:
+            if self._inflight > 0:
+                self._inflight -= 1
+            self._inflight_cond.notify_all()
+
+    def count_shed(self, reason: str) -> None:
+        """Tally one shed request by reason."""
+        counter = self._obs_shed.get(reason)
+        if counter is None:
+            counter = self._registry.counter(
+                "repro_server_shed_total", reason=reason
+            )
+            self._obs_shed[reason] = counter
+        counter.inc()
+
     # ------------------------------------------------------------ plumbing
 
     def observe_response(self, status: int, seconds: float) -> None:
@@ -285,7 +447,19 @@ class ForecastServer:
             raise LookupError(f"no such path {path!r}; the API lives under /v1")
         if parts[1:] == ["health"]:
             self._require(method, "GET", path)
-            return 200, {"version": WIRE_VERSION, "kind": "health", **self.core.health()}
+            with self._inflight_cond:
+                inflight, draining = self._inflight, self._draining
+            return 200, {
+                "version": WIRE_VERSION,
+                "kind": "health",
+                **self.core.health(),
+                "server": {
+                    "draining": draining,
+                    "inflight": inflight,
+                    "max_inflight": self.max_inflight,
+                    "unclean_shutdowns": self.unclean_shutdowns,
+                },
+            }
         if parts[1:] == ["metrics"]:
             self._require(method, "GET", path)
             return 200, {

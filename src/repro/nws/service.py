@@ -22,15 +22,37 @@ series may accumulate before the old prefix is downsampled with
 :func:`~repro.trace.resample.resample_mean` -- the NWS memory's
 fixed-size-file discipline, but lossy-gracefully: old data gets coarser
 instead of vanishing.
+
+Durability: with ``directory`` set the core owns a crash-safe state
+directory --
+
+::
+
+    <directory>/
+        MANIFEST.json              # {"state_version", "tenants"}
+        <tenant>/series.json       # series catalog (see MemoryStore)
+        <tenant>/<series>.jsonl    # per-series write-ahead journal
+        <tenant>/registrations.json
+
+and :meth:`ServiceCore.restore` rebuilds an equivalent core from it:
+journals replay through fresh forecaster mixtures, so a restarted
+server's forecasts are byte-identical to an uninterrupted run's
+(compaction calls :meth:`ForecasterService.invalidate`, which makes
+every forecast a pure function of *retained* history -- provided
+retention compacts below the memory capacity so silent eviction never
+outruns the checkpointed journal).
 """
 
 from __future__ import annotations
 
+import json
 import threading
+import time as _time
 from dataclasses import dataclass
 from pathlib import Path
 
-from repro.nws.errors import UnknownTenant
+from repro.nws.durable import atomic_replace_json
+from repro.nws.errors import ServerOverloaded, UnknownTenant
 from repro.nws.forecaster import ForecastReport, ForecasterService
 from repro.nws.memory import MemoryStore
 from repro.nws.nameserver import NameServer, Registration
@@ -39,11 +61,46 @@ from repro.obs.tracing import get_tracer
 from repro.trace.resample import resample_mean
 from repro.trace.series import TraceSeries
 
-__all__ = ["RetentionPolicy", "ServiceCore", "TenantState"]
+__all__ = [
+    "RetentionPolicy",
+    "ServiceCore",
+    "TenantState",
+    "request_deadline",
+    "set_request_deadline",
+]
 
 #: Default tenant name -- single-tenant callers never need to know
 #: tenancy exists.
 DEFAULT_TENANT = "default"
+
+#: On-disk state layout version checked by :meth:`ServiceCore.restore`.
+STATE_VERSION = 1
+
+MANIFEST_NAME = "MANIFEST.json"
+REGISTRATIONS_NAME = "registrations.json"
+
+# Per-request deadline, propagated by the HTTP server from the
+# X-NWS-Deadline header.  Thread-local because the server handles each
+# request on its own thread; in-process callers never set one.
+_request_state = threading.local()
+
+
+def set_request_deadline(deadline_at: float | None) -> None:
+    """Install (or clear) the calling thread's absolute request deadline.
+
+    ``deadline_at`` is on the :func:`time.monotonic` clock.  While set,
+    every :class:`ServiceCore` operation on this thread checks it before
+    doing work and raises :class:`~repro.nws.errors.ServerOverloaded`
+    (``reason="deadline"``) once it has passed -- the request's budget
+    is gone, so finishing the work would only feed a client that already
+    timed out.
+    """
+    _request_state.deadline_at = deadline_at
+
+
+def request_deadline() -> float | None:
+    """The calling thread's absolute monotonic deadline, if any."""
+    return getattr(_request_state, "deadline_at", None)
 
 
 @dataclass(frozen=True)
@@ -89,9 +146,14 @@ class TenantState:
         directory,
         stale_after: float | None,
         forecaster_factory=None,
+        journal_flush_lines: int = 1,
     ):
         self.name = name
-        self.memory = MemoryStore(capacity=memory_capacity, directory=directory)
+        self.memory = MemoryStore(
+            capacity=memory_capacity,
+            directory=directory,
+            journal_flush_lines=journal_flush_lines,
+        )
         self.forecaster = ForecasterService(
             self.memory,
             forecaster_factory,
@@ -130,9 +192,15 @@ class ServiceCore:
         0.0, i.e. nothing ages).
     memory_capacity / directory / stale_after / forecaster_factory:
         Forwarded to each tenant's triple; ``directory`` gets one
-        subdirectory per tenant so journals never collide.
+        subdirectory per tenant so journals never collide.  With a
+        directory set the core also maintains ``MANIFEST.json`` and
+        per-tenant registration snapshots so :meth:`restore` can rebuild
+        the whole deployment.
     retention:
         Optional :class:`RetentionPolicy` applied by :meth:`maintain`.
+    journal_flush_lines:
+        Journal group-commit size forwarded to each tenant's
+        :class:`~repro.nws.memory.MemoryStore`.
     """
 
     def __init__(
@@ -145,6 +213,7 @@ class ServiceCore:
         stale_after: float | None = None,
         forecaster_factory=None,
         retention: RetentionPolicy | None = None,
+        journal_flush_lines: int = 1,
     ):
         names = list(tenants)
         if not names:
@@ -153,11 +222,12 @@ class ServiceCore:
             raise ValueError(f"duplicate tenant names in {names}")
         self.clock = clock if clock is not None else (lambda: 0.0)
         self.retention = retention
+        self.directory = Path(directory) if directory is not None else None
         self._tenants: dict[str, TenantState] = {}
         for name in names:
             tenant_dir = None
-            if directory is not None:
-                tenant_dir = Path(directory) / name
+            if self.directory is not None:
+                tenant_dir = self.directory / name
             self._tenants[name] = TenantState(
                 name,
                 clock=self.clock,
@@ -165,6 +235,14 @@ class ServiceCore:
                 directory=tenant_dir,
                 stale_after=stale_after,
                 forecaster_factory=forecaster_factory,
+                journal_flush_lines=journal_flush_lines,
+            )
+        if self.directory is not None:
+            # Tenant constructors above created the directory tree; the
+            # manifest names what restore() should rebuild.
+            atomic_replace_json(
+                self.directory / MANIFEST_NAME,
+                {"state_version": STATE_VERSION, "tenants": sorted(names)},
             )
         self._init_obs()
 
@@ -189,11 +267,127 @@ class ServiceCore:
         core = cls.__new__(cls)
         core.clock = clock if clock is not None else (lambda: 0.0)
         core.retention = retention
+        core.directory = None
         core._tenants = {
             tenant: TenantState.adopt(tenant, memory, forecaster, nameserver)
         }
         core._init_obs()
         return core
+
+    @classmethod
+    def restore(
+        cls,
+        state_dir,
+        *,
+        clock=None,
+        memory_capacity: int = 8640,
+        stale_after: float | None = None,
+        forecaster_factory=None,
+        retention: RetentionPolicy | None = None,
+        journal_flush_lines: int = 1,
+    ) -> "ServiceCore":
+        """Rebuild a core from a crash-safe state directory.
+
+        Reads ``MANIFEST.json`` for the tenant set, replays every
+        tenant's journals through fresh forecaster mixtures
+        (:meth:`MemoryStore.recover_all`), and re-installs registration
+        snapshots with their original expiries.  Because compaction
+        checkpoints the journal and invalidates forecaster state, the
+        restored core's :meth:`query_all` output is byte-identical to an
+        uninterrupted run's.
+
+        Raises
+        ------
+        FileNotFoundError
+            ``state_dir`` has no manifest (not a state directory).
+        ValueError
+            The manifest's ``state_version`` is from a different layout.
+        """
+        state_dir = Path(state_dir)
+        manifest_path = state_dir / MANIFEST_NAME
+        if not manifest_path.exists():
+            raise FileNotFoundError(
+                f"no {MANIFEST_NAME} under {state_dir}; "
+                "not a forecast-service state directory"
+            )
+        manifest = json.loads(manifest_path.read_text(encoding="utf-8"))
+        version = manifest.get("state_version")
+        if version != STATE_VERSION:
+            raise ValueError(
+                f"unsupported state_version {version!r} "
+                f"(this build reads {STATE_VERSION})"
+            )
+        core = cls(
+            list(manifest.get("tenants") or ()),
+            clock=clock,
+            memory_capacity=memory_capacity,
+            directory=state_dir,
+            stale_after=stale_after,
+            forecaster_factory=forecaster_factory,
+            retention=retention,
+            journal_flush_lines=journal_flush_lines,
+        )
+        series = samples = registrations = 0
+        for name in core.tenant_names():
+            state = core.tenant(name)
+            with state.lock:
+                recovered = state.memory.recover_all()
+                registrations += core._restore_registrations(state)
+            series += len(recovered)
+            samples += sum(recovered.values())
+        core._obs_restores.inc()
+        core._obs_restored_series.inc(series)
+        core._obs_restored_samples.inc(samples)
+        core._obs_restored_registrations.inc(registrations)
+        return core
+
+    def _restore_registrations(self, state: TenantState) -> int:
+        path = self.directory / state.name / REGISTRATIONS_NAME
+        if not path.exists():
+            return 0
+        try:
+            payload = json.loads(path.read_text(encoding="utf-8"))
+            entries = [
+                Registration(
+                    name=str(r["name"]),
+                    kind=str(r["kind"]),
+                    attributes={
+                        str(k): str(v)
+                        for k, v in dict(r.get("attributes") or {}).items()
+                    },
+                    expires_at=(
+                        float("inf")
+                        if r.get("expires_at") is None
+                        else float(r["expires_at"])
+                    ),
+                )
+                for r in payload["registrations"]
+            ]
+        except (json.JSONDecodeError, KeyError, TypeError, ValueError):
+            # Snapshot writes are atomic, so this only guards against a
+            # foreign/hand-edited file; registrations are re-creatable
+            # state (components re-register), so skip rather than abort.
+            return 0
+        return state.nameserver.restore(entries)
+
+    def _persist_registrations(self, state: TenantState) -> None:
+        if self.directory is None:
+            return
+        entries = [
+            {
+                "name": e.name,
+                "kind": e.kind,
+                "attributes": dict(sorted(e.attributes.items())),
+                "expires_at": (
+                    None if e.expires_at == float("inf") else e.expires_at
+                ),
+            }
+            for e in state.nameserver.entries()
+        ]
+        atomic_replace_json(
+            self.directory / state.name / REGISTRATIONS_NAME,
+            {"version": 1, "registrations": entries},
+        )
 
     def _init_obs(self) -> None:
         registry = get_registry()
@@ -204,6 +398,16 @@ class ServiceCore:
         self._obs_compactions = registry.counter("repro_server_compactions_total")
         self._obs_compacted = registry.counter(
             "repro_server_compacted_samples_total"
+        )
+        self._obs_restores = registry.counter("repro_server_restores_total")
+        self._obs_restored_series = registry.counter(
+            "repro_server_restored_series_total"
+        )
+        self._obs_restored_samples = registry.counter(
+            "repro_server_restored_samples_total"
+        )
+        self._obs_restored_registrations = registry.counter(
+            "repro_server_restored_registrations_total"
         )
         registry.register_callback(
             lambda r: r.gauge("repro_server_tenants").set(len(self._tenants))
@@ -222,6 +426,16 @@ class ServiceCore:
         return state
 
     def _count(self, op: str) -> None:
+        # Single choke point every operation passes through: count it,
+        # and enforce the propagated per-request deadline (if the budget
+        # is gone, shed instead of serving a client that timed out).
+        deadline = request_deadline()
+        if deadline is not None and _time.monotonic() >= deadline:
+            raise ServerOverloaded(
+                f"request deadline expired before {op}",
+                reason="deadline",
+                retry_after=0.0,
+            )
         counter = self._obs_requests.get(op)
         if counter is None:
             with self._obs_lock:
@@ -313,13 +527,17 @@ class ServiceCore:
         state = self.tenant(tenant)
         self._count("register")
         with get_tracer().span("server.register", tenant=tenant, component=name):
-            return state.nameserver.register(name, kind, attributes, ttl=ttl)
+            entry = state.nameserver.register(name, kind, attributes, ttl=ttl)
+        self._persist_registrations(state)
+        return entry
 
     def refresh(self, tenant: str, name: str, *, ttl: float) -> Registration:
         state = self.tenant(tenant)
         self._count("refresh")
         with get_tracer().span("server.refresh", tenant=tenant, component=name):
-            return state.nameserver.refresh(name, ttl=ttl)
+            entry = state.nameserver.refresh(name, ttl=ttl)
+        self._persist_registrations(state)
+        return entry
 
     def lookup(
         self, tenant: str, kind: str | None = None, **attribute_filters: str
@@ -352,15 +570,29 @@ class ServiceCore:
         via :meth:`MemoryStore.replace`.  No-op without a policy.
         """
         policy = self.retention
-        if policy is None:
-            return 0
         compacted = 0
         with get_tracer().span("server.maintain"):
             for state in self._tenants.values():
-                with state.lock:
-                    for series in state.memory.series_names():
-                        compacted += self._compact_locked(state, series, policy)
+                if policy is not None:
+                    with state.lock:
+                        for series in state.memory.series_names():
+                            compacted += self._compact_locked(state, series, policy)
+                # Maintenance doubles as the durability heartbeat: with
+                # buffered journaling the crash-loss window is bounded by
+                # the maintenance interval, not the process lifetime.
+                if self.directory is not None:
+                    state.memory.sync()
         return compacted
+
+    def sync(self) -> None:
+        """Flush + fsync every tenant's journals (shutdown barrier)."""
+        for state in self._tenants.values():
+            state.memory.sync()
+
+    def close(self) -> None:
+        """Durably flush and release every tenant's journal handles."""
+        for state in self._tenants.values():
+            state.memory.close()
 
     def _compact_locked(
         self, state: TenantState, series: str, policy: RetentionPolicy
@@ -379,6 +611,11 @@ class ServiceCore:
         new_times = list(head.times) + list(times[split:])
         new_values = list(head.values) + list(values[split:])
         state.memory.replace(series, new_times, new_values)
+        # Reset the mixture so the next query replays exactly the
+        # retained (compacted) history: forecasts stay a pure function
+        # of what recover() would reload, which is what makes a
+        # crash-restored server byte-identical to this one.
+        state.forecaster.invalidate(series)
         self._obs_compactions.inc()
         self._obs_compacted.inc(count - len(new_times))
         return 1

@@ -21,9 +21,16 @@ back::
 | ``series_unavailable``   | 404    | :class:`~repro.nws.errors.SeriesUnavailable`|
 | ``not_found``            | 404    | :class:`LookupError`                        |
 | ``registration_lapsed``  | 410    | :class:`~repro.nws.errors.RegistrationLapsed`|
+| ``overloaded``           | 429    | :class:`~repro.nws.errors.ServerOverloaded` |
 | ``retry_exhausted``      | 503    | :class:`~repro.faults.RetryError`           |
 | ``internal``             | 500    | :class:`ProtocolError`                      |
 +--------------------------+--------+---------------------------------------------+
+
+The ``overloaded`` envelope carries ``reason`` and ``retry_after`` so a
+shed request round-trips into the same typed
+:class:`~repro.nws.errors.ServerOverloaded` the in-process path raises;
+the server also mirrors ``retry_after`` into an HTTP ``Retry-After``
+header for non-NWS clients.
 
 Encoding is canonical (sorted keys, compact separators), so identical
 responses are identical bytes -- the property the deterministic loadtest
@@ -36,11 +43,17 @@ import json
 import math
 
 from repro.faults.policy import RetryError
-from repro.nws.errors import RegistrationLapsed, SeriesUnavailable, UnknownTenant
+from repro.nws.errors import (
+    RegistrationLapsed,
+    SeriesUnavailable,
+    ServerOverloaded,
+    UnknownTenant,
+)
 from repro.nws.forecaster import ForecastReport
 from repro.nws.nameserver import Registration
 
 __all__ = [
+    "DEADLINE_HEADER",
     "WIRE_VERSION",
     "ProtocolError",
     "canonical",
@@ -190,6 +203,12 @@ def decode_registration(payload: dict) -> Registration:
         raise ProtocolError(f"malformed registration payload: {exc}") from exc
 
 
+#: Request header carrying the client's remaining time budget (seconds).
+#: Defined here because both transport ends must agree on it: the client
+#: transport attaches it, the server parses it into a request deadline.
+DEADLINE_HEADER = "X-NWS-Deadline"
+
+
 # ------------------------------------------------------------------- errors
 
 #: code -> HTTP status, in taxonomy order.
@@ -199,6 +218,7 @@ ERROR_STATUS = {
     "series_unavailable": 404,
     "not_found": 404,
     "registration_lapsed": 410,
+    "overloaded": 429,
     "retry_exhausted": 503,
     "internal": 500,
 }
@@ -217,6 +237,8 @@ def code_for_exception(exc: BaseException) -> str:
         return "registration_lapsed"
     if isinstance(exc, UnknownTenant):
         return "unknown_tenant"
+    if isinstance(exc, ServerOverloaded):
+        return "overloaded"
     if isinstance(exc, RetryError):
         return "retry_exhausted"
     if isinstance(exc, ValueError):
@@ -245,6 +267,8 @@ def envelope_for_exception(exc: BaseException) -> tuple[int, dict]:
         details = {"name": exc.name}
     elif isinstance(exc, UnknownTenant):
         details = {"tenant": exc.tenant, "known": sorted(exc.known)}
+    elif isinstance(exc, ServerOverloaded):
+        details = {"reason": exc.reason, "retry_after": exc.retry_after}
     message = str(exc) if code != "internal" else f"internal error: {exc}"
     return ERROR_STATUS[code], error_envelope(code, message, **details)
 
@@ -269,6 +293,12 @@ def raise_for_envelope(status: int, payload: dict) -> None:
         raise RegistrationLapsed(error.get("name", "?"))
     if code == "unknown_tenant":
         raise UnknownTenant(error.get("tenant", "?"), error.get("known", ()))
+    if code == "overloaded":
+        raise ServerOverloaded(
+            message,
+            reason=str(error.get("reason", "overload")),
+            retry_after=float(error.get("retry_after", 0.05)),
+        )
     if code == "retry_exhausted":
         raise RetryError(message)
     if code == "bad_request":

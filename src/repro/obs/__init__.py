@@ -126,6 +126,9 @@ Memory (``repro.nws.memory``):
   (counters) -- journal recoveries.
 * ``repro_memory_corrupt_journal_lines_total`` (counter) -- truncated or
   unparsable journal lines skipped during recovery.
+* ``repro_memory_journal_checkpoints_total`` (counter) -- journals
+  atomically rewritten to the retained history (retention compaction
+  and ``replace``), bounding on-disk journal growth.
 * ``repro_memory_series`` (gauge) -- live series count.
 
 Name server (``repro.nws.nameserver``):
@@ -160,6 +163,18 @@ Forecast service (``repro.nws.service`` / ``repro.nws.server``; see
   responses by status code.
 * ``repro_server_maintenance_cycles_total`` (counter) -- background
   retention/liveness cycles completed.
+* ``repro_server_shed_total`` (counter; label ``reason`` in
+  ``overload|draining|deadline``) -- requests refused by admission
+  control (HTTP 429 + ``Retry-After``).
+* ``repro_server_unclean_shutdown_total`` (counter) -- worker threads
+  still alive after the shutdown join timeout (also surfaced in
+  ``health()``).
+* ``repro_server_restores_total`` (counter) -- successful
+  :meth:`~repro.nws.service.ServiceCore.restore` calls.
+* ``repro_server_restored_series_total`` /
+  ``repro_server_restored_samples_total`` /
+  ``repro_server_restored_registrations_total`` (counters) -- state
+  recovered from snapshot + journal by those restores.
 
 Fault injection & resilience (``repro.faults``; see
 ``nws-repro chaos``):
@@ -173,6 +188,13 @@ Fault injection & resilience (``repro.faults``; see
   :class:`~repro.faults.RetryPolicy`.
 * ``repro_faults_retry_exhausted_total`` (counter) -- calls that failed
   even after the full retry budget.
+* ``repro_client_breaker_transitions_total`` (counter; label
+  ``transition`` in ``closed->open|open->half_open|half_open->closed|
+  half_open->open``) -- circuit-breaker state changes in
+  :class:`~repro.faults.CircuitBreaker`.
+* ``repro_client_breaker_fastfails_total`` (counter) -- calls refused
+  without touching the transport because the breaker was open (or the
+  half-open probe budget was taken).
 * ``repro_runner_retries_total`` (counter) -- per-host simulation retries
   in :class:`~repro.runner.Runner` (worker crashes, broken pools).
 

@@ -8,6 +8,8 @@ import numpy as np
 import pytest
 
 from repro.faults import (
+    CircuitBreaker,
+    CircuitOpenError,
     FaultPlan,
     FaultSpec,
     RetryError,
@@ -330,3 +332,142 @@ class TestRetryPolicy:
             RetryPolicy(base_delay=2.0, max_delay=1.0)
         with pytest.raises(ValueError):
             RetryPolicy(jitter=-0.1)
+
+
+def breaker(**kwargs):
+    """A breaker on an injectable clock; returns (breaker, clock dict)."""
+    clock = {"t": 0.0}
+    kwargs.setdefault("failure_threshold", 3)
+    kwargs.setdefault("cooldown", 10.0)
+    kwargs.setdefault("jitter", 0.0)
+    return CircuitBreaker(clock=lambda: clock["t"], **kwargs), clock
+
+
+class TestCircuitBreaker:
+    def test_starts_closed_and_stays_closed_below_threshold(self):
+        cb, _ = breaker()
+        for _ in range(2):
+            cb.before_call()
+            cb.record_failure()
+        assert cb.state == "closed"
+
+    def test_threshold_consecutive_failures_open_it(self):
+        cb, _ = breaker()
+        for _ in range(3):
+            cb.before_call()
+            cb.record_failure()
+        assert cb.state == "open"
+        with pytest.raises(CircuitOpenError) as info:
+            cb.before_call()
+        assert info.value.retry_in == pytest.approx(10.0)
+
+    def test_success_resets_the_consecutive_count(self):
+        cb, _ = breaker()
+        for _ in range(2):
+            cb.before_call()
+            cb.record_failure()
+        cb.before_call()
+        cb.record_success()
+        cb.before_call()
+        cb.record_failure()
+        assert cb.state == "closed"
+
+    def test_cooldown_elapses_into_half_open_and_success_closes(self):
+        cb, clock = breaker()
+        for _ in range(3):
+            cb.before_call()
+            cb.record_failure()
+        clock["t"] = 10.0
+        cb.before_call()  # admitted probe
+        assert cb.state == "half_open"
+        cb.record_success()
+        assert cb.state == "closed"
+        assert cb.transitions == [
+            ("closed", "open"),
+            ("open", "half_open"),
+            ("half_open", "closed"),
+        ]
+
+    def test_half_open_probe_budget_fast_fails_the_rest(self):
+        cb, clock = breaker(probe_budget=1)
+        for _ in range(3):
+            cb.before_call()
+            cb.record_failure()
+        clock["t"] = 10.0
+        cb.before_call()  # takes the only probe slot
+        with pytest.raises(CircuitOpenError, match="probe budget"):
+            cb.before_call()
+
+    def test_failed_probe_reopens_with_a_fresh_cooldown(self):
+        cb, clock = breaker()
+        for _ in range(3):
+            cb.before_call()
+            cb.record_failure()
+        clock["t"] = 10.0
+        cb.before_call()
+        cb.record_failure()
+        assert cb.state == "open"
+        with pytest.raises(CircuitOpenError):
+            cb.before_call()  # cooldown restarted at t=10
+        clock["t"] = 20.0
+        cb.before_call()
+        assert cb.state == "half_open"
+
+    def test_cooldown_jitter_is_seeded(self):
+        a, clock_a = breaker(jitter=0.5, seed=3)
+        b, clock_b = breaker(jitter=0.5, seed=3)
+        for cb in (a, b):
+            for _ in range(3):
+                cb.before_call()
+                cb.record_failure()
+        with pytest.raises(CircuitOpenError) as info_a:
+            a.before_call()
+        with pytest.raises(CircuitOpenError) as info_b:
+            b.before_call()
+        assert info_a.value.retry_in == info_b.value.retry_in
+        assert 10.0 <= info_a.value.retry_in <= 15.0
+
+    def test_call_convenience_wraps_the_state_machine(self):
+        cb, _ = breaker(failure_threshold=1)
+        with pytest.raises(OSError):
+            cb.call(_raise_oserror)
+        assert cb.state == "open"
+        with pytest.raises(CircuitOpenError):
+            cb.call(lambda: "never runs")
+
+    def test_transitions_and_fastfails_are_tallied(self):
+        with installed(MetricsRegistry()) as registry:
+            cb, clock = breaker(failure_threshold=1)
+            cb.before_call()
+            cb.record_failure()
+            with pytest.raises(CircuitOpenError):
+                cb.before_call()
+            clock["t"] = 10.0
+            cb.before_call()
+            cb.record_success()
+        snap = registry.snapshot()
+        fastfails = snap["repro_client_breaker_fastfails_total"]
+        assert fastfails["samples"][0]["value"] == 1
+        transitions = {
+            tuple(sorted(s["labels"].items()))[0][1]: s["value"]
+            for s in snap["repro_client_breaker_transitions_total"]["samples"]
+        }
+        assert transitions == {
+            "closed->open": 1.0,
+            "open->half_open": 1.0,
+            "half_open->closed": 1.0,
+        }
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            CircuitBreaker(failure_threshold=0)
+        with pytest.raises(ValueError):
+            CircuitBreaker(cooldown=-1.0)
+        with pytest.raises(ValueError):
+            CircuitBreaker(probe_budget=0)
+        with pytest.raises(ValueError):
+            CircuitBreaker(jitter=-0.5)
+
+
+def _raise_oserror():
+    raise OSError("dead")

@@ -875,3 +875,79 @@ class TestServiceFacade:
         from repro.nws import NWSSystem, SeriesUnavailable
         """
         assert rule_ids(src, module="repro.experiments.fake") == []
+
+
+# -----------------------------------------------------------------------
+# DUR001 -- durability discipline
+# -----------------------------------------------------------------------
+
+class TestDurability:
+    def test_bare_write_open_flagged_in_nws(self):
+        src = """
+        def save(path, data):
+            with open(path, "w") as f:
+                f.write(data)
+        """
+        assert rule_ids(src, module="repro.nws.fake", select=["DUR001"]) == [
+            "DUR001"
+        ]
+
+    def test_mode_keyword_and_path_open_flagged(self):
+        src = """
+        def save(path, data):
+            with open(path, mode="wb") as f:
+                f.write(data)
+            with path.open("x") as f:
+                f.write(data)
+        """
+        assert rule_ids(src, module="repro.nws.fake", select=["DUR001"]) == [
+            "DUR001",
+            "DUR001",
+        ]
+
+    def test_write_text_and_write_bytes_flagged(self):
+        src = """
+        def save(path):
+            path.write_text("boom")
+            path.write_bytes(b"boom")
+        """
+        assert rule_ids(src, module="repro.nws.fake", select=["DUR001"]) == [
+            "DUR001",
+            "DUR001",
+        ]
+
+    def test_read_modes_are_fine(self):
+        src = """
+        def load(path):
+            with open(path) as f:
+                body = f.read()
+            with open(path, "rb") as f:
+                raw = f.read()
+            text = path.read_text()
+            return body, raw, text
+        """
+        assert rule_ids(src, module="repro.nws.fake", select=["DUR001"]) == []
+
+    def test_durable_module_itself_is_exempt(self):
+        src = """
+        def helper(path, data):
+            with open(path, "wb") as f:
+                f.write(data)
+        """
+        assert rule_ids(src, module="repro.nws.durable", select=["DUR001"]) == []
+
+    def test_out_of_scope_packages_untouched(self):
+        src = """
+        def save(path, data):
+            with open(path, "w") as f:
+                f.write(data)
+        """
+        assert rule_ids(src, module="repro.runner.fake", select=["DUR001"]) == []
+
+    def test_nonliteral_mode_is_not_guessed(self):
+        src = """
+        def save(path, data, mode):
+            with open(path, mode) as f:
+                f.write(data)
+        """
+        assert rule_ids(src, module="repro.nws.fake", select=["DUR001"]) == []
